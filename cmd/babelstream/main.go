@@ -1,0 +1,49 @@
+// Command babelstream measures host memory bandwidth with the five
+// BabelStream kernels (Copy, Mul, Add, Triad, Dot), reproducing the
+// environment-validation column of the paper's Table I for this machine.
+//
+// Usage:
+//
+//	babelstream [-n elems] [-iters k] [-workers w] [-seq]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"nbody/internal/par"
+	"nbody/internal/stream"
+)
+
+func main() {
+	n := flag.Int("n", stream.DefaultN, "array length in float64 elements")
+	iters := flag.Int("iters", 20, "timed iterations per kernel")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "run sequentially (single core)")
+	flag.Parse()
+
+	pol := par.ParUnseq
+	rt := par.NewRuntime(*workers, par.Dynamic)
+	if *seq {
+		pol = par.Seq
+		rt = par.NewRuntime(1, par.Dynamic)
+	}
+
+	fmt.Printf("BabelStream (Go) — %d elements/array (%.1f MiB), %d iterations, %d workers, policy %v\n",
+		*n, float64(*n)*8/(1<<20), *iters, rt.Workers(), pol)
+	fmt.Printf("GOMAXPROCS=%d GOOS=%s GOARCH=%s\n\n", runtime.GOMAXPROCS(0), runtime.GOOS, runtime.GOARCH)
+
+	results := stream.Benchmark(rt, pol, *n, *iters)
+	ok := true
+	for _, r := range results {
+		fmt.Println(r)
+		ok = ok && r.Checked
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "\nERROR: result verification failed")
+		os.Exit(1)
+	}
+	fmt.Println("\nSolution validates.")
+}

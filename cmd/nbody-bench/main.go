@@ -1,0 +1,93 @@
+// Command nbody-bench regenerates the data behind every table and figure of
+// the paper's evaluation (Section V) on the host machine, printing the same
+// rows/series each artifact plots. See EXPERIMENTS.md for the mapping and
+// the paper-vs-measured discussion.
+//
+// Subcommands:
+//
+//	table1    BabelStream bandwidth validation (Table I)
+//	fig5      sequential vs parallel throughput, 10⁴ bodies (Figure 5)
+//	fig6      algorithm throughput, 10⁵ bodies (Figure 6)
+//	fig7      algorithm throughput, 10⁶ bodies (Figure 7)
+//	fig8      per-phase time breakdown across schedulers (Figure 8)
+//	fig9      throughput vs N for two schedulers (Figure 9)
+//	validate  cross-implementation L2 validation on the solar-system
+//	          workload (Section V-A)
+//	ablate    ablations of the design choices called out in DESIGN.md
+//	all       run everything above in order
+//
+// Common flags (each subcommand also accepts them):
+//
+//	-steps k     timed steps per measurement (default varies by size)
+//	-repeats r   take the best of r repeats (default 3)
+//	-workers w   worker goroutines (0 = GOMAXPROCS)
+//	-seed s      workload seed (default 42)
+//	-csv         emit CSV instead of an aligned table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+
+	experiments := map[string]func(*flag.FlagSet, []string) error{
+		"table1":   runTable1,
+		"fig5":     runFig5,
+		"fig6":     runFig6,
+		"fig7":     runFig7,
+		"fig8":     runFig8,
+		"fig9":     runFig9,
+		"validate": runValidate,
+		"ablate":   runAblate,
+	}
+
+	if cmd == "all" {
+		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "validate", "ablate"} {
+			fmt.Printf("==== %s ====\n", name)
+			fs := flag.NewFlagSet(name, flag.ExitOnError)
+			if err := experiments[name](fs, args); err != nil {
+				fmt.Fprintf(os.Stderr, "nbody-bench %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	run, ok := experiments[cmd]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "nbody-bench: unknown subcommand %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	if err := run(fs, args); err != nil {
+		fmt.Fprintf(os.Stderr, "nbody-bench %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: nbody-bench <subcommand> [flags]
+
+subcommands:
+  table1    BabelStream bandwidth validation (Table I)
+  fig5      sequential vs parallel throughput, 10^4 bodies (Figure 5)
+  fig6      algorithm throughput, 10^5 bodies (Figure 6)
+  fig7      algorithm throughput, 10^6 bodies (Figure 7)
+  fig8      per-phase time breakdown across schedulers (Figure 8)
+  fig9      throughput vs N for two schedulers (Figure 9)
+  validate  cross-implementation L2 validation (Section V-A)
+  ablate    design-choice ablations
+  all       run everything
+
+run 'nbody-bench <subcommand> -h' for flags`)
+}

@@ -1,0 +1,202 @@
+// Force-directed graph layout with Barnes-Hut repulsion: the paper's second
+// motivating application family (t-SNE-style 2D embeddings approximate
+// their all-pairs repulsive forces exactly this way, using the quadtree of
+// the paper's Figure 1).
+//
+// The example embeds a synthetic clustered graph: repulsion between every
+// pair of vertices is approximated in O(N log N) with the concurrent
+// quadtree, attraction acts along edges (Fruchterman–Reingold style), and
+// the result is rendered as ASCII. Clusters should visibly separate.
+//
+// Usage:
+//
+//	go run ./examples/layout [-nodes 1200] [-clusters 4] [-iters 150]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"nbody/internal/par"
+	"nbody/internal/quadtree"
+	"nbody/internal/rng"
+)
+
+type edge struct{ a, b int32 }
+
+func main() {
+	nodes := flag.Int("nodes", 1200, "number of graph vertices")
+	clusters := flag.Int("clusters", 4, "number of planted clusters")
+	iters := flag.Int("iters", 150, "layout iterations")
+	theta := flag.Float64("theta", 0.7, "Barnes-Hut opening threshold")
+	flag.Parse()
+
+	src := rng.New(7)
+	n := *nodes
+	k := *clusters
+
+	// Planted-partition graph: dense within clusters, sparse across.
+	membership := make([]int, n)
+	for i := range membership {
+		membership[i] = i % k
+	}
+	var edges []edge
+	for i := 0; i < n; i++ {
+		for tries := 0; tries < 6; tries++ {
+			j := src.Intn(n)
+			if j == i {
+				continue
+			}
+			sameCluster := membership[i] == membership[j]
+			if sameCluster || src.Float64() < 0.02 {
+				edges = append(edges, edge{int32(i), int32(j)})
+			}
+		}
+	}
+
+	// Random initial positions; unit weights.
+	x := make([]float64, n)
+	y := make([]float64, n)
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = src.Range(-1, 1)
+		y[i] = src.Range(-1, 1)
+		w[i] = 1
+	}
+
+	rt := par.NewRuntime(0, par.Dynamic)
+	tree := quadtree.New(0)
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+
+	area := 4.0
+	kOpt := math.Sqrt(area / float64(n)) // FR optimal pair distance
+	repulse := func(r2 float64) float64 { return kOpt * kOpt / (r2 + 1e-9) }
+
+	for it := 0; it < *iters; it++ {
+		// O(N log N) all-pairs repulsion via the quadtree.
+		if err := tree.Build(rt, x, y, w); err != nil {
+			log.Fatal(err)
+		}
+		tree.Forces(rt, par.ParUnseq, repulse, *theta, fx, fy)
+
+		// Attraction along edges.
+		for _, e := range edges {
+			dx := x[e.a] - x[e.b]
+			dy := y[e.a] - y[e.b]
+			d := math.Hypot(dx, dy) + 1e-12
+			f := d / kOpt // FR attraction magnitude per unit vector
+			fx[e.a] -= f * dx / d * kOpt
+			fy[e.a] -= f * dy / d * kOpt
+			fx[e.b] += f * dx / d * kOpt
+			fy[e.b] += f * dy / d * kOpt
+		}
+
+		// Cooled displacement step.
+		temp := 0.1 * (1 - float64(it)/float64(*iters))
+		for i := 0; i < n; i++ {
+			d := math.Hypot(fx[i], fy[i])
+			if d == 0 {
+				continue
+			}
+			step := math.Min(d, temp)
+			x[i] += fx[i] / d * step
+			y[i] += fy[i] / d * step
+		}
+	}
+
+	fmt.Printf("layout of %d vertices, %d edges, %d clusters after %d iterations\n\n",
+		n, len(edges), k, *iters)
+	render(x, y, membership)
+	fmt.Println("\n(each digit marks the densest cluster in that cell — clusters should occupy distinct regions)")
+	fmt.Printf("cluster separation score: %.2f (1.0 = perfectly separated centroids)\n", separation(x, y, membership, k))
+}
+
+// render draws the embedding, labelling each cell with its dominant cluster.
+func render(x, y []float64, membership []int) {
+	const w, h = 72, 24
+	minX, maxX := minMax(x)
+	minY, maxY := minMax(y)
+	pad := 1e-9
+	var counts [h][w]map[int]int
+
+	for i := range x {
+		gx := int((x[i] - minX) / (maxX - minX + pad) * (w - 1))
+		gy := int((y[i] - minY) / (maxY - minY + pad) * (h - 1))
+		if counts[gy][gx] == nil {
+			counts[gy][gx] = map[int]int{}
+		}
+		counts[gy][gx][membership[i]]++
+	}
+
+	var sb strings.Builder
+	for row := h - 1; row >= 0; row-- {
+		for col := 0; col < w; col++ {
+			cell := counts[row][col]
+			if len(cell) == 0 {
+				sb.WriteByte(' ')
+				continue
+			}
+			bestC, bestN := 0, 0
+			for c, cnt := range cell {
+				if cnt > bestN {
+					bestC, bestN = c, cnt
+				}
+			}
+			sb.WriteByte(byte('0' + bestC%10))
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Print(sb.String())
+}
+
+// separation scores how far apart cluster centroids are relative to the
+// average within-cluster spread.
+func separation(x, y []float64, membership []int, k int) float64 {
+	cx := make([]float64, k)
+	cy := make([]float64, k)
+	cnt := make([]float64, k)
+	for i := range x {
+		c := membership[i]
+		cx[c] += x[i]
+		cy[c] += y[i]
+		cnt[c]++
+	}
+	for c := 0; c < k; c++ {
+		if cnt[c] > 0 {
+			cx[c] /= cnt[c]
+			cy[c] /= cnt[c]
+		}
+	}
+	var spread float64
+	for i := range x {
+		c := membership[i]
+		spread += math.Hypot(x[i]-cx[c], y[i]-cy[c])
+	}
+	spread /= float64(len(x))
+
+	var between float64
+	pairs := 0
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			between += math.Hypot(cx[a]-cx[b], cy[a]-cy[b])
+			pairs++
+		}
+	}
+	if pairs == 0 || spread == 0 {
+		return 0
+	}
+	return between / float64(pairs) / (spread * 2)
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return
+}

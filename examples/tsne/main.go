@@ -1,0 +1,138 @@
+// Barnes-Hut-SNE: the machine-learning application the paper's
+// introduction names as the modern motivation for Barnes-Hut ("more
+// recently for high-dimensional data visualisation in machine learning").
+//
+// The example embeds a synthetic high-dimensional dataset of Gaussian
+// clusters into 2D with t-SNE, approximating the O(N²) repulsive gradient
+// with the concurrent quadtree (the structure of the paper's Figure 1),
+// then renders the embedding as ASCII and reports 1-NN purity.
+//
+// Usage:
+//
+//	go run ./examples/tsne [-n 900] [-dim 16] [-clusters 6] [-iters 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strings"
+	"time"
+
+	"nbody/internal/rng"
+	"nbody/internal/tsne"
+)
+
+func main() {
+	n := flag.Int("n", 900, "number of points")
+	dim := flag.Int("dim", 16, "input dimensionality")
+	clusters := flag.Int("clusters", 6, "planted Gaussian clusters")
+	iters := flag.Int("iters", 300, "gradient iterations")
+	theta := flag.Float64("theta", 0.5, "Barnes-Hut opening threshold (0 = exact)")
+	perplexity := flag.Float64("perplexity", 25, "t-SNE perplexity")
+	flag.Parse()
+
+	// Synthetic data: k Gaussian blobs in dim dimensions.
+	src := rng.New(42)
+	centers := make([][]float64, *clusters)
+	for c := range centers {
+		centers[c] = make([]float64, *dim)
+		for t := range centers[c] {
+			centers[c][t] = src.Range(-25, 25)
+		}
+	}
+	x := make([][]float64, *n)
+	labels := make([]int, *n)
+	for i := 0; i < *n; i++ {
+		c := i % *clusters
+		labels[i] = c
+		x[i] = make([]float64, *dim)
+		for t := range x[i] {
+			x[i][t] = centers[c][t] + src.Norm()
+		}
+	}
+
+	fmt.Printf("Barnes-Hut-SNE: %d points, %d dims, %d clusters, θ=%g, perplexity=%g\n",
+		*n, *dim, *clusters, *theta, *perplexity)
+
+	start := time.Now()
+	y1, y2, err := tsne.Embed(x, tsne.Config{
+		Perplexity: *perplexity,
+		Iters:      *iters,
+		Theta:      *theta,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("embedded in %v (%d iterations)\n\n", time.Since(start).Round(time.Millisecond), *iters)
+
+	render(y1, y2, labels)
+
+	// 1-NN purity in the embedding.
+	correct := 0
+	for i := 0; i < *n; i++ {
+		best, bestD := -1, math.Inf(1)
+		for j := 0; j < *n; j++ {
+			if j == i {
+				continue
+			}
+			d := (y1[i]-y1[j])*(y1[i]-y1[j]) + (y2[i]-y2[j])*(y2[i]-y2[j])
+			if d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if labels[best] == labels[i] {
+			correct++
+		}
+	}
+	fmt.Printf("\n1-NN purity: %.1f%% (higher is better; random ≈ %.1f%%)\n",
+		100*float64(correct)/float64(*n), 100/float64(*clusters))
+}
+
+// render draws the embedding with each cell labelled by its dominant
+// cluster digit.
+func render(y1, y2 []float64, labels []int) {
+	const w, h = 76, 26
+	lo1, hi1 := minMax(y1)
+	lo2, hi2 := minMax(y2)
+	pad := 1e-9
+	var counts [h][w]map[int]int
+	for i := range y1 {
+		gx := int((y1[i] - lo1) / (hi1 - lo1 + pad) * (w - 1))
+		gy := int((y2[i] - lo2) / (hi2 - lo2 + pad) * (h - 1))
+		if counts[gy][gx] == nil {
+			counts[gy][gx] = map[int]int{}
+		}
+		counts[gy][gx][labels[i]]++
+	}
+	var sb strings.Builder
+	for row := h - 1; row >= 0; row-- {
+		for col := 0; col < w; col++ {
+			cell := counts[row][col]
+			if len(cell) == 0 {
+				sb.WriteByte(' ')
+				continue
+			}
+			bestC, bestN := 0, 0
+			for c, cnt := range cell {
+				if cnt > bestN {
+					bestC, bestN = c, cnt
+				}
+			}
+			sb.WriteByte(byte('0' + bestC%10))
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Print(sb.String())
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return
+}

@@ -1,0 +1,251 @@
+package body
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nbody/internal/par"
+	"nbody/internal/rng"
+	"nbody/internal/vec"
+)
+
+func TestNewSystem(t *testing.T) {
+	s := NewSystem(5)
+	if s.N() != 5 {
+		t.Errorf("N = %d", s.N())
+	}
+	for _, arr := range [][]float64{s.Mass, s.PosX, s.VelY, s.AccZ} {
+		if len(arr) != 5 {
+			t.Errorf("array length %d", len(arr))
+		}
+	}
+}
+
+func TestNewSystemNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSystem(-1) did not panic")
+		}
+	}()
+	NewSystem(-1)
+}
+
+func TestAccessors(t *testing.T) {
+	s := NewSystem(3)
+	s.Set(1, 2.5, vec.New(1, 2, 3), vec.New(4, 5, 6))
+	s.SetAcc(1, vec.New(7, 8, 9))
+	if s.Mass[1] != 2.5 {
+		t.Errorf("Mass = %v", s.Mass[1])
+	}
+	if s.Pos(1) != vec.New(1, 2, 3) {
+		t.Errorf("Pos = %v", s.Pos(1))
+	}
+	if s.Vel(1) != vec.New(4, 5, 6) {
+		t.Errorf("Vel = %v", s.Vel(1))
+	}
+	if s.Acc(1) != vec.New(7, 8, 9) {
+		t.Errorf("Acc = %v", s.Acc(1))
+	}
+	s.SetPos(1, vec.New(-1, -2, -3))
+	s.SetVel(1, vec.New(-4, -5, -6))
+	if s.Pos(1) != vec.New(-1, -2, -3) || s.Vel(1) != vec.New(-4, -5, -6) {
+		t.Error("SetPos/SetVel failed")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := NewSystem(2)
+	s.Set(0, 1, vec.New(1, 1, 1), vec.New(2, 2, 2))
+	c := s.Clone()
+	c.Mass[0] = 99
+	c.PosX[0] = 99
+	if s.Mass[0] != 1 || s.PosX[0] != 1 {
+		t.Error("Clone aliases original storage")
+	}
+}
+
+func TestTotalMass(t *testing.T) {
+	s := NewSystem(4)
+	for i := range s.Mass {
+		s.Mass[i] = float64(i + 1)
+	}
+	if got := s.TotalMass(); got != 10 {
+		t.Errorf("TotalMass = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := NewSystem(3)
+	for i := 0; i < 3; i++ {
+		s.Set(i, 1, vec.New(float64(i), 0, 0), vec.Zero)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid system rejected: %v", err)
+	}
+
+	bad := s.Clone()
+	bad.Mass[1] = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative mass accepted")
+	}
+
+	bad = s.Clone()
+	bad.PosY[2] = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN position accepted")
+	}
+
+	bad = s.Clone()
+	bad.VelZ[0] = math.Inf(1)
+	if err := bad.Validate(); err == nil {
+		t.Error("Inf velocity accepted")
+	}
+
+	bad = s.Clone()
+	bad.Mass[0] = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN mass accepted")
+	}
+}
+
+func TestPermute(t *testing.T) {
+	n := 100
+	s := NewSystem(n)
+	for i := 0; i < n; i++ {
+		s.Set(i, float64(i), vec.New(float64(i), float64(2*i), float64(3*i)), vec.New(float64(-i), 0, 0))
+		s.SetAcc(i, vec.New(0, float64(i), 0))
+	}
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(n - 1 - i) // reversal
+	}
+	s.Permute(par.NewRuntime(4, par.Dynamic), par.ParUnseq, perm)
+	for i := 0; i < n; i++ {
+		j := n - 1 - i
+		if s.Mass[i] != float64(j) {
+			t.Fatalf("Mass[%d] = %v, want %v", i, s.Mass[i], float64(j))
+		}
+		if s.Pos(i) != vec.New(float64(j), float64(2*j), float64(3*j)) {
+			t.Fatalf("Pos[%d] = %v", i, s.Pos(i))
+		}
+		if s.Vel(i) != vec.New(float64(-j), 0, 0) {
+			t.Fatalf("Vel[%d] = %v", i, s.Vel(i))
+		}
+		if s.Acc(i) != vec.New(0, float64(j), 0) {
+			t.Fatalf("Acc[%d] = %v", i, s.Acc(i))
+		}
+	}
+}
+
+func TestPermuteWrongLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched permutation did not panic")
+		}
+	}()
+	NewSystem(3).Permute(par.NewRuntime(1, par.Dynamic), par.Seq, []int32{0, 1})
+}
+
+func TestPermuteRepeated(t *testing.T) {
+	// Applying a random permutation and then its inverse must restore the
+	// original ordering; exercises the scratch-buffer swap logic.
+	n := 1000
+	s := NewSystem(n)
+	src := rng.New(5)
+	for i := 0; i < n; i++ {
+		s.Set(i, src.Float64()+0.1, vec.New(src.Norm(), src.Norm(), src.Norm()), vec.Zero)
+	}
+	orig := s.Clone()
+
+	permInts := src.Perm(n)
+	perm := make([]int32, n)
+	inv := make([]int32, n)
+	for i, v := range permInts {
+		perm[i] = int32(v)
+		inv[v] = int32(i)
+	}
+	r := par.NewRuntime(4, par.Dynamic)
+	s.Permute(r, par.ParUnseq, perm)
+	s.Permute(r, par.ParUnseq, inv)
+	for i := 0; i < n; i++ {
+		if s.Mass[i] != orig.Mass[i] || s.Pos(i) != orig.Pos(i) {
+			t.Fatalf("perm∘inv not identity at %d", i)
+		}
+	}
+}
+
+func TestPermuteTracksID(t *testing.T) {
+	n := 50
+	s := NewSystem(n)
+	for i := 0; i < n; i++ {
+		s.Set(i, 1, vec.New(float64(i), 0, 0), vec.Zero)
+	}
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32((i + 17) % n)
+	}
+	s.Permute(par.NewRuntime(4, par.Dynamic), par.ParUnseq, perm)
+	for i := 0; i < n; i++ {
+		// Slot i now holds original body perm[i]; ID must say so, and
+		// the position fingerprint must match.
+		if s.ID[i] != perm[i] {
+			t.Fatalf("ID[%d] = %d, want %d", i, s.ID[i], perm[i])
+		}
+		if s.PosX[i] != float64(perm[i]) {
+			t.Fatalf("PosX[%d] = %v", i, s.PosX[i])
+		}
+	}
+}
+
+func TestMomentumAndCenterOfMass(t *testing.T) {
+	s := NewSystem(2)
+	s.Set(0, 1, vec.New(0, 0, 0), vec.New(1, 0, 0))
+	s.Set(1, 3, vec.New(4, 0, 0), vec.New(-1, 0, 0))
+	if got := s.Momentum(); got != vec.New(-2, 0, 0) {
+		t.Errorf("Momentum = %v", got)
+	}
+	if got := s.CenterOfMass(); got != vec.New(3, 0, 0) {
+		t.Errorf("CenterOfMass = %v", got)
+	}
+	if got := NewSystem(0).CenterOfMass(); got != vec.Zero {
+		t.Errorf("empty CenterOfMass = %v", got)
+	}
+}
+
+func TestKineticEnergy(t *testing.T) {
+	s := NewSystem(2)
+	s.Set(0, 2, vec.Zero, vec.New(3, 0, 0)) // ½·2·9 = 9
+	s.Set(1, 1, vec.Zero, vec.New(0, 4, 0)) // ½·1·16 = 8
+	if got := s.KineticEnergy(); got != 17 {
+		t.Errorf("KineticEnergy = %v", got)
+	}
+}
+
+// Property: Permute preserves the multiset of masses for any permutation.
+func TestPropPermutePreservesMultiset(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		src := rng.New(seed)
+		s := NewSystem(n)
+		sumBefore := 0.0
+		for i := 0; i < n; i++ {
+			s.Mass[i] = src.Float64()
+			sumBefore += s.Mass[i]
+		}
+		permInts := src.Perm(n)
+		perm := make([]int32, n)
+		for i, v := range permInts {
+			perm[i] = int32(v)
+		}
+		s.Permute(par.NewRuntime(2, par.Static), par.ParUnseq, perm)
+		sumAfter := 0.0
+		for i := 0; i < n; i++ {
+			sumAfter += s.Mass[i]
+		}
+		return math.Abs(sumBefore-sumAfter) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

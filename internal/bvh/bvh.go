@@ -1,0 +1,395 @@
+// Package bvh implements the paper's Hilbert-sorted Bounding Volume
+// Hierarchy strategy (Section IV-B): bodies are sorted along a Hilbert
+// space-filling curve, then a *balanced* binary BVH is built bottom-up,
+// level by level, computing bounding boxes and multipole moments in the
+// same sweep (BUILDTREEANDMULTIPOLES). Every step needs only weakly
+// parallel forward progress, so the whole strategy runs under par_unseq —
+// this is the variant that works on GPUs without Independent Thread
+// Scheduling, and the reason the paper develops it.
+//
+// The tree is stored as an implicit binary heap: node 1 is the root, node i
+// has children 2i and 2i+1, and the leaves occupy [numLeaves, 2·numLeaves).
+// The number of levels, nodes per level, and total nodes are all
+// predetermined by N, so no connectivity needs to be stored, and the
+// structure acts as a skip list during traversal: finishing the subtree of
+// node i continues at i+1 (if i is a left child) or at the first
+// right-sibling found while climbing — a jump across multiple levels
+// without revisiting interior nodes.
+//
+// Because bodies are permuted into curve order, each leaf covers a
+// contiguous body range, and sibling subtrees cover adjacent runs of the
+// curve. Node bounding boxes may overlap and be elongated (Figure 4), which
+// is why the opening criterion measures the node's *box* extent — the
+// paper's note that θ means something slightly different here than in the
+// octree.
+package bvh
+
+import (
+	"fmt"
+	"math"
+
+	"nbody/internal/body"
+	"nbody/internal/bounds"
+	"nbody/internal/par"
+	"nbody/internal/sfc"
+	"nbody/internal/vec"
+)
+
+// Ordering selects the space-filling curve used to sort the bodies.
+type Ordering uint8
+
+const (
+	// Hilbert ordering (the paper's choice): consecutive cells are always
+	// face neighbours, giving the most compact leaf runs.
+	Hilbert Ordering = iota
+	// Morton ordering (the Lauterbach-style ablation): cheaper keys but
+	// with locality jumps at octant boundaries.
+	Morton
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case Hilbert:
+		return "hilbert"
+	case Morton:
+		return "morton"
+	}
+	return fmt.Sprintf("Ordering(%d)", uint8(o))
+}
+
+// Criterion selects how the traversal decides whether a node is far enough
+// to approximate — the knob behind the paper's observation that θ means
+// something different for the BVH than for the octree, because BVH boxes
+// may be elongated and overlap.
+type Criterion uint8
+
+const (
+	// CenterDistance (default, matching the paper): approximate when
+	// boxExtent < θ·|com − body|. Cheap, but for elongated boxes the
+	// center of mass can be far from the nearest box face.
+	CenterDistance Criterion = iota
+	// BoxDistance: approximate when boxExtent < θ·dist(body, box), the
+	// conservative variant measuring the true distance to the box.
+	// Strictly more accurate for the same θ, at the cost of the
+	// box-distance computation per visited node.
+	BoxDistance
+)
+
+// String implements fmt.Stringer.
+func (c Criterion) String() string {
+	switch c {
+	case CenterDistance:
+		return "center-distance"
+	case BoxDistance:
+		return "box-distance"
+	}
+	return fmt.Sprintf("Criterion(%d)", uint8(c))
+}
+
+// Config selects the BVH variants exercised by the ablation benchmarks.
+type Config struct {
+	// LeafSize is the number of bodies per leaf. The default (0) selects
+	// 1, the paper's granularity; larger leaves trade tree depth for
+	// more exact pairwise work.
+	LeafSize int
+	// Ordering selects Hilbert (default) or Morton body ordering.
+	Ordering Ordering
+	// Order is the space-filling-curve grid resolution in bits per
+	// dimension (the "coarsest equidistant Cartesian grid capable to
+	// hold all bodies" is 2^Order per side). The default (0) selects
+	// sfc.MaxOrder3D = 21, the finest resolution a 64-bit key allows.
+	Order uint
+	// Criterion selects the opening test (default CenterDistance, the
+	// paper's).
+	Criterion Criterion
+}
+
+// Tree is a Hilbert-sorted BVH. A Tree is reusable across timesteps; Build
+// resets and repopulates it. The zero value is not usable; call New.
+type Tree struct {
+	cfg Config
+
+	numLeaves int // power of two
+	levels    int // numLeaves == 1 << (levels-1)
+	n         int // bodies covered by the last Build
+
+	// Per-node arrays in heap layout, indexed 1..2·numLeaves-1 (index 0
+	// unused).
+	minX, minY, minZ []float64
+	maxX, maxY, maxZ []float64
+	m                []float64
+	comX, comY, comZ []float64
+	count            []int32
+
+	// Sort scratch.
+	keys []uint64
+	perm []int32
+}
+
+// New returns an empty tree with the given configuration.
+func New(cfg Config) *Tree {
+	if cfg.LeafSize <= 0 {
+		cfg.LeafSize = 1
+	}
+	if cfg.Order == 0 || cfg.Order > sfc.MaxOrder3D {
+		cfg.Order = sfc.MaxOrder3D
+	}
+	return &Tree{cfg: cfg}
+}
+
+// Config returns the tree's configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// NumLeaves returns the number of leaf slots (a power of two) after Build.
+func (t *Tree) NumLeaves() int { return t.numLeaves }
+
+// Levels returns the number of tree levels after Build (1 for a single
+// leaf-root).
+func (t *Tree) Levels() int { return t.levels }
+
+// NumNodes returns the number of heap slots after Build (2·NumLeaves,
+// including the unused slot 0).
+func (t *Tree) NumNodes() int { return 2 * t.numLeaves }
+
+// Build runs the full strategy of Algorithm 6 for the bodies of s with
+// bounding box `box`: HILBERTSORT (which permutes the bodies of s into
+// curve order — callers that track body identity must account for this)
+// followed by BUILDTREEANDMULTIPOLES. All phases use the pol execution
+// policy; the paper runs them under par_unseq.
+func (t *Tree) Build(r *par.Runtime, pol par.Policy, s *body.System, box bounds.AABB) {
+	t.Sort(r, pol, s, box)
+	t.buildLevels(r, pol, s)
+}
+
+// BuildNoSort rebuilds boxes and moments for the bodies in their current
+// order, skipping the sort. This implements the tree-reuse approximation of
+// Iwasawa et al. discussed in the paper's related work: the curve order
+// (and hence the leaf assignment) goes stale as bodies move, but boxes and
+// moments stay exact, so the force calculation remains correct — only leaf
+// compactness degrades until the next full Build.
+func (t *Tree) BuildNoSort(r *par.Runtime, pol par.Policy, s *body.System) {
+	t.buildLevels(r, pol, s)
+}
+
+// Sort implements HILBERTSORT (Algorithm 7): grid the bodies on the
+// coarsest Cartesian grid covering box, compute each body's curve index
+// (precomputed once, as the paper notes), sort a permutation by key, and
+// apply it to the body arrays. Exposed separately from Build so the
+// harness can time the sort phase on its own (Figure 8).
+func (t *Tree) Sort(r *par.Runtime, pol par.Policy, s *body.System, box bounds.AABB) {
+	n := s.N()
+	if len(t.keys) < n {
+		t.keys = make([]uint64, n)
+		t.perm = make([]int32, n)
+	}
+	keys := t.keys[:n]
+	perm := t.perm[:n]
+
+	order := t.cfg.Order
+	side := float64(uint64(1) << order)
+	cube := box.Cube()
+	origin := cube.Min
+	ext := cube.MaxExtent()
+	inv := 0.0
+	if ext > 0 {
+		inv = side / ext
+	}
+	maxCoord := uint32(1)<<order - 1
+
+	posX, posY, posZ := s.PosX, s.PosY, s.PosZ
+	ordering := t.cfg.Ordering
+	r.ForGrain(pol, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gx := gridCoord(posX[i], origin.X, inv, maxCoord)
+			gy := gridCoord(posY[i], origin.Y, inv, maxCoord)
+			gz := gridCoord(posZ[i], origin.Z, inv, maxCoord)
+			if ordering == Hilbert {
+				keys[i] = sfc.HilbertIndex3D(gx, gy, gz, order)
+			} else {
+				keys[i] = sfc.MortonIndex3D(gx, gy, gz)
+			}
+			perm[i] = int32(i)
+		}
+	})
+
+	par.SortByKeys(r, pol, keys, perm)
+	s.Permute(r, pol, perm)
+}
+
+// gridCoord maps a position component to a grid cell index, clamped to the
+// valid range (positions exactly on the upper box face land in the last
+// cell).
+func gridCoord(p, origin, inv float64, maxCoord uint32) uint32 {
+	v := (p - origin) * inv
+	if v <= 0 {
+		return 0
+	}
+	g := uint32(v)
+	if g > maxCoord {
+		return maxCoord
+	}
+	return g
+}
+
+// buildLevels implements BUILDTREEANDMULTIPOLES: construct the leaf nodes
+// from (curve-ordered) bodies, then reduce pairs of children level by level
+// up to the root. The reductions at each node of a level are independent,
+// so each level is a single par_unseq Parallel For (with an implicit
+// barrier between levels, matching the paper).
+func (t *Tree) buildLevels(r *par.Runtime, pol par.Policy, s *body.System) {
+	n := s.N()
+	t.n = n
+	leafSize := t.cfg.LeafSize
+
+	// Predetermine the balanced shape.
+	wantLeaves := (n + leafSize - 1) / leafSize
+	numLeaves := 1
+	levels := 1
+	for numLeaves < wantLeaves {
+		numLeaves *= 2
+		levels++
+	}
+	if t.numLeaves != numLeaves || len(t.m) == 0 {
+		t.numLeaves = numLeaves
+		t.levels = levels
+		nodes := 2 * numLeaves
+		t.minX = make([]float64, nodes)
+		t.minY = make([]float64, nodes)
+		t.minZ = make([]float64, nodes)
+		t.maxX = make([]float64, nodes)
+		t.maxY = make([]float64, nodes)
+		t.maxZ = make([]float64, nodes)
+		t.m = make([]float64, nodes)
+		t.comX = make([]float64, nodes)
+		t.comY = make([]float64, nodes)
+		t.comZ = make([]float64, nodes)
+		t.count = make([]int32, nodes)
+	}
+	t.levels = levels
+
+	mass := s.Mass
+	posX, posY, posZ := s.PosX, s.PosY, s.PosZ
+
+	// Leaf pass: leaf j (heap index numLeaves + j) covers bodies
+	// [j·leafSize, min(n, (j+1)·leafSize)).
+	r.ForGrain(pol, numLeaves, 0, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			node := numLeaves + j
+			b0 := j * leafSize
+			b1 := min(b0+leafSize, n)
+			if b0 >= n {
+				t.setEmpty(node)
+				continue
+			}
+			bmin := vec.Splat(math.Inf(1))
+			bmax := vec.Splat(math.Inf(-1))
+			var lm, lx, ly, lz float64
+			for b := b0; b < b1; b++ {
+				p := vec.V3{X: posX[b], Y: posY[b], Z: posZ[b]}
+				bmin = bmin.Min(p)
+				bmax = bmax.Max(p)
+				lm += mass[b]
+				lx += mass[b] * p.X
+				ly += mass[b] * p.Y
+				lz += mass[b] * p.Z
+			}
+			t.minX[node], t.minY[node], t.minZ[node] = bmin.X, bmin.Y, bmin.Z
+			t.maxX[node], t.maxY[node], t.maxZ[node] = bmax.X, bmax.Y, bmax.Z
+			t.m[node] = lm
+			if lm > 0 {
+				t.comX[node], t.comY[node], t.comZ[node] = lx/lm, ly/lm, lz/lm
+			} else {
+				c := bmin.Add(bmax).Scale(0.5)
+				t.comX[node], t.comY[node], t.comZ[node] = c.X, c.Y, c.Z
+			}
+			t.count[node] = int32(b1 - b0)
+		}
+	})
+
+	// Interior passes, one level at a time toward the root.
+	for width := numLeaves / 2; width >= 1; width /= 2 {
+		first := width // nodes [width, 2·width) form this level
+		r.ForGrain(pol, width, 0, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				node := first + k
+				l, rgt := 2*node, 2*node+1
+				cl, cr := t.count[l], t.count[rgt]
+				t.count[node] = cl + cr
+				switch {
+				case cl == 0 && cr == 0:
+					t.setEmpty(node)
+					continue
+				case cr == 0:
+					t.copyNode(node, l)
+					continue
+				case cl == 0:
+					t.copyNode(node, rgt)
+					continue
+				}
+				t.minX[node] = math.Min(t.minX[l], t.minX[rgt])
+				t.minY[node] = math.Min(t.minY[l], t.minY[rgt])
+				t.minZ[node] = math.Min(t.minZ[l], t.minZ[rgt])
+				t.maxX[node] = math.Max(t.maxX[l], t.maxX[rgt])
+				t.maxY[node] = math.Max(t.maxY[l], t.maxY[rgt])
+				t.maxZ[node] = math.Max(t.maxZ[l], t.maxZ[rgt])
+				lm := t.m[l] + t.m[rgt]
+				t.m[node] = lm
+				if lm > 0 {
+					t.comX[node] = (t.m[l]*t.comX[l] + t.m[rgt]*t.comX[rgt]) / lm
+					t.comY[node] = (t.m[l]*t.comY[l] + t.m[rgt]*t.comY[rgt]) / lm
+					t.comZ[node] = (t.m[l]*t.comZ[l] + t.m[rgt]*t.comZ[rgt]) / lm
+				} else {
+					t.comX[node] = 0.5 * (t.minX[node] + t.maxX[node])
+					t.comY[node] = 0.5 * (t.minY[node] + t.maxY[node])
+					t.comZ[node] = 0.5 * (t.minZ[node] + t.maxZ[node])
+				}
+			}
+		})
+		// The ForGrain return is the level barrier: the next coarser
+		// level reads only fully-written children.
+	}
+}
+
+func (t *Tree) setEmpty(node int) {
+	t.minX[node], t.minY[node], t.minZ[node] = math.Inf(1), math.Inf(1), math.Inf(1)
+	t.maxX[node], t.maxY[node], t.maxZ[node] = math.Inf(-1), math.Inf(-1), math.Inf(-1)
+	t.m[node] = 0
+	t.comX[node], t.comY[node], t.comZ[node] = 0, 0, 0
+	t.count[node] = 0
+}
+
+func (t *Tree) copyNode(dst, src int) {
+	t.minX[dst], t.minY[dst], t.minZ[dst] = t.minX[src], t.minY[src], t.minZ[src]
+	t.maxX[dst], t.maxY[dst], t.maxZ[dst] = t.maxX[src], t.maxY[src], t.maxZ[src]
+	t.m[dst] = t.m[src]
+	t.comX[dst], t.comY[dst], t.comZ[dst] = t.comX[src], t.comY[src], t.comZ[src]
+}
+
+// TotalMass returns the root's mass after Build.
+func (t *Tree) TotalMass() float64 { return t.m[1] }
+
+// CenterOfMass returns the root's center of mass after Build.
+func (t *Tree) CenterOfMass() (x, y, z float64) { return t.comX[1], t.comY[1], t.comZ[1] }
+
+// NodeBox returns node i's bounding box (heap index). Exposed for tests.
+func (t *Tree) NodeBox(i int) bounds.AABB {
+	return bounds.AABB{
+		Min: vec.V3{X: t.minX[i], Y: t.minY[i], Z: t.minZ[i]},
+		Max: vec.V3{X: t.maxX[i], Y: t.maxY[i], Z: t.maxZ[i]},
+	}
+}
+
+// NodeCount returns the number of bodies under node i. Exposed for tests.
+func (t *Tree) NodeCount(i int) int { return int(t.count[i]) }
+
+// LeafRange returns the body index range [lo, hi) covered by leaf j in
+// [0, NumLeaves). Exposed for tests.
+func (t *Tree) LeafRange(j int) (lo, hi int) {
+	lo = j * t.cfg.LeafSize
+	hi = min(lo+t.cfg.LeafSize, t.n)
+	if lo > t.n {
+		lo = t.n
+	}
+	return lo, hi
+}

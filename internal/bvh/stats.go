@@ -1,0 +1,86 @@
+package bvh
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stats summarizes the quality of a built BVH — the quantities that explain
+// the ordering ablation (Hilbert vs Morton) and the paper's box-overlap
+// discussion: how elongated the node boxes are and how much siblings
+// overlap, both of which degrade the effective accuracy of a given θ.
+type Stats struct {
+	Bodies           int
+	Leaves           int // occupied leaves
+	Levels           int
+	MeanLeafDiagonal float64 // mean diagonal of occupied multi-body leaf boxes
+	MeanElongation   float64 // mean (longest edge / shortest edge) over occupied interior boxes
+	SiblingOverlap   float64 // fraction of sibling pairs whose boxes overlap
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("bvh{bodies: %d, leaves: %d, levels: %d, leafDiag: %.4g, elongation: %.3g, overlap: %.1f%%}",
+		s.Bodies, s.Leaves, s.Levels, s.MeanLeafDiagonal, s.MeanElongation, 100*s.SiblingOverlap)
+}
+
+// Stats walks the tree and returns quality statistics.
+func (t *Tree) Stats() Stats {
+	st := Stats{Bodies: t.n, Levels: t.levels}
+
+	var diagSum float64
+	diagCount := 0
+	for j := 0; j < t.numLeaves; j++ {
+		node := t.numLeaves + j
+		if t.count[node] == 0 {
+			continue
+		}
+		st.Leaves++
+		if t.count[node] > 1 {
+			diagSum += t.NodeBox(node).Diagonal()
+			diagCount++
+		}
+	}
+	if diagCount > 0 {
+		st.MeanLeafDiagonal = diagSum / float64(diagCount)
+	}
+
+	var elongSum float64
+	elongCount := 0
+	overlapping, pairs := 0, 0
+	for node := 1; node < t.numLeaves; node++ {
+		if t.count[node] == 0 {
+			continue
+		}
+		ex := t.maxX[node] - t.minX[node]
+		ey := t.maxY[node] - t.minY[node]
+		ez := t.maxZ[node] - t.minZ[node]
+		lo := math.Min(ex, math.Min(ey, ez))
+		hi := math.Max(ex, math.Max(ey, ez))
+		if lo > 0 {
+			elongSum += hi / lo
+			elongCount++
+		}
+		l, r := 2*node, 2*node+1
+		if t.count[l] > 0 && t.count[r] > 0 {
+			pairs++
+			if boxesOverlap(t, l, r) {
+				overlapping++
+			}
+		}
+	}
+	if elongCount > 0 {
+		st.MeanElongation = elongSum / float64(elongCount)
+	}
+	if pairs > 0 {
+		st.SiblingOverlap = float64(overlapping) / float64(pairs)
+	}
+	return st
+}
+
+// boxesOverlap reports whether nodes a and b have intersecting boxes.
+func boxesOverlap(t *Tree, a, b int) bool {
+	return t.minX[a] <= t.maxX[b] && t.minX[b] <= t.maxX[a] &&
+		t.minY[a] <= t.maxY[b] && t.minY[b] <= t.maxY[a] &&
+		t.minZ[a] <= t.maxZ[b] && t.minZ[b] <= t.maxZ[a]
+}

@@ -1,0 +1,415 @@
+// Package core is the simulation engine: it composes the substrates
+// (bounding box, tree construction, multipoles, force calculation, time
+// integration) into the five-step Barnes-Hut loop of the paper's
+// Algorithm 2 (Concurrent Octree) and Algorithm 6 (Hilbert BVH), records
+// per-phase timings, and exposes conservation diagnostics.
+//
+// Each algorithm runs its phases under the execution policies the paper
+// prescribes: the octree build and multipole reduction need par (they
+// synchronize between iterations), all remaining phases run under
+// par_unseq. A Sequential configuration replaces every policy with seq for
+// the paper's sequential-vs-parallel comparison (Figure 5).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nbody/internal/allpairs"
+	"nbody/internal/body"
+	"nbody/internal/bounds"
+	"nbody/internal/bvh"
+	"nbody/internal/grav"
+	"nbody/internal/integrator"
+	"nbody/internal/kdtree"
+	"nbody/internal/metrics"
+	"nbody/internal/octree"
+	"nbody/internal/par"
+	"nbody/internal/vec"
+)
+
+// Algorithm selects the force solver.
+type Algorithm int
+
+const (
+	// Octree is the paper's Concurrent Octree strategy (Section IV-A).
+	Octree Algorithm = iota
+	// BVH is the paper's Hilbert-sorted BVH strategy (Section IV-B).
+	BVH
+	// AllPairs is the classical O(N²) particle-particle baseline.
+	AllPairs
+	// AllPairsCol is the O(N²/2) pair-parallel baseline with atomic
+	// accumulation.
+	AllPairsCol
+	// KDTree is an extension beyond the paper: a median-split kd-tree —
+	// the third spatial decomposition Section IV lists — built with
+	// divide-and-conquer parallelism.
+	KDTree
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Octree:
+		return "octree"
+	case BVH:
+		return "bvh"
+	case AllPairs:
+		return "all-pairs"
+	case AllPairsCol:
+		return "all-pairs-col"
+	case KDTree:
+		return "kdtree"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Algorithms lists the solvers the paper evaluates, in the order its
+// figures plot them. The KDTree extension is excluded; use AllAlgorithms
+// to include it.
+func Algorithms() []Algorithm { return []Algorithm{AllPairs, AllPairsCol, Octree, BVH} }
+
+// AllAlgorithms lists every solver, including extensions beyond the paper.
+func AllAlgorithms() []Algorithm { return append(Algorithms(), KDTree) }
+
+// ParseAlgorithm converts a CLI name into an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range AllAlgorithms() {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q (want one of octree, bvh, all-pairs, all-pairs-col, kdtree)", name)
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Algorithm selects the force solver. Default: Octree.
+	Algorithm Algorithm
+	// Params are the physical/accuracy parameters (G, softening, θ).
+	// A zero value selects grav.DefaultParams().
+	Params grav.Params
+	// DT is the integration timestep (required, > 0).
+	DT float64
+	// Runtime is the parallel runtime to execute on. Default:
+	// par.Default().
+	Runtime *par.Runtime
+	// Sequential replaces every execution policy with seq — the paper's
+	// single-core baseline configuration.
+	Sequential bool
+	// RebuildEvery rebuilds the spatial structure from scratch every k
+	// steps (default 1 = every step). For k > 1, intermediate steps reuse
+	// the previous tree: the octree keeps its topology (refreshing
+	// multipoles), the BVH skips the Hilbert sort (refreshing boxes and
+	// moments, which stay exact). This is the tree-reuse approximation of
+	// Iwasawa et al. discussed in the paper's related work.
+	RebuildEvery int
+	// Octree configures the Concurrent Octree solver.
+	Octree octree.Config
+	// BVH configures the Hilbert BVH solver.
+	BVH bvh.Config
+	// KD configures the kd-tree solver.
+	KD kdtree.Config
+	// ValidateEvery, when positive, re-validates the body system every k
+	// steps and aborts the run with a descriptive error if any state has
+	// become non-finite — catching integration blow-ups (e.g. an
+	// unsoftened close encounter with too large a timestep) at the step
+	// they happen instead of producing NaN results silently.
+	ValidateEvery int
+}
+
+// Sim is a running simulation. Create one with New.
+type Sim struct {
+	cfg  Config
+	sys  *body.System
+	rt   *par.Runtime
+	pol  policies
+	tree *octree.Tree
+	hbvh *bvh.Tree
+	kd   *kdtree.Tree
+
+	breakdown metrics.Breakdown
+	step      int
+	haveAcc   bool
+	phiBuf    []float64
+}
+
+// policies bundles the per-phase execution policies.
+type policies struct {
+	reduce par.Policy // bounding box
+	build  par.Policy // tree construction (octree: par)
+	force  par.Policy
+	update par.Policy
+}
+
+// New validates cfg and sys and returns a ready simulation. The body system
+// is used in place (not copied); tree algorithms may permute its body order
+// during stepping.
+func New(cfg Config, sys *body.System) (*Sim, error) {
+	if sys == nil {
+		return nil, errors.New("core: nil system")
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid system: %w", err)
+	}
+	if cfg.Params == (grav.Params{}) {
+		cfg.Params = grav.DefaultParams()
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if !(cfg.DT > 0) || math.IsInf(cfg.DT, 0) {
+		return nil, fmt.Errorf("core: timestep %v must be positive and finite", cfg.DT)
+	}
+	if cfg.Runtime == nil {
+		cfg.Runtime = par.Default()
+	}
+	if cfg.RebuildEvery <= 0 {
+		cfg.RebuildEvery = 1
+	}
+
+	s := &Sim{cfg: cfg, sys: sys, rt: cfg.Runtime}
+	if cfg.Sequential {
+		s.rt = par.NewRuntime(1, cfg.Runtime.Scheduler())
+		s.pol = policies{par.Seq, par.Seq, par.Seq, par.Seq}
+	} else {
+		s.pol = policies{par.ParUnseq, par.Par, par.ParUnseq, par.ParUnseq}
+	}
+
+	switch cfg.Algorithm {
+	case Octree:
+		s.tree = octree.New(cfg.Octree)
+	case BVH:
+		s.hbvh = bvh.New(cfg.BVH)
+	case KDTree:
+		s.kd = kdtree.New(cfg.KD)
+	case AllPairs, AllPairsCol:
+		// no structure
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", cfg.Algorithm)
+	}
+	return s, nil
+}
+
+// System returns the simulated body system (shared, not a copy).
+func (s *Sim) System() *body.System { return s.sys }
+
+// StepCount returns the number of completed steps.
+func (s *Sim) StepCount() int { return s.step }
+
+// Breakdown returns the accumulated per-phase timings.
+func (s *Sim) Breakdown() *metrics.Breakdown { return &s.breakdown }
+
+// Config returns the simulation configuration (with defaults applied).
+func (s *Sim) Config() Config { return s.cfg }
+
+// Step advances the simulation by one timestep using kick-drift-kick
+// Störmer-Verlet integration around a full force recalculation.
+func (s *Sim) Step() error {
+	b := &s.breakdown
+
+	// The very first step needs accelerations at t₀ for the initial
+	// half-kick.
+	if !s.haveAcc {
+		if err := s.computeForces(true); err != nil {
+			return err
+		}
+		s.haveAcc = true
+	}
+
+	b.Time(metrics.PhaseUpdate, func() {
+		integrator.KickHalf(s.rt, s.pol.update, s.sys, s.cfg.DT)
+		integrator.Drift(s.rt, s.pol.update, s.sys, s.cfg.DT)
+	})
+
+	rebuild := s.step%s.cfg.RebuildEvery == 0
+	if err := s.computeForces(rebuild); err != nil {
+		return err
+	}
+
+	b.Time(metrics.PhaseUpdate, func() {
+		integrator.KickHalf(s.rt, s.pol.update, s.sys, s.cfg.DT)
+	})
+
+	s.step++
+	b.AddStep()
+
+	if k := s.cfg.ValidateEvery; k > 0 && s.step%k == 0 {
+		if err := s.sys.Validate(); err != nil {
+			return fmt.Errorf("core: state invalid after step %d (timestep too large or softening too small?): %w", s.step, err)
+		}
+	}
+	return nil
+}
+
+// Run advances the simulation by n steps.
+func (s *Sim) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.Step(); err != nil {
+			return fmt.Errorf("core: step %d: %w", s.step, err)
+		}
+	}
+	return nil
+}
+
+// computeForces refreshes s.sys.Acc with the configured algorithm,
+// recording per-phase timings. rebuild selects a full structure rebuild
+// versus the tree-reuse fast path.
+func (s *Sim) computeForces(rebuild bool) error {
+	b := &s.breakdown
+	p := s.cfg.Params
+
+	switch s.cfg.Algorithm {
+	case AllPairs:
+		b.Time(metrics.PhaseForce, func() {
+			allpairs.AllPairs(s.rt, s.pol.force, s.sys, p)
+		})
+		return nil
+
+	case AllPairsCol:
+		b.Time(metrics.PhaseForce, func() {
+			// Pair-parallel accumulation synchronizes through atomics
+			// and therefore runs under par (the paper's requirement).
+			pol := par.Par
+			if s.cfg.Sequential {
+				pol = par.Seq
+			}
+			allpairs.AllPairsCol(s.rt, pol, s.sys, p)
+		})
+		return nil
+
+	case Octree:
+		var box bounds.AABB
+		if rebuild {
+			b.Time(metrics.PhaseBoundingBox, func() {
+				box = bounds.OfPositions(s.rt, s.pol.reduce, s.sys.PosX, s.sys.PosY, s.sys.PosZ)
+			})
+			var err error
+			b.Time(metrics.PhaseBuild, func() {
+				err = s.tree.Build(s.rt, s.sys, box)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		b.Time(metrics.PhaseMultipoles, func() {
+			s.tree.ComputeMoments(s.rt, s.sys)
+		})
+		b.Time(metrics.PhaseForce, func() {
+			if gs := s.cfg.Octree.GroupSize; gs > 0 {
+				s.tree.AccelerationsGrouped(s.rt, s.pol.force, s.sys, p, gs)
+			} else {
+				s.tree.Accelerations(s.rt, s.pol.force, s.sys, p)
+			}
+		})
+		return nil
+
+	case BVH:
+		var box bounds.AABB
+		if rebuild {
+			b.Time(metrics.PhaseBoundingBox, func() {
+				box = bounds.OfPositions(s.rt, s.pol.reduce, s.sys.PosX, s.sys.PosY, s.sys.PosZ)
+			})
+			b.Time(metrics.PhaseSort, func() {
+				s.hbvh.Sort(s.rt, s.pol.build, s.sys, box)
+			})
+		}
+		b.Time(metrics.PhaseBuild, func() {
+			s.hbvh.BuildNoSort(s.rt, s.pol.build, s.sys)
+		})
+		b.Time(metrics.PhaseForce, func() {
+			s.hbvh.Accelerations(s.rt, s.pol.force, s.sys, p)
+		})
+		return nil
+
+	case KDTree:
+		// The kd-tree build fuses partitioning, boxes and moments; on
+		// reuse steps, boxes and moments must still be refreshed, which
+		// for this structure means a full rebuild — RebuildEvery is a
+		// no-op here by design.
+		b.Time(metrics.PhaseBuild, func() {
+			s.kd.Build(s.rt, s.sys)
+		})
+		b.Time(metrics.PhaseForce, func() {
+			if s.cfg.KD.Dual {
+				s.kd.DualAccelerations(s.rt, s.sys, p)
+			} else {
+				s.kd.Accelerations(s.rt, s.pol.force, s.sys, p)
+			}
+		})
+		return nil
+	}
+	return fmt.Errorf("core: unknown algorithm %v", s.cfg.Algorithm)
+}
+
+// Diagnostics are conservation quantities for validating a run.
+type Diagnostics struct {
+	Mass          float64
+	Momentum      vec.V3
+	KineticEnergy float64
+	Potential     float64
+	TotalEnergy   float64
+}
+
+// Diagnostics computes conservation diagnostics. When exact is true the
+// potential is the O(N²) pairwise sum; otherwise it is approximated with a
+// tree traversal at the configured θ, which is what large-N runs should
+// use.
+func (s *Sim) Diagnostics(exact bool) Diagnostics {
+	d := Diagnostics{
+		Mass:          s.sys.TotalMass(),
+		Momentum:      s.sys.Momentum(),
+		KineticEnergy: s.sys.KineticEnergy(),
+	}
+	d.Potential = s.potentialEnergy(exact)
+	d.TotalEnergy = d.KineticEnergy + d.Potential
+	return d
+}
+
+// potentialEnergy computes total gravitational potential energy.
+func (s *Sim) potentialEnergy(exact bool) float64 {
+	p := s.cfg.Params
+	if exact {
+		pol := par.Par
+		if s.cfg.Sequential {
+			pol = par.Seq
+		}
+		return allpairs.PotentialEnergy(s.rt, pol, s.sys, p)
+	}
+
+	n := s.sys.N()
+	if len(s.phiBuf) < n {
+		s.phiBuf = make([]float64, n)
+	}
+	phi := s.phiBuf[:n]
+
+	switch s.cfg.Algorithm {
+	case BVH:
+		// Rebuild to make sure boxes reflect current positions.
+		s.hbvh.BuildNoSort(s.rt, s.pol.build, s.sys)
+		s.hbvh.Potential(s.rt, s.pol.force, s.sys, p, phi)
+	default:
+		// Use an octree traversal for the octree and all-pairs
+		// algorithms (building one temporarily if needed).
+		t := s.tree
+		if t == nil {
+			t = octree.New(octree.Config{})
+		}
+		box := bounds.OfPositions(s.rt, s.pol.reduce, s.sys.PosX, s.sys.PosY, s.sys.PosZ)
+		if err := t.Build(s.rt, s.sys, box); err != nil {
+			// Fall back to the exact sum; Build failures are
+			// pathological (pool exhaustion after retries).
+			return allpairs.PotentialEnergy(s.rt, par.Par, s.sys, p)
+		}
+		t.ComputeMoments(s.rt, s.sys)
+		t.Potential(s.rt, s.pol.force, s.sys, p, phi)
+	}
+
+	var u float64
+	mass := s.sys.Mass
+	for i := 0; i < n; i++ {
+		u += 0.5 * mass[i] * phi[i]
+	}
+	return u
+}

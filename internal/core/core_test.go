@@ -1,0 +1,386 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nbody/internal/body"
+	"nbody/internal/bvh"
+	"nbody/internal/grav"
+	"nbody/internal/kdtree"
+	"nbody/internal/metrics"
+	"nbody/internal/octree"
+	"nbody/internal/par"
+	"nbody/internal/vec"
+	"nbody/internal/workload"
+)
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, a := range Algorithms() {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("fmm"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if a, err := ParseAlgorithm("kdtree"); err != nil || a != KDTree {
+		t.Errorf("ParseAlgorithm(kdtree) = %v, %v", a, err)
+	}
+	if len(AllAlgorithms()) != len(Algorithms())+1 {
+		t.Error("AllAlgorithms should add the kdtree extension")
+	}
+	if Algorithm(99).String() == "" {
+		t.Error("unknown algorithm String empty")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	sys := workload.Plummer(10, 1)
+	good := Config{DT: 0.01}
+	if _, err := New(good, sys); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+
+	if _, err := New(good, nil); err == nil {
+		t.Error("nil system accepted")
+	}
+	if _, err := New(Config{DT: 0}, sys); err == nil {
+		t.Error("zero timestep accepted")
+	}
+	if _, err := New(Config{DT: -1}, sys); err == nil {
+		t.Error("negative timestep accepted")
+	}
+	if _, err := New(Config{DT: math.Inf(1)}, sys); err == nil {
+		t.Error("infinite timestep accepted")
+	}
+	if _, err := New(Config{DT: 0.1, Algorithm: Algorithm(42)}, sys); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	if _, err := New(Config{DT: 0.1, Params: grav.Params{G: 1, Eps: -1}}, sys); err == nil {
+		t.Error("invalid params accepted")
+	}
+
+	bad := workload.Plummer(10, 1)
+	bad.PosX[3] = math.NaN()
+	if _, err := New(good, bad); err == nil {
+		t.Error("NaN system accepted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	sys := workload.Plummer(10, 1)
+	s, err := New(Config{DT: 0.01}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	if cfg.Params != grav.DefaultParams() {
+		t.Errorf("params default: %+v", cfg.Params)
+	}
+	if cfg.Runtime == nil || cfg.RebuildEvery != 1 {
+		t.Errorf("defaults: runtime=%v rebuild=%d", cfg.Runtime, cfg.RebuildEvery)
+	}
+}
+
+// All four algorithms integrating the same small system must agree closely
+// (θ=0 makes the trees exact).
+func TestAlgorithmsAgreeOnTrajectory(t *testing.T) {
+	const n = 300
+	const steps = 10
+	p := grav.Params{G: 1, Eps: 0.05, Theta: 0}
+
+	// Use the BVH run as reference... but BVH permutes bodies. Instead
+	// compare permutation-invariant observables: center of mass, kinetic
+	// energy, total energy.
+	type obs struct {
+		com      vec.V3
+		kin, tot float64
+	}
+	results := map[Algorithm]obs{}
+	for _, a := range AllAlgorithms() {
+		sys := workload.Plummer(n, 5)
+		sim, err := New(Config{Algorithm: a, DT: 0.001, Params: p}, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(steps); err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		d := sim.Diagnostics(true)
+		results[a] = obs{sys.CenterOfMass(), d.KineticEnergy, d.TotalEnergy}
+	}
+	ref := results[AllPairs]
+	for a, r := range results {
+		if r.com.Sub(ref.com).Norm() > 1e-9 {
+			t.Errorf("%v: com %v vs %v", a, r.com, ref.com)
+		}
+		if math.Abs(r.kin-ref.kin) > 1e-7*(1+math.Abs(ref.kin)) {
+			t.Errorf("%v: kinetic %v vs %v", a, r.kin, ref.kin)
+		}
+		if math.Abs(r.tot-ref.tot) > 1e-7*(1+math.Abs(ref.tot)) {
+			t.Errorf("%v: total energy %v vs %v", a, r.tot, ref.tot)
+		}
+	}
+}
+
+func TestEnergyConservationGalaxy(t *testing.T) {
+	// The paper validates that the galaxy simulations conserve mass and
+	// energy; run each tree algorithm for a while and check drift.
+	// The innermost disk orbits have periods of a few milliunits, so the
+	// timestep must be well below that for the symplectic error to stay
+	// bounded.
+	for _, a := range []Algorithm{Octree, BVH} {
+		sys := workload.GalaxyCollision(2000, 9)
+		sim, err := New(Config{Algorithm: a, DT: 2e-5, Params: grav.Params{G: 1, Eps: 0.05, Theta: 0.3}}, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mass0 := sys.TotalMass()
+		e0 := sim.Diagnostics(true).TotalEnergy
+		if err := sim.Run(50); err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		d := sim.Diagnostics(true)
+		if math.Abs(d.Mass-mass0) > 1e-9*mass0 {
+			t.Errorf("%v: mass %v -> %v", a, mass0, d.Mass)
+		}
+		if drift := math.Abs(d.TotalEnergy-e0) / math.Abs(e0); drift > 0.01 {
+			t.Errorf("%v: energy drift %v over 50 steps", a, drift)
+		}
+	}
+}
+
+func TestSequentialMatchesParallel(t *testing.T) {
+	// Same algorithm, sequential vs parallel: permutation-invariant
+	// observables must agree to reduction-reassociation tolerance.
+	for _, a := range []Algorithm{Octree, BVH, AllPairs} {
+		run := func(seqential bool) Diagnostics {
+			sys := workload.Plummer(500, 21)
+			sim, err := New(Config{Algorithm: a, DT: 0.005, Sequential: seqential,
+				Params: grav.Params{G: 1, Eps: 0.05, Theta: 0.5}}, sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sim.Run(5); err != nil {
+				t.Fatal(err)
+			}
+			return sim.Diagnostics(true)
+		}
+		seq := run(true)
+		parl := run(false)
+		if math.Abs(seq.TotalEnergy-parl.TotalEnergy) > 1e-6*(1+math.Abs(seq.TotalEnergy)) {
+			t.Errorf("%v: seq energy %v vs par %v", a, seq.TotalEnergy, parl.TotalEnergy)
+		}
+	}
+}
+
+func TestRebuildEveryApproximation(t *testing.T) {
+	// Tree reuse must stay close to the every-step-rebuild trajectory
+	// over a short horizon.
+	run := func(rebuildEvery int, a Algorithm) Diagnostics {
+		sys := workload.GalaxyCollision(1000, 23)
+		sim, err := New(Config{Algorithm: a, DT: 0.0005, RebuildEvery: rebuildEvery,
+			Params: grav.Params{G: 1, Eps: 0.05, Theta: 0.3}}, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(20); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Diagnostics(true)
+	}
+	for _, a := range []Algorithm{Octree, BVH} {
+		every := run(1, a)
+		reuse := run(4, a)
+		if math.Abs(every.TotalEnergy-reuse.TotalEnergy) > 0.02*math.Abs(every.TotalEnergy) {
+			t.Errorf("%v: rebuild-every-4 energy %v vs %v", a, reuse.TotalEnergy, every.TotalEnergy)
+		}
+	}
+}
+
+func TestBreakdownPhases(t *testing.T) {
+	sys := workload.GalaxyCollision(2000, 27)
+	sim, err := New(Config{Algorithm: BVH, DT: 0.001}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	b := sim.Breakdown()
+	if b.Steps() != 3 {
+		t.Errorf("steps = %d", b.Steps())
+	}
+	for _, p := range []metrics.Phase{metrics.PhaseBoundingBox, metrics.PhaseSort, metrics.PhaseBuild, metrics.PhaseForce, metrics.PhaseUpdate} {
+		if b.Elapsed(p) <= 0 {
+			t.Errorf("phase %v has no recorded time", p)
+		}
+	}
+	if b.Elapsed(metrics.PhaseMultipoles) != 0 {
+		t.Error("BVH recorded a separate multipole phase")
+	}
+
+	sim2, _ := New(Config{Algorithm: Octree, DT: 0.001}, workload.GalaxyCollision(2000, 27))
+	if err := sim2.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if sim2.Breakdown().Elapsed(metrics.PhaseMultipoles) <= 0 {
+		t.Error("octree recorded no multipole phase")
+	}
+	if sim2.Breakdown().Elapsed(metrics.PhaseSort) != 0 {
+		t.Error("octree recorded a sort phase")
+	}
+}
+
+func TestStepCountAndRunErrors(t *testing.T) {
+	sys := workload.Plummer(50, 29)
+	sim, err := New(Config{DT: 0.01}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(7); err != nil {
+		t.Fatal(err)
+	}
+	if sim.StepCount() != 7 {
+		t.Errorf("StepCount = %d", sim.StepCount())
+	}
+	if sim.System() != sys {
+		t.Error("System() returned a different object")
+	}
+}
+
+func TestAllPairsColSequential(t *testing.T) {
+	sys := workload.Plummer(100, 31)
+	sim, err := New(Config{Algorithm: AllPairsCol, DT: 0.01, Sequential: true}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagnosticsApproxVsExact(t *testing.T) {
+	for _, a := range []Algorithm{Octree, BVH, AllPairs} {
+		sys := workload.Plummer(2000, 33)
+		sim, err := New(Config{Algorithm: a, DT: 0.01, Params: grav.Params{G: 1, Eps: 0.05, Theta: 0.4}}, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(1); err != nil {
+			t.Fatal(err)
+		}
+		exact := sim.Diagnostics(true)
+		approx := sim.Diagnostics(false)
+		if math.Abs(exact.Potential-approx.Potential) > 0.02*math.Abs(exact.Potential) {
+			t.Errorf("%v: approx potential %v vs exact %v", a, approx.Potential, exact.Potential)
+		}
+		if exact.Mass != approx.Mass {
+			t.Errorf("%v: mass differs", a)
+		}
+	}
+}
+
+func TestMomentumConservation(t *testing.T) {
+	for _, a := range []Algorithm{Octree, AllPairs} {
+		sys := workload.Plummer(500, 35)
+		p0 := sys.Momentum()
+		sim, err := New(Config{Algorithm: a, DT: 0.005, Params: grav.Params{G: 1, Eps: 0.05, Theta: 0}}, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(20); err != nil {
+			t.Fatal(err)
+		}
+		if d := sys.Momentum().Sub(p0).Norm(); d > 1e-9 {
+			t.Errorf("%v: momentum drift %g", a, d)
+		}
+	}
+}
+
+func TestValidateEveryCatchesBlowup(t *testing.T) {
+	// Two point masses started at nearly the same spot with no softening
+	// and a huge timestep: velocities explode within a few steps. The
+	// health check must turn that into an error rather than NaN output.
+	// Masses large enough that m/r² overflows float64 at this separation.
+	sys := body.NewSystem(2)
+	sys.Set(0, 1e300, vec.New(0, 0, 0), vec.Zero)
+	sys.Set(1, 1e300, vec.New(1e-8, 0, 0), vec.Zero)
+	sim, err := New(Config{
+		Algorithm:     AllPairs,
+		DT:            1e6,
+		Params:        grav.Params{G: 1, Eps: 0, Theta: 0.5},
+		ValidateEvery: 1,
+	}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := sim.Run(50)
+	if runErr == nil {
+		t.Fatal("blow-up not detected")
+	}
+}
+
+func TestValidateEveryOffByDefault(t *testing.T) {
+	sys := workload.Plummer(20, 43)
+	sim, err := New(Config{DT: 0.01}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Config().ValidateEvery != 0 {
+		t.Error("ValidateEvery should default to off")
+	}
+}
+
+func TestCustomRuntime(t *testing.T) {
+	sys := workload.Plummer(200, 37)
+	rt := par.NewRuntime(2, par.Static)
+	sim, err := New(Config{DT: 0.01, Runtime: rt}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndTinySystems(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		for _, a := range AllAlgorithms() {
+			sys := workload.Plummer(n, 39)
+			sim, err := New(Config{Algorithm: a, DT: 0.01}, sys)
+			if err != nil {
+				t.Fatalf("n=%d %v: %v", n, a, err)
+			}
+			if err := sim.Run(3); err != nil {
+				t.Fatalf("n=%d %v: %v", n, a, err)
+			}
+		}
+	}
+}
+
+func TestVariantConfigsRun(t *testing.T) {
+	// Quadrupole octree, gather-moments octree, Morton BVH, and large
+	// BVH leaves must all integrate without error.
+	sys := workload.GalaxyCollision(500, 41)
+	configs := []Config{
+		{Algorithm: Octree, DT: 0.001, Octree: octree.Config{Quadrupole: true}},
+		{Algorithm: Octree, DT: 0.001, Octree: octree.Config{GatherMoments: true}},
+		{Algorithm: BVH, DT: 0.001, BVH: bvh.Config{Ordering: bvh.Morton}},
+		{Algorithm: BVH, DT: 0.001, BVH: bvh.Config{LeafSize: 8}},
+		{Algorithm: BVH, DT: 0.001, BVH: bvh.Config{Criterion: bvh.BoxDistance}},
+		{Algorithm: KDTree, DT: 0.001, KD: kdtree.Config{Dual: true}},
+		{Algorithm: KDTree, DT: 0.001, KD: kdtree.Config{LeafSize: 16}},
+	}
+	for i, cfg := range configs {
+		sim, err := New(cfg, sys.Clone())
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		if err := sim.Run(3); err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package kdtree
+
+import (
+	"math"
+	"sync"
+
+	"nbody/internal/atomicx"
+	"nbody/internal/body"
+	"nbody/internal/grav"
+	"nbody/internal/par"
+)
+
+// sqrt keeps the hot pairwise loops terse.
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// DualAccelerations computes forces with a *dual-tree* (mutual) traversal —
+// the symmetric-treecode idea the fast-multipole literature the paper cites
+// builds on: instead of one root-to-leaf walk per body (N single-tree
+// traversals), node *pairs* are examined once. Two well-separated nodes
+// interact through their monopoles, contributing an identical acceleration
+// to every body underneath each side; unseparated pairs recurse into the
+// larger side; leaf-leaf pairs compute exact body-body interactions. A
+// final downward sweep pushes the accumulated node-level accelerations to
+// the bodies.
+//
+// Compared with Accelerations, the acceptance criterion is mutual —
+// (extent(a) + extent(b)) < θ·dist(comₐ, com_b) — and the approximation is
+// zeroth-order on the target side (all bodies of a node receive the same
+// pull), so for equal θ the error is larger; the θ=0 limit is exact, and
+// Newton's third law holds by construction. Parallelism is task-recursive:
+// independent pair tasks fork above a grain cutoff, and all shared
+// accumulators are updated atomically, which under the paper's taxonomy
+// makes this a par-policy (not par_unseq) algorithm.
+func (t *Tree) DualAccelerations(r *par.Runtime, s *body.System, p grav.Params) {
+	n := s.N()
+	nodes := 2 * t.numLeaves
+
+	if len(t.nodeAX) < nodes {
+		t.nodeAX = make([]float64, nodes)
+		t.nodeAY = make([]float64, nodes)
+		t.nodeAZ = make([]float64, nodes)
+	}
+	r.ForGrain(par.ParUnseq, nodes, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.nodeAX[i], t.nodeAY[i], t.nodeAZ[i] = 0, 0, 0
+		}
+	})
+	r.ForGrain(par.ParUnseq, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.AccX[i], s.AccY[i], s.AccZ[i] = 0, 0, 0
+		}
+	})
+	if n == 0 {
+		return
+	}
+
+	d := &dualWalk{t: t, s: s, eps2: p.Eps2(), theta: p.Theta, grain: 4 * t.cfg.Grain}
+	d.pair(1, 1)
+	d.wg.Wait()
+
+	// Downward sweep: push node-level accelerations to the bodies, then
+	// apply G to the combined (node + direct) sums.
+	t.downSweep(s, 1, 0, 0, 0)
+	if p.G != 1 {
+		r.ForGrain(par.ParUnseq, n, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s.AccX[i] *= p.G
+				s.AccY[i] *= p.G
+				s.AccZ[i] *= p.G
+			}
+		})
+	}
+}
+
+// dualWalk carries the traversal state.
+type dualWalk struct {
+	t     *Tree
+	s     *body.System
+	eps2  float64
+	theta float64
+	grain int
+	wg    sync.WaitGroup
+}
+
+// size returns the body count under node a.
+func (d *dualWalk) size(a int) int { return int(d.t.hi[a] - d.t.lo[a]) }
+
+// isLeaf mirrors the build's early-leaf rule.
+func (d *dualWalk) isLeaf(a int) bool {
+	return a >= d.t.numLeaves || d.size(a) <= d.t.cfg.LeafSize
+}
+
+// pair processes the interaction of nodes a ≤ b (heap indices).
+func (d *dualWalk) pair(a, b int) {
+	t := d.t
+	if d.size(a) == 0 || d.size(b) == 0 {
+		return
+	}
+
+	if a == b {
+		if d.isLeaf(a) {
+			d.leafSelf(a)
+			return
+		}
+		l, r := 2*a, 2*a+1
+		d.fork(l, l)
+		d.fork(r, r)
+		d.fork(l, r)
+		return
+	}
+
+	// Mutual acceptance test.
+	dx := t.comX[b] - t.comX[a]
+	dy := t.comY[b] - t.comY[a]
+	dz := t.comZ[b] - t.comZ[a]
+	d2 := dx*dx + dy*dy + dz*dz
+	sum := t.extent(a) + t.extent(b)
+	if sum*sum < d.theta*d.theta*d2 {
+		d.nodeNode(a, b, dx, dy, dz, d2)
+		return
+	}
+
+	aLeaf, bLeaf := d.isLeaf(a), d.isLeaf(b)
+	switch {
+	case aLeaf && bLeaf:
+		d.leafLeaf(a, b)
+	case aLeaf || (!bLeaf && d.size(b) >= d.size(a)):
+		// Split b (the larger, or the only splittable side).
+		d.fork(a, 2*b)
+		d.fork(a, 2*b+1)
+	default:
+		d.fork(2*a, b)
+		d.fork(2*a+1, b)
+	}
+}
+
+// fork runs pair(a, b) inline or on a new goroutine when both sides are
+// large enough to pay for it.
+func (d *dualWalk) fork(a, b int) {
+	if d.size(a)+d.size(b) >= d.grain {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.pair(a, b)
+		}()
+		return
+	}
+	d.pair(a, b)
+}
+
+// nodeNode applies the mutual monopole interaction: every body under a is
+// pulled toward com_b and vice versa (equal and opposite per unit mass).
+func (d *dualWalk) nodeNode(a, b int, dx, dy, dz, d2 float64) {
+	t := d.t
+	r2 := d2 + d.eps2
+	if r2 == 0 {
+		return
+	}
+	inv := 1 / sqrt(r2)
+	f := inv * inv * inv
+	atomicx.AddFloat64(&t.nodeAX[a], t.m[b]*f*dx)
+	atomicx.AddFloat64(&t.nodeAY[a], t.m[b]*f*dy)
+	atomicx.AddFloat64(&t.nodeAZ[a], t.m[b]*f*dz)
+	atomicx.AddFloat64(&t.nodeAX[b], -t.m[a]*f*dx)
+	atomicx.AddFloat64(&t.nodeAY[b], -t.m[a]*f*dy)
+	atomicx.AddFloat64(&t.nodeAZ[b], -t.m[a]*f*dz)
+}
+
+// leafSelf computes the exact interactions inside one leaf.
+func (d *dualWalk) leafSelf(a int) {
+	t, s := d.t, d.s
+	lo, hi := int(t.lo[a]), int(t.hi[a])
+	for i := lo; i < hi; i++ {
+		xi, yi, zi, mi := s.PosX[i], s.PosY[i], s.PosZ[i], s.Mass[i]
+		for j := i + 1; j < hi; j++ {
+			dx := s.PosX[j] - xi
+			dy := s.PosY[j] - yi
+			dz := s.PosZ[j] - zi
+			r2 := dx*dx + dy*dy + dz*dz + d.eps2
+			if r2 == 0 {
+				continue
+			}
+			inv := 1 / sqrt(r2)
+			f := inv * inv * inv
+			atomicx.AddFloat64(&s.AccX[i], s.Mass[j]*f*dx)
+			atomicx.AddFloat64(&s.AccY[i], s.Mass[j]*f*dy)
+			atomicx.AddFloat64(&s.AccZ[i], s.Mass[j]*f*dz)
+			atomicx.AddFloat64(&s.AccX[j], -mi*f*dx)
+			atomicx.AddFloat64(&s.AccY[j], -mi*f*dy)
+			atomicx.AddFloat64(&s.AccZ[j], -mi*f*dz)
+		}
+	}
+}
+
+// leafLeaf computes the exact interactions between two distinct leaves.
+func (d *dualWalk) leafLeaf(a, b int) {
+	t, s := d.t, d.s
+	alo, ahi := int(t.lo[a]), int(t.hi[a])
+	blo, bhi := int(t.lo[b]), int(t.hi[b])
+	for i := alo; i < ahi; i++ {
+		xi, yi, zi, mi := s.PosX[i], s.PosY[i], s.PosZ[i], s.Mass[i]
+		var ax, ay, az float64
+		for j := blo; j < bhi; j++ {
+			dx := s.PosX[j] - xi
+			dy := s.PosY[j] - yi
+			dz := s.PosZ[j] - zi
+			r2 := dx*dx + dy*dy + dz*dz + d.eps2
+			if r2 == 0 {
+				continue
+			}
+			inv := 1 / sqrt(r2)
+			f := inv * inv * inv
+			ax += s.Mass[j] * f * dx
+			ay += s.Mass[j] * f * dy
+			az += s.Mass[j] * f * dz
+			atomicx.AddFloat64(&s.AccX[j], -mi*f*dx)
+			atomicx.AddFloat64(&s.AccY[j], -mi*f*dy)
+			atomicx.AddFloat64(&s.AccZ[j], -mi*f*dz)
+		}
+		atomicx.AddFloat64(&s.AccX[i], ax)
+		atomicx.AddFloat64(&s.AccY[i], ay)
+		atomicx.AddFloat64(&s.AccZ[i], az)
+	}
+}
+
+// downSweep pushes accumulated node accelerations down to the bodies,
+// carrying the running sum of ancestors.
+func (t *Tree) downSweep(s *body.System, node int, cx, cy, cz float64) {
+	if t.lo[node] >= t.hi[node] {
+		return
+	}
+	cx += t.nodeAX[node]
+	cy += t.nodeAY[node]
+	cz += t.nodeAZ[node]
+	isLeaf := node >= t.numLeaves || int(t.hi[node]-t.lo[node]) <= t.cfg.LeafSize
+	if isLeaf {
+		for b := t.lo[node]; b < t.hi[node]; b++ {
+			s.AccX[b] += cx
+			s.AccY[b] += cy
+			s.AccZ[b] += cz
+		}
+		return
+	}
+	t.downSweep(s, 2*node, cx, cy, cz)
+	t.downSweep(s, 2*node+1, cx, cy, cz)
+}

@@ -1,0 +1,158 @@
+package kdtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nbody/internal/allpairs"
+	"nbody/internal/body"
+	"nbody/internal/grav"
+	"nbody/internal/par"
+)
+
+func TestDualExactWhenThetaZero(t *testing.T) {
+	for _, n := range []int{2, 10, 100, 800} {
+		for _, leaf := range []int{1, 8} {
+			s := randomSystem(n, uint64(n)+101)
+			tree := New(Config{LeafSize: leaf})
+			tree.Build(rt, s)
+			ref := s.Clone()
+			p := grav.Params{G: 1.5, Eps: 1e-3, Theta: 0}
+			allpairs.AllPairs(rt, par.ParUnseq, ref, p)
+			tree.DualAccelerations(rt, s, p)
+			for i := 0; i < n; i++ {
+				d := s.Acc(i).Sub(ref.Acc(i)).Norm()
+				if d > 1e-9*(1+ref.Acc(i).Norm()) {
+					t.Fatalf("n=%d leaf=%d body %d: dual %v vs exact %v", n, leaf, i, s.Acc(i), ref.Acc(i))
+				}
+			}
+		}
+	}
+}
+
+func TestDualApproximation(t *testing.T) {
+	n := 3000
+	s := randomSystem(n, 103)
+	tree := New(Config{})
+	tree.Build(rt, s)
+	ref := s.Clone()
+	p := grav.Params{G: 1, Eps: 1e-3, Theta: 0.4}
+	allpairs.AllPairs(rt, par.ParUnseq, ref, p)
+	tree.DualAccelerations(rt, s, p)
+
+	var meanMag float64
+	for i := 0; i < n; i++ {
+		meanMag += ref.Acc(i).Norm()
+	}
+	meanMag /= float64(n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Acc(i).Sub(ref.Acc(i)).Norm() / (ref.Acc(i).Norm() + 0.1*meanMag)
+	}
+	// The mutual zeroth-order approximation is coarser than single-tree
+	// BH for equal θ; at θ=0.4 a few percent mean error is acceptable.
+	if mean := sum / float64(n); mean > 0.05 {
+		t.Errorf("mean normalized force error %v", mean)
+	}
+}
+
+// Dual-tree interactions are applied symmetrically, so total momentum flux
+// is exactly zero up to atomic-add rounding — stronger than single-tree BH.
+func TestDualMomentumConservation(t *testing.T) {
+	n := 2000
+	s := randomSystem(n, 107)
+	tree := New(Config{})
+	tree.Build(rt, s)
+	p := grav.Params{G: 1, Eps: 1e-3, Theta: 0.6}
+	tree.DualAccelerations(rt, s, p)
+
+	var fx, fy, fz, scale float64
+	for i := 0; i < n; i++ {
+		fx += s.Mass[i] * s.AccX[i]
+		fy += s.Mass[i] * s.AccY[i]
+		fz += s.Mass[i] * s.AccZ[i]
+		scale += s.Mass[i] * s.Acc(i).Norm()
+	}
+	if net := math.Abs(fx) + math.Abs(fy) + math.Abs(fz); net > 1e-9*scale {
+		t.Errorf("net force %g (scale %g) — third law violated", net, scale)
+	}
+}
+
+// Single-tree BH momentum error is nonzero (asymmetric approximation);
+// dual-tree must be categorically better on the same system.
+func TestDualMoreSymmetricThanSingle(t *testing.T) {
+	n := 3000
+	p := grav.Params{G: 1, Eps: 1e-3, Theta: 0.7}
+
+	netForce := func(run func(tree *Tree, s *bodySystem)) float64 {
+		s := randomSystem(n, 109)
+		tree := New(Config{})
+		tree.Build(rt, s)
+		run(tree, s)
+		var fx, fy, fz float64
+		for i := 0; i < n; i++ {
+			fx += s.Mass[i] * s.AccX[i]
+			fy += s.Mass[i] * s.AccY[i]
+			fz += s.Mass[i] * s.AccZ[i]
+		}
+		return math.Abs(fx) + math.Abs(fy) + math.Abs(fz)
+	}
+
+	single := netForce(func(tree *Tree, s *bodySystem) { tree.Accelerations(rt, par.ParUnseq, s, p) })
+	dual := netForce(func(tree *Tree, s *bodySystem) { tree.DualAccelerations(rt, s, p) })
+	if dual > single/10 && single > 1e-9 {
+		t.Errorf("dual net force %g not well below single-tree %g", dual, single)
+	}
+}
+
+func TestDualEmptyAndTiny(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		s := randomSystem(n, uint64(n)+113)
+		tree := New(Config{})
+		tree.Build(rt, s)
+		tree.DualAccelerations(rt, s, grav.DefaultParams())
+		for i := 0; i < n; i++ {
+			if !s.Acc(i).IsFinite() {
+				t.Fatalf("n=%d body %d: %v", n, i, s.Acc(i))
+			}
+		}
+	}
+}
+
+// Property: θ=0 dual traversal equals all-pairs on random small systems.
+func TestPropDualExact(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%60) + 2
+		s := randomSystem(n, seed)
+		tree := New(Config{LeafSize: 4})
+		tree.Build(rt, s)
+		ref := s.Clone()
+		p := grav.Params{G: 1, Eps: 1e-3, Theta: 0}
+		allpairs.AllPairs(rt, par.ParUnseq, ref, p)
+		tree.DualAccelerations(rt, s, p)
+		for i := 0; i < n; i++ {
+			if s.Acc(i).Sub(ref.Acc(i)).Norm() > 1e-8*(1+ref.Acc(i).Norm()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bodySystem shortens the comparison helper's signature.
+type bodySystem = body.System
+
+func BenchmarkDualForce1e5(b *testing.B) {
+	s := randomSystem(100000, 1)
+	tree := New(Config{})
+	tree.Build(rt, s)
+	p := grav.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.DualAccelerations(rt, s, p)
+	}
+}

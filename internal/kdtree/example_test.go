@@ -1,0 +1,32 @@
+package kdtree_test
+
+import (
+	"fmt"
+
+	"nbody/internal/body"
+	"nbody/internal/kdtree"
+	"nbody/internal/par"
+	"nbody/internal/vec"
+)
+
+// Spatial queries reuse the tree the force solver builds: here a 3-nearest-
+// neighbour lookup and a fixed-radius search over a small lattice.
+func ExampleTree_KNN() {
+	s := body.NewSystem(5)
+	for i := 0; i < 5; i++ {
+		s.Set(i, 1, vec.New(float64(i), 0, 0), vec.Zero) // bodies at x = 0..4
+	}
+	tree := kdtree.New(kdtree.Config{LeafSize: 2})
+	tree.Build(par.NewRuntime(1, par.Dynamic), s)
+
+	for _, nb := range tree.KNN(0.1, 0, 0, 3) {
+		fmt.Printf("x=%.0f d²=%.2f\n", s.PosX[nb.Index], nb.Dist2)
+	}
+	within := tree.RangeQuery(2, 0, 0, 1.0, nil)
+	fmt.Println("within 1 of x=2:", len(within))
+	// Output:
+	// x=0 d²=0.01
+	// x=1 d²=0.81
+	// x=2 d²=3.61
+	// within 1 of x=2: 3
+}

@@ -1,0 +1,415 @@
+// Package kdtree implements a parallel kd-tree Barnes-Hut solver — the
+// third hierarchical spatial decomposition the paper's Section IV lists
+// alongside octrees and BVHs ("Popular data-structures … include trees,
+// such as quadtrees, octrees, kd-trees, and BVH"). It is provided as an
+// extension baseline: a median-split kd-tree adapts to the body
+// distribution like the BVH but partitions by coordinate rather than by a
+// space-filling curve, producing tighter boxes at the cost of a partition
+// (quickselect) pass per node instead of one global sort.
+//
+// Shape: count-median splits produce a balanced binary tree stored as an
+// implicit heap (node i → children 2i, 2i+1), so the same stackless
+// skip-list traversal as the BVH applies. Each node records its body range
+// [lo, hi) in the (permuted) body arrays, its bounding box, and its
+// monopole moments.
+//
+// Parallelism: the build recursively partitions the body permutation with
+// quickselect along each node's widest axis, forking goroutines for
+// independent subtrees above a grain cutoff (divide-and-conquer
+// parallelism, in contrast to the octree's flat O(N) loop). Boxes and
+// moments are computed on the way back up. The force traversal is a
+// par_unseq Parallel For, identical in requirements to the BVH's.
+package kdtree
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"nbody/internal/body"
+	"nbody/internal/bounds"
+	"nbody/internal/grav"
+	"nbody/internal/par"
+	"nbody/internal/vec"
+)
+
+// Config selects kd-tree variants.
+type Config struct {
+	// LeafSize is the maximum number of bodies per leaf. The default (0)
+	// selects 8, a good balance for the pairwise leaf kernel.
+	LeafSize int
+	// Grain is the subtree size below which the build stops forking
+	// goroutines. The default (0) selects 2048.
+	Grain int
+	// Dual selects the dual-tree (mutual) traversal for force
+	// calculation instead of the per-body single-tree walk. See
+	// DualAccelerations for the accuracy trade-off.
+	Dual bool
+}
+
+// Tree is a parallel kd-tree. Reusable across Build calls; the zero value
+// is not usable — call New.
+type Tree struct {
+	cfg Config
+
+	numLeaves int // power of two
+	n         int
+
+	// Heap arrays indexed 1..2·numLeaves-1 (0 unused).
+	lo, hi           []int32
+	minX, minY, minZ []float64
+	maxX, maxY, maxZ []float64
+	m                []float64
+	comX, comY, comZ []float64
+
+	// Node-level acceleration accumulators for the dual-tree traversal.
+	nodeAX, nodeAY, nodeAZ []float64
+
+	// Body position arrays (post-permutation) captured by Build for the
+	// neighbour queries.
+	posX, posY, posZ []float64
+
+	perm []int32
+}
+
+// New returns an empty tree with the given configuration.
+func New(cfg Config) *Tree {
+	if cfg.LeafSize <= 0 {
+		cfg.LeafSize = 8
+	}
+	if cfg.Grain <= 0 {
+		cfg.Grain = 2048
+	}
+	return &Tree{cfg: cfg}
+}
+
+// Config returns the tree's configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// NumLeaves returns the number of leaf slots after Build.
+func (t *Tree) NumLeaves() int { return t.numLeaves }
+
+// Build constructs the kd-tree over the bodies of s, permuting them into
+// tree order (callers tracking identity must use s.ID). It computes boxes
+// and moments in the same pass, so no separate multipole step is needed.
+func (t *Tree) Build(r *par.Runtime, s *body.System) {
+	n := s.N()
+	t.n = n
+
+	wantLeaves := (n + t.cfg.LeafSize - 1) / t.cfg.LeafSize
+	numLeaves := 1
+	for numLeaves < wantLeaves {
+		numLeaves *= 2
+	}
+	if t.numLeaves != numLeaves || len(t.m) == 0 {
+		t.numLeaves = numLeaves
+		nodes := 2 * numLeaves
+		t.lo = make([]int32, nodes)
+		t.hi = make([]int32, nodes)
+		t.minX = make([]float64, nodes)
+		t.minY = make([]float64, nodes)
+		t.minZ = make([]float64, nodes)
+		t.maxX = make([]float64, nodes)
+		t.maxY = make([]float64, nodes)
+		t.maxZ = make([]float64, nodes)
+		t.m = make([]float64, nodes)
+		t.comX = make([]float64, nodes)
+		t.comY = make([]float64, nodes)
+		t.comZ = make([]float64, nodes)
+	}
+
+	if len(t.perm) < n {
+		t.perm = make([]int32, n)
+	}
+	perm := t.perm[:n]
+	r.ForGrain(par.ParUnseq, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			perm[i] = int32(i)
+		}
+	})
+
+	if n > 0 {
+		t.recurse(s, perm, 1, 0, n)
+	} else {
+		t.lo[1], t.hi[1] = 0, 0
+		t.setEmpty(1)
+	}
+
+	// Materialize the tree order so leaf ranges are contiguous in memory
+	// for the force kernel.
+	if n > 0 {
+		s.Permute(r, par.ParUnseq, perm)
+	}
+	t.posX, t.posY, t.posZ = s.PosX, s.PosY, s.PosZ
+}
+
+// recurse builds the subtree rooted at heap node covering perm[lo:hi],
+// returning with the node's box and moments filled in.
+func (t *Tree) recurse(s *body.System, perm []int32, node int32, lo, hi int) {
+	t.lo[node], t.hi[node] = int32(lo), int32(hi)
+	if lo >= hi {
+		t.setEmpty(node)
+		return
+	}
+
+	if int(node) >= t.numLeaves || hi-lo <= t.cfg.LeafSize {
+		// Leaf: direct box and moment computation. (A node can become a
+		// leaf early when its range fits; deeper heap slots then stay
+		// empty and the traversal never descends to them.)
+		t.leafMoments(s, perm, node, lo, hi)
+		return
+	}
+
+	// Split at the count median along the widest axis of the point
+	// bounds (computed cheaply from a sampled box when large).
+	axis := widestAxis(s, perm[lo:hi])
+	mid := (lo + hi) / 2
+	quickselect(s, perm, lo, hi, mid, axis)
+
+	l, r := 2*node, 2*node+1
+	if hi-lo >= t.cfg.Grain {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t.recurse(s, perm, l, lo, mid)
+		}()
+		t.recurse(s, perm, r, mid, hi)
+		wg.Wait()
+	} else {
+		t.recurse(s, perm, l, lo, mid)
+		t.recurse(s, perm, r, mid, hi)
+	}
+
+	// Combine children (both non-empty by construction: lo < mid < hi).
+	t.minX[node] = math.Min(t.minX[l], t.minX[r])
+	t.minY[node] = math.Min(t.minY[l], t.minY[r])
+	t.minZ[node] = math.Min(t.minZ[l], t.minZ[r])
+	t.maxX[node] = math.Max(t.maxX[l], t.maxX[r])
+	t.maxY[node] = math.Max(t.maxY[l], t.maxY[r])
+	t.maxZ[node] = math.Max(t.maxZ[l], t.maxZ[r])
+	m := t.m[l] + t.m[r]
+	t.m[node] = m
+	if m > 0 {
+		t.comX[node] = (t.m[l]*t.comX[l] + t.m[r]*t.comX[r]) / m
+		t.comY[node] = (t.m[l]*t.comY[l] + t.m[r]*t.comY[r]) / m
+		t.comZ[node] = (t.m[l]*t.comZ[l] + t.m[r]*t.comZ[r]) / m
+	} else {
+		t.comX[node] = 0.5 * (t.minX[node] + t.maxX[node])
+		t.comY[node] = 0.5 * (t.minY[node] + t.maxY[node])
+		t.comZ[node] = 0.5 * (t.minZ[node] + t.maxZ[node])
+	}
+}
+
+func (t *Tree) leafMoments(s *body.System, perm []int32, node int32, lo, hi int) {
+	bmin := vec.Splat(math.Inf(1))
+	bmax := vec.Splat(math.Inf(-1))
+	var lm, lx, ly, lz float64
+	for k := lo; k < hi; k++ {
+		b := perm[k]
+		p := vec.V3{X: s.PosX[b], Y: s.PosY[b], Z: s.PosZ[b]}
+		bmin = bmin.Min(p)
+		bmax = bmax.Max(p)
+		mb := s.Mass[b]
+		lm += mb
+		lx += mb * p.X
+		ly += mb * p.Y
+		lz += mb * p.Z
+	}
+	t.minX[node], t.minY[node], t.minZ[node] = bmin.X, bmin.Y, bmin.Z
+	t.maxX[node], t.maxY[node], t.maxZ[node] = bmax.X, bmax.Y, bmax.Z
+	t.m[node] = lm
+	if lm > 0 {
+		t.comX[node], t.comY[node], t.comZ[node] = lx/lm, ly/lm, lz/lm
+	} else {
+		c := bmin.Add(bmax).Scale(0.5)
+		t.comX[node], t.comY[node], t.comZ[node] = c.X, c.Y, c.Z
+	}
+}
+
+func (t *Tree) setEmpty(node int32) {
+	t.minX[node], t.minY[node], t.minZ[node] = math.Inf(1), math.Inf(1), math.Inf(1)
+	t.maxX[node], t.maxY[node], t.maxZ[node] = math.Inf(-1), math.Inf(-1), math.Inf(-1)
+	t.m[node] = 0
+	t.comX[node], t.comY[node], t.comZ[node] = 0, 0, 0
+}
+
+// widestAxis returns 0, 1 or 2 for the axis with the largest coordinate
+// spread over the given bodies.
+func widestAxis(s *body.System, ids []int32) int {
+	minV := vec.Splat(math.Inf(1))
+	maxV := vec.Splat(math.Inf(-1))
+	for _, b := range ids {
+		p := vec.V3{X: s.PosX[b], Y: s.PosY[b], Z: s.PosZ[b]}
+		minV = minV.Min(p)
+		maxV = maxV.Max(p)
+	}
+	ext := maxV.Sub(minV)
+	axis := 0
+	if ext.Y > ext.Component(axis) {
+		axis = 1
+	}
+	if ext.Z > ext.Component(axis) {
+		axis = 2
+	}
+	return axis
+}
+
+// coord returns body b's position along axis.
+func coord(s *body.System, b int32, axis int) float64 {
+	switch axis {
+	case 0:
+		return s.PosX[b]
+	case 1:
+		return s.PosY[b]
+	}
+	return s.PosZ[b]
+}
+
+// quickselect partially sorts perm[lo:hi] so that perm[k] holds the k-th
+// smallest body by coordinate along axis, everything before it is ≤ and
+// everything after is ≥ (Hoare partitioning with median-of-three pivots,
+// insertion sort below a cutoff).
+func quickselect(s *body.System, perm []int32, lo, hi, k, axis int) {
+	for hi-lo > 16 {
+		// Median-of-three pivot.
+		mid := (lo + hi) / 2
+		a, b, c := coord(s, perm[lo], axis), coord(s, perm[mid], axis), coord(s, perm[hi-1], axis)
+		var pivot float64
+		switch {
+		case (a <= b && b <= c) || (c <= b && b <= a):
+			pivot = b
+		case (b <= a && a <= c) || (c <= a && a <= b):
+			pivot = a
+		default:
+			pivot = c
+		}
+
+		i, j := lo, hi-1
+		for i <= j {
+			for coord(s, perm[i], axis) < pivot {
+				i++
+			}
+			for coord(s, perm[j], axis) > pivot {
+				j--
+			}
+			if i <= j {
+				perm[i], perm[j] = perm[j], perm[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j + 1
+		case k >= i:
+			lo = i
+		default:
+			return // pivot zone covers k
+		}
+	}
+	// Insertion sort the remaining window.
+	for i := lo + 1; i < hi; i++ {
+		v := perm[i]
+		key := coord(s, v, axis)
+		j := i - 1
+		for j >= lo && coord(s, perm[j], axis) > key {
+			perm[j+1] = perm[j]
+			j--
+		}
+		perm[j+1] = v
+	}
+}
+
+// Accelerations performs the Barnes-Hut force calculation with the same
+// stackless skip-list traversal as the BVH (the heap layouts are
+// identical), writing G-scaled accelerations into the system.
+func (t *Tree) Accelerations(r *par.Runtime, pol par.Policy, s *body.System, p grav.Params) {
+	n := s.N()
+	eps2 := p.Eps2()
+	theta2 := p.Theta * p.Theta
+	numLeaves := t.numLeaves
+
+	posX, posY, posZ, mass := s.PosX, s.PosY, s.PosZ, s.Mass
+
+	r.ForGrain(pol, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi, yi, zi := posX[i], posY[i], posZ[i]
+			var ax, ay, az float64
+
+			node := 1
+			for node != 0 {
+				if t.lo[node] >= t.hi[node] {
+					node = skipNext(node)
+					continue
+				}
+				isLeaf := node >= numLeaves || int(t.hi[node]-t.lo[node]) <= t.cfg.LeafSize
+				if !isLeaf {
+					dx := t.comX[node] - xi
+					dy := t.comY[node] - yi
+					dz := t.comZ[node] - zi
+					d2 := dx*dx + dy*dy + dz*dz
+					size := t.extent(node)
+					if size*size < theta2*d2 {
+						grav.Accumulate(dx, dy, dz, t.m[node], eps2, &ax, &ay, &az)
+						node = skipNext(node)
+					} else {
+						node = 2 * node
+					}
+					continue
+				}
+				for b := t.lo[node]; b < t.hi[node]; b++ {
+					if int(b) == i {
+						continue
+					}
+					grav.Accumulate(posX[b]-xi, posY[b]-yi, posZ[b]-zi, mass[b], eps2, &ax, &ay, &az)
+				}
+				node = skipNext(node)
+			}
+
+			s.AccX[i] = p.G * ax
+			s.AccY[i] = p.G * ay
+			s.AccZ[i] = p.G * az
+		}
+	})
+}
+
+func (t *Tree) extent(i int) float64 {
+	ex := t.maxX[i] - t.minX[i]
+	if ey := t.maxY[i] - t.minY[i]; ey > ex {
+		ex = ey
+	}
+	if ez := t.maxZ[i] - t.minZ[i]; ez > ex {
+		ex = ez
+	}
+	return ex
+}
+
+func skipNext(node int) int {
+	for node != 1 && node&1 == 1 {
+		node >>= 1
+	}
+	if node == 1 {
+		return 0
+	}
+	return node + 1
+}
+
+// NodeBox returns node i's bounding box. Exposed for tests.
+func (t *Tree) NodeBox(i int) bounds.AABB {
+	return bounds.AABB{
+		Min: vec.V3{X: t.minX[i], Y: t.minY[i], Z: t.minZ[i]},
+		Max: vec.V3{X: t.maxX[i], Y: t.maxY[i], Z: t.maxZ[i]},
+	}
+}
+
+// NodeRange returns the body range [lo, hi) of node i. Exposed for tests.
+func (t *Tree) NodeRange(i int) (lo, hi int) { return int(t.lo[i]), int(t.hi[i]) }
+
+// TotalMass returns the root's mass after Build.
+func (t *Tree) TotalMass() float64 { return t.m[1] }
+
+// String implements fmt.Stringer.
+func (t *Tree) String() string {
+	return fmt.Sprintf("kdtree{n: %d, leaves: %d, leafSize: %d}", t.n, t.numLeaves, t.cfg.LeafSize)
+}

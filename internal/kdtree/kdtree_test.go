@@ -1,0 +1,261 @@
+package kdtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nbody/internal/allpairs"
+	"nbody/internal/body"
+	"nbody/internal/grav"
+	"nbody/internal/par"
+	"nbody/internal/rng"
+	"nbody/internal/vec"
+)
+
+var rt = par.NewRuntime(0, par.Dynamic)
+
+func randomSystem(n int, seed uint64) *body.System {
+	src := rng.New(seed)
+	s := body.NewSystem(n)
+	for i := 0; i < n; i++ {
+		s.Set(i, src.Range(0.5, 1.5),
+			vec.New(src.Range(-10, 10), src.Range(-10, 10), src.Range(-10, 10)),
+			vec.Zero)
+	}
+	return s
+}
+
+// checkStructure verifies ranges partition [0, n), boxes contain their
+// bodies, and root totals match.
+func checkStructure(t *testing.T, tree *Tree, s *body.System) {
+	t.Helper()
+	n := s.N()
+	if n == 0 {
+		return
+	}
+
+	// Walk the tree exactly as the traversal does, collecting leaves.
+	covered := make([]bool, n)
+	var walk func(node int)
+	walk = func(node int) {
+		lo, hi := tree.NodeRange(node)
+		if lo >= hi {
+			return
+		}
+		box := tree.NodeBox(node)
+		for b := lo; b < hi; b++ {
+			if !box.Contains(s.Pos(b)) {
+				t.Fatalf("node %d box %v missing body %d at %v", node, box, b, s.Pos(b))
+			}
+		}
+		isLeaf := node >= tree.NumLeaves() || hi-lo <= tree.Config().LeafSize
+		if isLeaf {
+			for b := lo; b < hi; b++ {
+				if covered[b] {
+					t.Fatalf("body %d covered twice", b)
+				}
+				covered[b] = true
+			}
+			return
+		}
+		llo, lhi := tree.NodeRange(2 * node)
+		rlo, rhi := tree.NodeRange(2*node + 1)
+		if llo != lo || rhi != hi || lhi != rlo {
+			t.Fatalf("node %d children ranges [%d,%d)+[%d,%d) do not partition [%d,%d)",
+				node, llo, lhi, rlo, rhi, lo, hi)
+		}
+		walk(2 * node)
+		walk(2*node + 1)
+	}
+	walk(1)
+	for b, ok := range covered {
+		if !ok {
+			t.Fatalf("body %d not covered by any leaf", b)
+		}
+	}
+
+	wantMass := s.TotalMass()
+	if math.Abs(tree.TotalMass()-wantMass) > 1e-9*(1+wantMass) {
+		t.Fatalf("root mass %v, want %v", tree.TotalMass(), wantMass)
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 8, 9, 100, 5000} {
+		for _, leaf := range []int{1, 8, 32} {
+			s := randomSystem(n, uint64(n*10+leaf))
+			tree := New(Config{LeafSize: leaf})
+			tree.Build(rt, s)
+			checkStructure(t, tree, s)
+		}
+	}
+}
+
+func TestMedianSplitBalance(t *testing.T) {
+	// Count-median splits must halve ranges exactly.
+	s := randomSystem(4096, 3)
+	tree := New(Config{LeafSize: 1})
+	tree.Build(rt, s)
+	lo, hi := tree.NodeRange(2)
+	if hi-lo != 2048 {
+		t.Errorf("left child of root covers %d bodies, want 2048", hi-lo)
+	}
+}
+
+func TestForceExactWhenThetaZero(t *testing.T) {
+	for _, n := range []int{2, 50, 1000} {
+		s := randomSystem(n, uint64(n)+5)
+		tree := New(Config{})
+		tree.Build(rt, s)
+		ref := s.Clone()
+		p := grav.Params{G: 1, Eps: 1e-3, Theta: 0}
+		allpairs.AllPairs(rt, par.ParUnseq, ref, p)
+		tree.Accelerations(rt, par.ParUnseq, s, p)
+		for i := 0; i < n; i++ {
+			if s.Acc(i).Sub(ref.Acc(i)).Norm() > 1e-10*(1+ref.Acc(i).Norm()) {
+				t.Fatalf("n=%d body %d: %v vs %v", n, i, s.Acc(i), ref.Acc(i))
+			}
+		}
+	}
+}
+
+func TestForceApproximation(t *testing.T) {
+	n := 2000
+	s := randomSystem(n, 7)
+	tree := New(Config{})
+	tree.Build(rt, s)
+	ref := s.Clone()
+	p := grav.Params{G: 1, Eps: 1e-3, Theta: 0.5}
+	allpairs.AllPairs(rt, par.ParUnseq, ref, p)
+	tree.Accelerations(rt, par.ParUnseq, s, p)
+
+	var meanMag float64
+	for i := 0; i < n; i++ {
+		meanMag += ref.Acc(i).Norm()
+	}
+	meanMag /= float64(n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Acc(i).Sub(ref.Acc(i)).Norm() / (ref.Acc(i).Norm() + 0.1*meanMag)
+	}
+	if mean := sum / float64(n); mean > 0.02 {
+		t.Errorf("mean normalized force error %v", mean)
+	}
+}
+
+func TestPermutationTracked(t *testing.T) {
+	n := 500
+	s := randomSystem(n, 9)
+	orig := s.Clone()
+	tree := New(Config{})
+	tree.Build(rt, s)
+	// Every body must be recoverable via ID.
+	for i := 0; i < n; i++ {
+		id := s.ID[i]
+		if s.Pos(i) != orig.Pos(int(id)) {
+			t.Fatalf("slot %d claims body %d but positions differ", i, id)
+		}
+	}
+}
+
+func TestCoincidentBodies(t *testing.T) {
+	s := body.NewSystem(20)
+	for i := 0; i < 20; i++ {
+		s.Set(i, 1, vec.New(1, 2, 3), vec.Zero)
+	}
+	tree := New(Config{LeafSize: 4})
+	tree.Build(rt, s)
+	checkStructure(t, tree, s)
+	tree.Accelerations(rt, par.ParUnseq, s, grav.Params{G: 1, Eps: 0, Theta: 0.5})
+	for i := 0; i < s.N(); i++ {
+		if !s.Acc(i).IsFinite() {
+			t.Fatalf("acceleration %v", s.Acc(i))
+		}
+	}
+}
+
+func TestReuseAcrossBuilds(t *testing.T) {
+	tree := New(Config{})
+	for step := 0; step < 4; step++ {
+		s := randomSystem(300+step*900, uint64(step)+11)
+		tree.Build(rt, s)
+		checkStructure(t, tree, s)
+	}
+}
+
+func TestClusteredDistribution(t *testing.T) {
+	// Clusters stress the adaptive splitting.
+	src := rng.New(13)
+	n := 3000
+	s := body.NewSystem(n)
+	for i := 0; i < n; i++ {
+		c := float64(src.Intn(3)) * 100
+		s.Set(i, 1, vec.New(c+src.Norm(), c+src.Norm(), c+src.Norm()), vec.Zero)
+	}
+	tree := New(Config{})
+	tree.Build(rt, s)
+	checkStructure(t, tree, s)
+
+	ref := s.Clone()
+	p := grav.Params{G: 1, Eps: 1e-3, Theta: 0}
+	allpairs.AllPairs(rt, par.ParUnseq, ref, p)
+	tree.Accelerations(rt, par.ParUnseq, s, p)
+	for i := 0; i < n; i++ {
+		if s.Acc(i).Sub(ref.Acc(i)).Norm() > 1e-9*(1+ref.Acc(i).Norm()) {
+			t.Fatalf("body %d force mismatch", i)
+		}
+	}
+}
+
+func TestStringer(t *testing.T) {
+	tree := New(Config{})
+	tree.Build(rt, randomSystem(10, 1))
+	if len(tree.String()) == 0 {
+		t.Error("empty String")
+	}
+}
+
+// Property: structure invariants and θ=0 exactness for random systems.
+func TestPropBuildAndForce(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, leafRaw uint8) bool {
+		n := int(nRaw%80) + 1
+		leaf := int(leafRaw%8) + 1
+		s := randomSystem(n, seed)
+		tree := New(Config{LeafSize: leaf})
+		tree.Build(rt, s)
+		ref := s.Clone()
+		p := grav.Params{G: 1, Eps: 1e-3, Theta: 0}
+		allpairs.AllPairs(rt, par.ParUnseq, ref, p)
+		tree.Accelerations(rt, par.ParUnseq, s, p)
+		for i := 0; i < n; i++ {
+			if s.Acc(i).Sub(ref.Acc(i)).Norm() > 1e-9*(1+ref.Acc(i).Norm()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuild1e5(b *testing.B) {
+	s := randomSystem(100000, 1)
+	tree := New(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Build(rt, s)
+	}
+}
+
+func BenchmarkForce1e5(b *testing.B) {
+	s := randomSystem(100000, 1)
+	tree := New(Config{})
+	tree.Build(rt, s)
+	p := grav.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Accelerations(rt, par.ParUnseq, s, p)
+	}
+}

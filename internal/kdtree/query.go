@@ -1,0 +1,143 @@
+package kdtree
+
+import "container/heap"
+
+// The paper motivates its tree structures as "transferable to other domains
+// and algorithms"; this file makes that concrete with the two classic
+// spatial queries every simulation codebase eventually needs — fixed-radius
+// neighbour search (SPH-style neighbour lists, collision candidate pruning)
+// and k-nearest-neighbour search — both answered from the same kd-tree the
+// force solver builds, with no extra construction cost.
+
+// RangeQuery appends to out the indices (in the tree's permuted body order)
+// of all bodies within radius of (x, y, z), and returns the extended slice.
+// The traversal prunes subtrees whose bounding box lies farther than
+// radius. Bodies exactly at distance radius are included.
+func (t *Tree) RangeQuery(x, y, z, radius float64, out []int32) []int32 {
+	if t.n == 0 || radius < 0 {
+		return out
+	}
+	r2 := radius * radius
+	var walk func(node int)
+	walk = func(node int) {
+		if t.lo[node] >= t.hi[node] || t.boxDist2(node, x, y, z) > r2 {
+			return
+		}
+		if t.isLeafNode(node) {
+			for b := t.lo[node]; b < t.hi[node]; b++ {
+				dx := t.px(b) - x
+				dy := t.py(b) - y
+				dz := t.pz(b) - z
+				if dx*dx+dy*dy+dz*dz <= r2 {
+					out = append(out, b)
+				}
+			}
+			return
+		}
+		walk(2 * node)
+		walk(2*node + 1)
+	}
+	walk(1)
+	return out
+}
+
+// Neighbor is one k-nearest-neighbour result.
+type Neighbor struct {
+	Index int32   // body index in the tree's permuted order
+	Dist2 float64 // squared distance to the query point
+}
+
+// KNN returns the k nearest bodies to (x, y, z) in ascending distance
+// order. If the tree holds fewer than k bodies, all of them are returned.
+// The traversal descends best-first into the nearer child and prunes
+// subtrees farther than the current k-th distance.
+func (t *Tree) KNN(x, y, z float64, k int) []Neighbor {
+	if k <= 0 || t.n == 0 {
+		return nil
+	}
+	if k > t.n {
+		k = t.n
+	}
+	h := &neighborHeap{}
+
+	var walk func(node int)
+	walk = func(node int) {
+		if t.lo[node] >= t.hi[node] {
+			return
+		}
+		if h.Len() == k && t.boxDist2(node, x, y, z) > h.peek() {
+			return
+		}
+		if t.isLeafNode(node) {
+			for b := t.lo[node]; b < t.hi[node]; b++ {
+				dx := t.px(b) - x
+				dy := t.py(b) - y
+				dz := t.pz(b) - z
+				d2 := dx*dx + dy*dy + dz*dz
+				if h.Len() < k {
+					heap.Push(h, Neighbor{b, d2})
+				} else if d2 < h.peek() {
+					(*h)[0] = Neighbor{b, d2}
+					heap.Fix(h, 0)
+				}
+			}
+			return
+		}
+		// Visit the nearer child first so pruning kicks in early.
+		l, r := 2*node, 2*node+1
+		if t.boxDist2(l, x, y, z) > t.boxDist2(r, x, y, z) {
+			l, r = r, l
+		}
+		walk(l)
+		walk(r)
+	}
+	walk(1)
+
+	// Drain the max-heap into ascending order.
+	out := make([]Neighbor, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Neighbor)
+	}
+	return out
+}
+
+// isLeafNode mirrors the build's early-leaf rule.
+func (t *Tree) isLeafNode(node int) bool {
+	return node >= t.numLeaves || int(t.hi[node]-t.lo[node]) <= t.cfg.LeafSize
+}
+
+// boxDist2 returns the squared distance from the point to node i's box.
+func (t *Tree) boxDist2(i int, x, y, z float64) float64 {
+	var d2 float64
+	if v := t.minX[i] - x; v > 0 {
+		d2 += v * v
+	} else if v := x - t.maxX[i]; v > 0 {
+		d2 += v * v
+	}
+	if v := t.minY[i] - y; v > 0 {
+		d2 += v * v
+	} else if v := y - t.maxY[i]; v > 0 {
+		d2 += v * v
+	}
+	if v := t.minZ[i] - z; v > 0 {
+		d2 += v * v
+	} else if v := z - t.maxZ[i]; v > 0 {
+		d2 += v * v
+	}
+	return d2
+}
+
+// Position accessors for the permuted body arrays captured by Build.
+func (t *Tree) px(b int32) float64 { return t.posX[b] }
+func (t *Tree) py(b int32) float64 { return t.posY[b] }
+func (t *Tree) pz(b int32) float64 { return t.posZ[b] }
+
+// neighborHeap is a max-heap by Dist2 (the root is the worst of the best k).
+type neighborHeap []Neighbor
+
+func (h neighborHeap) Len() int           { return len(h) }
+func (h neighborHeap) Less(i, j int) bool { return h[i].Dist2 > h[j].Dist2 }
+func (h neighborHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x any)        { *h = append(*h, x.(Neighbor)) }
+func (h *neighborHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h neighborHeap) peek() float64      { return h[0].Dist2 }

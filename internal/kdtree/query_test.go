@@ -1,0 +1,206 @@
+package kdtree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"nbody/internal/rng"
+	"nbody/internal/vec"
+)
+
+// bruteRange is the O(N) range-query reference over the (permuted) system.
+func bruteRange(t *Tree, x, y, z, radius float64) []int32 {
+	var out []int32
+	r2 := radius * radius
+	for b := int32(0); b < int32(t.n); b++ {
+		dx := t.px(b) - x
+		dy := t.py(b) - y
+		dz := t.pz(b) - z
+		if dx*dx+dy*dy+dz*dz <= r2 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func sortedCopy(s []int32) []int32 {
+	c := append([]int32(nil), s...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}
+
+func TestRangeQueryMatchesBrute(t *testing.T) {
+	s := randomSystem(2000, 211)
+	tree := New(Config{})
+	tree.Build(rt, s)
+	src := rng.New(17)
+	for trial := 0; trial < 50; trial++ {
+		x := src.Range(-12, 12)
+		y := src.Range(-12, 12)
+		z := src.Range(-12, 12)
+		radius := src.Range(0, 8)
+		got := sortedCopy(tree.RangeQuery(x, y, z, radius, nil))
+		want := sortedCopy(bruteRange(tree, x, y, z, radius))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: result %d = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRangeQueryEdgeCases(t *testing.T) {
+	s := randomSystem(100, 213)
+	tree := New(Config{})
+	tree.Build(rt, s)
+	if got := tree.RangeQuery(0, 0, 0, -1, nil); got != nil {
+		t.Errorf("negative radius returned %v", got)
+	}
+	// Radius 0 at an exact body position returns that body.
+	got := tree.RangeQuery(tree.px(7), tree.py(7), tree.pz(7), 0, nil)
+	found := false
+	for _, b := range got {
+		if b == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("zero-radius query at body 7 returned %v", got)
+	}
+	// Covering radius returns everything.
+	if got := tree.RangeQuery(0, 0, 0, 1e6, nil); len(got) != 100 {
+		t.Errorf("covering query returned %d of 100", len(got))
+	}
+	// Appending to an existing slice preserves its prefix.
+	pre := []int32{-7}
+	out := tree.RangeQuery(0, 0, 0, 1e6, pre)
+	if out[0] != -7 || len(out) != 101 {
+		t.Errorf("append contract broken: len=%d first=%d", len(out), out[0])
+	}
+}
+
+func TestKNNMatchesBrute(t *testing.T) {
+	s := randomSystem(1500, 215)
+	tree := New(Config{LeafSize: 4})
+	tree.Build(rt, s)
+	src := rng.New(19)
+	for trial := 0; trial < 30; trial++ {
+		x := src.Range(-12, 12)
+		y := src.Range(-12, 12)
+		z := src.Range(-12, 12)
+		k := 1 + src.Intn(20)
+
+		got := tree.KNN(x, y, z, k)
+		if len(got) != k {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), k)
+		}
+		// Ascending order.
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist2 < got[i-1].Dist2 {
+				t.Fatalf("trial %d: results not sorted", trial)
+			}
+		}
+		// Compare distances with brute force (indices may tie).
+		type bd struct{ d2 float64 }
+		all := make([]float64, tree.n)
+		for b := int32(0); b < int32(tree.n); b++ {
+			dx := tree.px(b) - x
+			dy := tree.py(b) - y
+			dz := tree.pz(b) - z
+			all[b] = dx*dx + dy*dy + dz*dz
+		}
+		sort.Float64s(all)
+		for i := range got {
+			if math.Abs(got[i].Dist2-all[i]) > 1e-12*(1+all[i]) {
+				t.Fatalf("trial %d: k=%d dist %v, want %v", trial, i, got[i].Dist2, all[i])
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	s := randomSystem(10, 217)
+	tree := New(Config{})
+	tree.Build(rt, s)
+	if got := tree.KNN(0, 0, 0, 0); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+	if got := tree.KNN(0, 0, 0, 50); len(got) != 10 {
+		t.Errorf("k>n returned %d", len(got))
+	}
+	empty := New(Config{})
+	empty.Build(rt, randomSystem(0, 1))
+	if got := empty.KNN(0, 0, 0, 3); got != nil {
+		t.Errorf("empty tree returned %v", got)
+	}
+	if got := empty.RangeQuery(0, 0, 0, 5, nil); got != nil {
+		t.Errorf("empty tree range returned %v", got)
+	}
+}
+
+func TestKNNSelfQuery(t *testing.T) {
+	// Querying at a body's own position: the first neighbour is that body
+	// at distance 0.
+	s := randomSystem(500, 219)
+	tree := New(Config{})
+	tree.Build(rt, s)
+	for b := int32(0); b < 500; b += 97 {
+		got := tree.KNN(tree.px(b), tree.py(b), tree.pz(b), 1)
+		if len(got) != 1 || got[0].Dist2 != 0 {
+			t.Fatalf("self query at %d: %+v", b, got)
+		}
+	}
+}
+
+// Property: range query results exactly match brute force for random
+// configurations and radii.
+func TestPropRangeQuery(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, rRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		radius := float64(rRaw) / 16
+		s := randomSystem(n, seed)
+		tree := New(Config{LeafSize: 2})
+		tree.Build(rt, s)
+		q := vec.New(0.5, -0.5, 0.25)
+		got := sortedCopy(tree.RangeQuery(q.X, q.Y, q.Z, radius, nil))
+		want := sortedCopy(bruteRange(tree, q.X, q.Y, q.Z, radius))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKNN(b *testing.B) {
+	s := randomSystem(100000, 1)
+	tree := New(Config{})
+	tree.Build(rt, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.KNN(float64(i%20)-10, 0, 0, 16)
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	s := randomSystem(100000, 1)
+	tree := New(Config{})
+	tree.Build(rt, s)
+	var buf []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tree.RangeQuery(float64(i%20)-10, 0, 0, 1.0, buf[:0])
+	}
+}

@@ -1,0 +1,295 @@
+// Package metrics provides the timing, statistics and table-formatting
+// utilities the benchmark harness uses to report results in the shape of
+// the paper's figures: per-phase breakdowns (Figure 8), throughputs in
+// bodies·steps/second (Figures 5-7, 9) and simple aggregate statistics over
+// repeated runs.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Phase identifies one step of the Barnes-Hut time integration loop
+// (Algorithm 2 / Algorithm 6 of the paper).
+type Phase int
+
+const (
+	PhaseBoundingBox Phase = iota
+	PhaseSort              // BVH only
+	PhaseBuild
+	PhaseMultipoles // octree only (the BVH fuses this into Build)
+	PhaseForce
+	PhaseUpdate
+	numPhases
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseBoundingBox:
+		return "bbox"
+	case PhaseSort:
+		return "sort"
+	case PhaseBuild:
+		return "build"
+	case PhaseMultipoles:
+		return "multipoles"
+	case PhaseForce:
+		return "force"
+	case PhaseUpdate:
+		return "update"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Phases lists all phases in execution order.
+func Phases() []Phase {
+	out := make([]Phase, numPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
+// Breakdown accumulates wall time per phase across steps.
+type Breakdown struct {
+	elapsed [numPhases]time.Duration
+	steps   int
+}
+
+// Add records d spent in phase p.
+func (b *Breakdown) Add(p Phase, d time.Duration) { b.elapsed[p] += d }
+
+// Time runs f and records its duration under phase p.
+func (b *Breakdown) Time(p Phase, f func()) {
+	start := time.Now()
+	f()
+	b.Add(p, time.Since(start))
+}
+
+// AddStep increments the step counter.
+func (b *Breakdown) AddStep() { b.steps++ }
+
+// Steps returns the number of recorded steps.
+func (b *Breakdown) Steps() int { return b.steps }
+
+// Reset zeroes the breakdown.
+func (b *Breakdown) Reset() { *b = Breakdown{} }
+
+// Elapsed returns the accumulated time of phase p.
+func (b *Breakdown) Elapsed(p Phase) time.Duration { return b.elapsed[p] }
+
+// Total returns the accumulated time across all phases.
+func (b *Breakdown) Total() time.Duration {
+	var t time.Duration
+	for _, d := range b.elapsed {
+		t += d
+	}
+	return t
+}
+
+// Fraction returns phase p's share of the total (0 when nothing was
+// recorded).
+func (b *Breakdown) Fraction(p Phase) float64 {
+	total := b.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(b.elapsed[p]) / float64(total)
+}
+
+// FractionExcludingForce returns phase p's share of the non-force time,
+// the quantity plotted in the paper's Figure 8 ("the remaining execution
+// time is spent in CALCULATEFORCE, not shown").
+func (b *Breakdown) FractionExcludingForce(p Phase) float64 {
+	if p == PhaseForce {
+		return 0
+	}
+	total := b.Total() - b.elapsed[PhaseForce]
+	if total == 0 {
+		return 0
+	}
+	return float64(b.elapsed[p]) / float64(total)
+}
+
+// String implements fmt.Stringer with one line per non-zero phase.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	for _, p := range Phases() {
+		if b.elapsed[p] == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-11s %12v  %5.1f%%\n", p, b.elapsed[p].Round(time.Microsecond), 100*b.Fraction(p))
+	}
+	fmt.Fprintf(&sb, "%-11s %12v", "total", b.Total().Round(time.Microsecond))
+	return sb.String()
+}
+
+// Throughput converts a measured duration into the paper's throughput
+// metric: bodies·steps per second.
+func Throughput(bodies, steps int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bodies) * float64(steps) / elapsed.Seconds()
+}
+
+// Summary holds simple order statistics of repeated measurements.
+type Summary struct {
+	N                int
+	Min, Max, Mean   float64
+	Median, StdDev   float64
+	CoefOfVar        float64 // StdDev/Mean (0 when Mean == 0)
+	p5Val, p95Val    float64
+	sortedCopyCached []float64
+}
+
+// Summarize computes order statistics over xs (which it does not modify).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.sortedCopyCached = sorted
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = sum / float64(len(sorted))
+	var ss float64
+	for _, v := range sorted {
+		d := v - s.Mean
+		ss += d * d
+	}
+	if len(sorted) > 1 {
+		s.StdDev = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	if s.Mean != 0 {
+		s.CoefOfVar = s.StdDev / math.Abs(s.Mean)
+	}
+	s.Median = percentileSorted(sorted, 0.5)
+	s.p5Val = percentileSorted(sorted, 0.05)
+	s.p95Val = percentileSorted(sorted, 0.95)
+	return s
+}
+
+// Percentile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation.
+func (s Summary) Percentile(q float64) float64 {
+	if len(s.sortedCopyCached) == 0 {
+		return 0
+	}
+	return percentileSorted(s.sortedCopyCached, q)
+}
+
+func percentileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Table is a minimal fixed-width text table writer for harness output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// formatFloat renders measurement values compactly: scientific notation for
+// very large/small magnitudes, fixed otherwise.
+func formatFloat(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Render writes the table to w with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}
+
+// RenderCSV writes the table as CSV to w (for post-processing/plotting).
+func (t *Table) RenderCSV(w io.Writer) {
+	writeCSV := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	writeCSV(t.header)
+	for _, row := range t.rows {
+		writeCSV(row)
+	}
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPhaseStrings(t *testing.T) {
+	want := map[Phase]string{
+		PhaseBoundingBox: "bbox",
+		PhaseSort:        "sort",
+		PhaseBuild:       "build",
+		PhaseMultipoles:  "multipoles",
+		PhaseForce:       "force",
+		PhaseUpdate:      "update",
+	}
+	for p, w := range want {
+		if p.String() != w {
+			t.Errorf("%v != %q", p, w)
+		}
+	}
+	if Phase(99).String() == "" {
+		t.Error("unknown phase prints empty")
+	}
+	if len(Phases()) != 6 {
+		t.Errorf("Phases() = %v", Phases())
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(PhaseForce, 3*time.Second)
+	b.Add(PhaseBuild, time.Second)
+	b.AddStep()
+	b.AddStep()
+
+	if b.Total() != 4*time.Second {
+		t.Errorf("Total = %v", b.Total())
+	}
+	if b.Steps() != 2 {
+		t.Errorf("Steps = %d", b.Steps())
+	}
+	if got := b.Fraction(PhaseForce); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Fraction(force) = %v", got)
+	}
+	if got := b.FractionExcludingForce(PhaseBuild); got != 1 {
+		t.Errorf("FractionExcludingForce(build) = %v", got)
+	}
+	if got := b.FractionExcludingForce(PhaseForce); got != 0 {
+		t.Errorf("FractionExcludingForce(force) = %v", got)
+	}
+	if !strings.Contains(b.String(), "force") {
+		t.Errorf("String missing force: %q", b.String())
+	}
+
+	b.Reset()
+	if b.Total() != 0 || b.Steps() != 0 {
+		t.Error("Reset incomplete")
+	}
+	if b.Fraction(PhaseForce) != 0 || b.FractionExcludingForce(PhaseBuild) != 0 {
+		t.Error("fractions of empty breakdown not zero")
+	}
+}
+
+func TestBreakdownTime(t *testing.T) {
+	var b Breakdown
+	b.Time(PhaseUpdate, func() { time.Sleep(time.Millisecond) })
+	if b.Elapsed(PhaseUpdate) < time.Millisecond {
+		t.Errorf("Time recorded %v", b.Elapsed(PhaseUpdate))
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, 10, time.Second); got != 10000 {
+		t.Errorf("Throughput = %v", got)
+	}
+	if got := Throughput(1000, 10, 0); got != 0 {
+		t.Errorf("Throughput(0s) = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+	if math.Abs(s.CoefOfVar-s.StdDev/3) > 1e-12 {
+		t.Errorf("CoefOfVar = %v", s.CoefOfVar)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := s.Percentile(1); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := s.Percentile(0.5); got != 3 {
+		t.Errorf("P50 = %v", got)
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Percentile(0.5) != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Median != 7 || s.StdDev != 0 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 3.14159)
+	tb.AddRow("beta", 1e9)
+	tb.AddRow("gamma", 0.0)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"name", "alpha", "3.142", "1.000e+09", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x,y", 2.0)
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "\"x,y\"") {
+		t.Errorf("CSV quoting failed:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+}

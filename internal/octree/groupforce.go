@@ -1,0 +1,132 @@
+package octree
+
+import (
+	"math"
+
+	"nbody/internal/body"
+	"nbody/internal/grav"
+	"nbody/internal/par"
+)
+
+// AccelerationsGrouped computes forces with a *group traversal*: instead of
+// one tree walk per body, bodies are processed in spatially compact groups
+// that share a single walk — the "multiple-walk" optimization of Hamada et
+// al. (the paper's related work, Section VI) and of Burtscher & Pingali's
+// CUDA treecode. One walk per group amortizes the irregular traversal
+// logic over groupSize bodies and turns the per-node work into dense,
+// vector-friendly inner loops.
+//
+// The opening test must hold for *every* body in the group, so it is made
+// conservative: a node of size s is approximated only when
+//
+//	s < θ·(d_box − r_g)
+//
+// where d_box is the distance from the node's center of mass to the
+// group's bounding box (r_g = 0 under that metric). Conservativeness means
+// the approximation error is never worse than per-body Barnes-Hut at equal
+// θ; the cost is opening somewhat more nodes. θ = 0 remains exact.
+//
+// Groups are consecutive runs of groupSize bodies in array order, so this
+// traversal profits greatly from Config.PresortMorton (curve-ordered
+// bodies make groups compact); it remains correct without it.
+func (t *Tree) AccelerationsGrouped(r *par.Runtime, pol par.Policy, s *body.System, p grav.Params, groupSize int) {
+	n := s.N()
+	if groupSize <= 0 {
+		groupSize = 32
+	}
+	eps2 := p.Eps2()
+	theta2 := p.Theta * p.Theta
+	rootSize := 2 * t.rootHalf
+
+	var sizeAt [260]float64
+	sz := rootSize
+	for d := range sizeAt {
+		sizeAt[d] = sz
+		sz *= 0.5
+	}
+
+	posX, posY, posZ, mass := s.PosX, s.PosY, s.PosZ, s.Mass
+	numGroups := (n + groupSize - 1) / groupSize
+
+	r.For(pol, numGroups, func(g int) {
+		b0 := g * groupSize
+		b1 := min(b0+groupSize, n)
+
+		// Group bounding box.
+		gMinX, gMinY, gMinZ := math.Inf(1), math.Inf(1), math.Inf(1)
+		gMaxX, gMaxY, gMaxZ := math.Inf(-1), math.Inf(-1), math.Inf(-1)
+		for b := b0; b < b1; b++ {
+			gMinX = math.Min(gMinX, posX[b])
+			gMinY = math.Min(gMinY, posY[b])
+			gMinZ = math.Min(gMinZ, posZ[b])
+			gMaxX = math.Max(gMaxX, posX[b])
+			gMaxY = math.Max(gMaxY, posY[b])
+			gMaxZ = math.Max(gMaxZ, posZ[b])
+		}
+
+		// boxDist2 from a point to the group box.
+		boxDist2 := func(x, y, z float64) float64 {
+			var d2 float64
+			if v := gMinX - x; v > 0 {
+				d2 += v * v
+			} else if v := x - gMaxX; v > 0 {
+				d2 += v * v
+			}
+			if v := gMinY - y; v > 0 {
+				d2 += v * v
+			} else if v := y - gMaxY; v > 0 {
+				d2 += v * v
+			}
+			if v := gMinZ - z; v > 0 {
+				d2 += v * v
+			} else if v := z - gMaxZ; v > 0 {
+				d2 += v * v
+			}
+			return d2
+		}
+
+		accX := make([]float64, b1-b0)
+		accY := make([]float64, b1-b0)
+		accZ := make([]float64, b1-b0)
+
+		node := int32(0)
+		for node >= 0 {
+			tok := t.child[node]
+			if tok >= 0 {
+				cx, cy, cz := t.comX[node], t.comY[node], t.comZ[node]
+				d2 := boxDist2(cx, cy, cz)
+				size := sizeAt[t.depthOf(node)]
+				if size*size < theta2*d2 {
+					// Accepted for the whole group: dense inner loop.
+					m := t.m[node]
+					for k := range accX {
+						b := b0 + k
+						grav.Accumulate(cx-posX[b], cy-posY[b], cz-posZ[b], m, eps2, &accX[k], &accY[k], &accZ[k])
+					}
+					node = t.advance(node)
+				} else {
+					node = tok
+				}
+				continue
+			}
+			for src := leafBody(tok); src >= 0; src = t.next[src] {
+				sx, sy, sz2, sm := posX[src], posY[src], posZ[src], mass[src]
+				for k := range accX {
+					b := b0 + k
+					if int(src) == b {
+						continue
+					}
+					grav.Accumulate(sx-posX[b], sy-posY[b], sz2-posZ[b], sm, eps2, &accX[k], &accY[k], &accZ[k])
+				}
+			}
+			node = t.advance(node)
+		}
+
+		for k := range accX {
+			b := b0 + k
+			s.AccX[b] = p.G * accX[k]
+			s.AccY[b] = p.G * accY[k]
+			s.AccZ[b] = p.G * accZ[k]
+		}
+	})
+}

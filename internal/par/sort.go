@@ -1,0 +1,210 @@
+package par
+
+import (
+	"slices"
+	"sync"
+)
+
+// SortByKeys stably sorts idx so that keys[idx[0]], keys[idx[1]], … is
+// non-decreasing. It is the Parallel Sort of the paper's HILBERTSORT step:
+// the C++ code sorts (hilbert, body) pairs; here idx is the permutation that
+// is afterwards applied to the body arrays (the same strategy the paper uses
+// for the AdaptiveCpp and Clang toolchains, which lack views::zip).
+//
+// The implementation is a parallel least-significant-digit radix sort over
+// 8-bit digits. Only the digits needed to cover the largest key are
+// processed. Each pass histograms per worker block, turns the (digit, block)
+// grid into scatter offsets with an exclusive scan, and scatters blocks in
+// parallel — every pass is stable, so the whole sort is.
+func SortByKeys(r *Runtime, p Policy, keys []uint64, idx []int32) {
+	n := len(idx)
+	if n <= 1 {
+		return
+	}
+	const radixBits = 8
+	const buckets = 1 << radixBits
+
+	if p == Seq || r.workers == 1 || n < 4096 {
+		// Sequential stable sort is faster than radix bookkeeping for
+		// small inputs.
+		slices.SortStableFunc(idx, func(a, b int32) int {
+			ka, kb := keys[a], keys[b]
+			switch {
+			case ka < kb:
+				return -1
+			case ka > kb:
+				return 1
+			}
+			return 0
+		})
+		return
+	}
+
+	// Number of significant digit positions.
+	maxKey := ReduceRanges(r, p, n, 0,
+		func(a, b uint64) uint64 { return max(a, b) },
+		func(acc uint64, lo, hi int) uint64 {
+			for i := lo; i < hi; i++ {
+				if k := keys[idx[i]]; k > acc {
+					acc = k
+				}
+			}
+			return acc
+		})
+	passes := 1
+	for maxKey>>(radixBits*passes) != 0 && passes < 8 {
+		passes++
+	}
+
+	src := idx
+	dst := make([]int32, n)
+	w := r.workers
+	hist := make([]int32, w*buckets) // hist[b*buckets+d]
+
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(pass * radixBits)
+
+		// Per-block digit histograms.
+		runBlocks(w, n, func(k, lo, hi int) {
+			h := hist[k*buckets : (k+1)*buckets]
+			for i := range h {
+				h[i] = 0
+			}
+			for i := lo; i < hi; i++ {
+				d := (keys[src[i]] >> shift) & (buckets - 1)
+				h[d]++
+			}
+		})
+
+		// Exclusive scan in (digit-major, block-minor) order: the first
+		// element with digit d in block b lands at offset
+		// Σ_{d'<d} count(d') + Σ_{b'<b} hist[b'][d].
+		var total int32
+		for d := 0; d < buckets; d++ {
+			for b := 0; b < w; b++ {
+				i := b*buckets + d
+				c := hist[i]
+				hist[i] = total
+				total += c
+			}
+		}
+
+		// Stable scatter per block.
+		runBlocks(w, n, func(k, lo, hi int) {
+			h := hist[k*buckets : (k+1)*buckets]
+			for i := lo; i < hi; i++ {
+				v := src[i]
+				d := (keys[v] >> shift) & (buckets - 1)
+				dst[h[d]] = v
+				h[d]++
+			}
+		})
+
+		src, dst = dst, src
+	}
+	if &src[0] != &idx[0] {
+		copy(idx, src)
+	}
+}
+
+// runBlocks runs f(k, lo_k, hi_k) for the w contiguous blocks covering
+// [0, n), one goroutine each.
+func runBlocks(w, n int, f func(k, lo, hi int)) {
+	var pg panicGuard
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(k int) {
+			defer wg.Done()
+			defer pg.capture()
+			f(k, k*n/w, (k+1)*n/w)
+		}(k)
+	}
+	wg.Wait()
+	pg.repanic()
+}
+
+// Sort sorts s in ascending order of cmp (a slices.SortFunc-style
+// three-way comparison) using a parallel merge sort: the slice is split into
+// one run per worker, runs are sorted concurrently with the standard
+// library's pattern-defeating quicksort, then merged pairwise in parallel
+// rounds. The sort is not stable.
+func Sort[T any](r *Runtime, p Policy, s []T, cmp func(a, b T) int) {
+	n := len(s)
+	if n <= 1 {
+		return
+	}
+	w := r.workers
+	if p == Seq || w == 1 || n < 4096 {
+		slices.SortFunc(s, cmp)
+		return
+	}
+	if w > n/2048 {
+		w = n / 2048 // do not over-decompose small inputs
+	}
+	// Round runs down to a power of two so the merge tree is balanced.
+	runs := 1
+	for runs*2 <= w {
+		runs *= 2
+	}
+
+	bounds := make([]int, runs+1)
+	for k := 0; k <= runs; k++ {
+		bounds[k] = k * n / runs
+	}
+
+	var pg panicGuard
+	var wg sync.WaitGroup
+	wg.Add(runs)
+	for k := 0; k < runs; k++ {
+		go func(k int) {
+			defer wg.Done()
+			defer pg.capture()
+			slices.SortFunc(s[bounds[k]:bounds[k+1]], cmp)
+		}(k)
+	}
+	wg.Wait()
+	pg.repanic()
+
+	// Pairwise parallel merge rounds, ping-ponging with a scratch buffer.
+	buf := make([]T, n)
+	src, dst := s, buf
+	for width := 1; width < runs; width *= 2 {
+		pairs := runs / (2 * width)
+		wg.Add(pairs)
+		for q := 0; q < pairs; q++ {
+			go func(q int) {
+				defer wg.Done()
+				defer pg.capture()
+				lo := bounds[2*q*width]
+				mid := bounds[2*q*width+width]
+				hi := bounds[2*q*width+2*width]
+				mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi], cmp)
+			}(q)
+		}
+		wg.Wait()
+		pg.repanic()
+		src, dst = dst, src
+	}
+	if &src[0] != &s[0] {
+		copy(s, src)
+	}
+}
+
+// mergeInto merges the sorted slices a and b into out, which must have
+// length len(a)+len(b).
+func mergeInto[T any](out, a, b []T, cmp func(x, y T) int) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if cmp(a[i], b[j]) <= 0 {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	k += copy(out[k:], a[i:])
+	copy(out[k:], b[j:])
+}

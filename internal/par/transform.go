@@ -1,0 +1,141 @@
+package par
+
+import "sync"
+
+// This file rounds out the parallel-algorithms surface with the remaining
+// std-library shapes the paper's programming model offers: transform
+// (Map), copy_if (Filter), and count_if (CountIf). None of them are on the
+// Barnes-Hut hot path, but a stdpar substrate without them would be
+// incomplete for downstream users.
+
+// Map fills dst[i] = f(i) for i in [0, n) in parallel. dst must have length
+// at least n. It is the C++ std::transform over an index space.
+func Map[T any](r *Runtime, p Policy, n int, dst []T, f func(i int) T) {
+	if n > len(dst) {
+		panic("par: Map destination shorter than n")
+	}
+	r.ForGrain(p, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = f(i)
+		}
+	})
+}
+
+// Filter returns the indices i in [0, n) for which keep(i) is true, in
+// ascending order — the parallel copy_if. Each worker collects matches from
+// its contiguous block; blocks are concatenated in order, so the result is
+// deterministic regardless of scheduling.
+func Filter(r *Runtime, p Policy, n int, keep func(i int) bool) []int {
+	if n <= 0 {
+		return nil
+	}
+	if p == Seq || r.workers == 1 || n <= r.grain {
+		var out []int
+		for i := 0; i < n; i++ {
+			if keep(i) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+
+	w := r.workers
+	if w > n {
+		w = n
+	}
+	parts := make([][]int, w)
+	var pg panicGuard
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(k int) {
+			defer wg.Done()
+			defer pg.capture()
+			lo, hi := k*n/w, (k+1)*n/w
+			var local []int
+			for i := lo; i < hi; i++ {
+				if keep(i) {
+					local = append(local, i)
+				}
+			}
+			parts[k] = local
+		}(k)
+	}
+	wg.Wait()
+	pg.repanic()
+
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]int, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// CountIf returns the number of indices in [0, n) for which pred is true —
+// the parallel count_if.
+func CountIf(r *Runtime, p Policy, n int, pred func(i int) bool) int {
+	return ReduceRanges(r, p, n, 0,
+		func(a, b int) int { return a + b },
+		func(acc, lo, hi int) int {
+			for i := lo; i < hi; i++ {
+				if pred(i) {
+					acc++
+				}
+			}
+			return acc
+		})
+}
+
+// MinMaxIndex returns the indices of the minimum and maximum values of
+// key(i) over [0, n) (first occurrence wins ties). It returns (-1, -1) for
+// n <= 0. The parallel minmax_element.
+func MinMaxIndex(r *Runtime, p Policy, n int, key func(i int) float64) (minIdx, maxIdx int) {
+	if n <= 0 {
+		return -1, -1
+	}
+	type extrema struct {
+		minI, maxI int
+		minV, maxV float64
+	}
+	id := extrema{minI: -1, maxI: -1}
+	res := ReduceRanges(r, p, n, id,
+		func(a, b extrema) extrema {
+			if a.minI == -1 {
+				return b
+			}
+			if b.minI == -1 {
+				return a
+			}
+			out := a
+			// Ties resolve to the smaller index, which for contiguous
+			// ordered blocks is always the earlier block's.
+			if b.minV < out.minV || (b.minV == out.minV && b.minI < out.minI) {
+				out.minV, out.minI = b.minV, b.minI
+			}
+			if b.maxV > out.maxV || (b.maxV == out.maxV && b.maxI < out.maxI) {
+				out.maxV, out.maxI = b.maxV, b.maxI
+			}
+			return out
+		},
+		func(acc extrema, lo, hi int) extrema {
+			for i := lo; i < hi; i++ {
+				v := key(i)
+				if acc.minI == -1 {
+					acc = extrema{minI: i, maxI: i, minV: v, maxV: v}
+					continue
+				}
+				if v < acc.minV {
+					acc.minV, acc.minI = v, i
+				}
+				if v > acc.maxV {
+					acc.maxV, acc.maxI = v, i
+				}
+			}
+			return acc
+		})
+	return res.minI, res.maxI
+}

@@ -1,0 +1,120 @@
+package par
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestMap(t *testing.T) {
+	for _, r := range testRuntimes {
+		for _, p := range allPolicies {
+			n := 1000
+			dst := make([]int, n)
+			Map(r, p, n, dst, func(i int) int { return i * i })
+			for i, v := range dst {
+				if v != i*i {
+					t.Fatalf("%v %v: dst[%d] = %d", r, p, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestMapShortDstPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short destination did not panic")
+		}
+	}()
+	Map(NewRuntime(2, Dynamic), Par, 10, make([]int, 5), func(i int) int { return i })
+}
+
+func TestFilter(t *testing.T) {
+	for _, r := range testRuntimes {
+		for _, p := range allPolicies {
+			for _, n := range []int{0, 1, 100, 10000} {
+				got := Filter(r, p, n, func(i int) bool { return i%3 == 0 })
+				var want []int
+				for i := 0; i < n; i++ {
+					if i%3 == 0 {
+						want = append(want, i)
+					}
+				}
+				if !slices.Equal(got, want) {
+					t.Fatalf("%v %v n=%d: filter mismatch (%d vs %d results)", r, p, n, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestFilterNoneAll(t *testing.T) {
+	r := NewRuntime(4, Dynamic)
+	if got := Filter(r, Par, 1000, func(int) bool { return false }); len(got) != 0 {
+		t.Errorf("none: %d results", len(got))
+	}
+	if got := Filter(r, Par, 1000, func(int) bool { return true }); len(got) != 1000 {
+		t.Errorf("all: %d results", len(got))
+	}
+}
+
+func TestCountIf(t *testing.T) {
+	r := NewRuntime(4, Guided)
+	got := CountIf(r, Par, 10000, func(i int) bool { return i%7 == 0 })
+	want := 0
+	for i := 0; i < 10000; i++ {
+		if i%7 == 0 {
+			want++
+		}
+	}
+	if got != want {
+		t.Errorf("CountIf = %d, want %d", got, want)
+	}
+	if CountIf(r, Par, 0, func(int) bool { return true }) != 0 {
+		t.Error("CountIf(0) != 0")
+	}
+}
+
+func TestMinMaxIndex(t *testing.T) {
+	vals := []float64{3, -1, 4, -1, 5, 9, 2, 6}
+	r := NewRuntime(4, Dynamic).WithGrain(2)
+	minI, maxI := MinMaxIndex(r, Par, len(vals), func(i int) float64 { return vals[i] })
+	if minI != 1 { // first of the tied -1s
+		t.Errorf("minIdx = %d", minI)
+	}
+	if maxI != 5 {
+		t.Errorf("maxIdx = %d", maxI)
+	}
+	if a, b := MinMaxIndex(r, Par, 0, func(int) float64 { return 0 }); a != -1 || b != -1 {
+		t.Errorf("empty MinMaxIndex = %d, %d", a, b)
+	}
+}
+
+// Property: Filter(keep) ∪ Filter(!keep) partitions [0, n).
+func TestPropFilterPartition(t *testing.T) {
+	r := NewRuntime(4, Static)
+	f := func(nRaw uint16, mod uint8) bool {
+		n := int(nRaw % 3000)
+		m := int(mod%10) + 2
+		a := Filter(r, Par, n, func(i int) bool { return i%m == 0 })
+		b := Filter(r, Par, n, func(i int) bool { return i%m != 0 })
+		if len(a)+len(b) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, i := range a {
+			seen[i] = true
+		}
+		for _, i := range b {
+			if seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

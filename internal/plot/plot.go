@@ -1,0 +1,310 @@
+// Package plot renders minimal SVG charts with the standard library only,
+// so the benchmark harness can regenerate the paper's figures as images,
+// not just tables: grouped bar charts (Figures 5-7), stacked bar charts
+// (Figure 8) and log-log line charts (Figure 9).
+//
+// The renderer is deliberately small: fixed layout, automatic axis
+// scaling, a categorical palette, and nothing interactive. Output is valid
+// standalone SVG 1.1.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Palette is the categorical color cycle.
+var Palette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2",
+	"#59a14f", "#edc948", "#b07aa1", "#9c755f",
+}
+
+const (
+	width   = 720
+	height  = 440
+	marginL = 80
+	marginR = 24
+	marginT = 48
+	marginB = 96
+)
+
+// Series is one named sequence of (x, y) points for line charts.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// BarGroup is one cluster of bars sharing an x-axis label.
+type BarGroup struct {
+	Label  string
+	Values []float64 // one per series
+}
+
+// esc escapes text for SVG.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+type svg struct {
+	sb strings.Builder
+}
+
+func newSVG(title string) *svg {
+	s := &svg{}
+	fmt.Fprintf(&s.sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	s.rect(0, 0, width, height, "#ffffff", "")
+	s.text(width/2, marginT/2+6, title, 16, "middle", "#222222", false)
+	return s
+}
+
+func (s *svg) rect(x, y, w, h float64, fill, stroke string) {
+	fmt.Fprintf(&s.sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"`, x, y, w, h, fill)
+	if stroke != "" {
+		fmt.Fprintf(&s.sb, ` stroke="%s"`, stroke)
+	}
+	s.sb.WriteString("/>\n")
+}
+
+func (s *svg) line(x1, y1, x2, y2 float64, stroke string, dash bool) {
+	fmt.Fprintf(&s.sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"`, x1, y1, x2, y2, stroke)
+	if dash {
+		s.sb.WriteString(` stroke-dasharray="3,3"`)
+	}
+	s.sb.WriteString("/>\n")
+}
+
+func (s *svg) poly(points []float64, stroke string) {
+	s.sb.WriteString(`<polyline fill="none" stroke-width="2" stroke="` + stroke + `" points="`)
+	for i := 0; i+1 < len(points); i += 2 {
+		fmt.Fprintf(&s.sb, "%.1f,%.1f ", points[i], points[i+1])
+	}
+	s.sb.WriteString("\"/>\n")
+}
+
+func (s *svg) circle(x, y, r float64, fill string) {
+	fmt.Fprintf(&s.sb, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, fill)
+}
+
+func (s *svg) text(x, y int, str string, size int, anchor, fill string, rotate bool) {
+	transform := ""
+	if rotate {
+		transform = fmt.Sprintf(` transform="rotate(-35 %d %d)"`, x, y)
+	}
+	fmt.Fprintf(&s.sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="%d" text-anchor="%s" fill="%s"%s>%s</text>`+"\n",
+		x, y, size, anchor, fill, transform, esc(str))
+}
+
+func (s *svg) finish(w io.Writer) error {
+	s.sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, s.sb.String())
+	return err
+}
+
+// legend draws the series legend along the bottom.
+func (s *svg) legend(names []string) {
+	x := marginL
+	y := height - 18
+	for i, name := range names {
+		color := Palette[i%len(Palette)]
+		s.rect(float64(x), float64(y-10), 12, 12, color, "")
+		s.text(x+16, y, name, 12, "start", "#222222", false)
+		x += 16 + 8*len(name) + 24
+	}
+}
+
+// niceTicks returns ~5 round tick values covering [lo, hi].
+func niceTicks(lo, hi float64) []float64 {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/4)))
+	switch {
+	case span/step > 8:
+		step *= 2
+	case span/step < 3:
+		step /= 2
+	}
+	first := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := first; v <= hi+1e-9*span; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-2:
+		return fmt.Sprintf("%.0e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// GroupedBars writes a grouped bar chart (the shape of Figures 5-7):
+// one cluster per group, one colored bar per series name within it.
+func GroupedBars(w io.Writer, title, yLabel string, seriesNames []string, groups []BarGroup) error {
+	s := newSVG(title)
+
+	maxV := 0.0
+	for _, g := range groups {
+		for _, v := range g.Values {
+			maxV = math.Max(maxV, v)
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	yOf := func(v float64) float64 { return marginT + plotH*(1-v/(maxV*1.08)) }
+
+	// Axes and y ticks.
+	s.line(marginL, marginT, marginL, marginT+plotH, "#444444", false)
+	s.line(marginL, marginT+plotH, marginL+plotW, marginT+plotH, "#444444", false)
+	for _, tick := range niceTicks(0, maxV) {
+		y := yOf(tick)
+		s.line(marginL-4, y, marginL+plotW, y, "#dddddd", true)
+		s.text(marginL-8, int(y)+4, formatTick(tick), 11, "end", "#444444", false)
+	}
+	s.text(18, marginT+int(plotH)/2, yLabel, 12, "middle", "#222222", true)
+
+	groupW := plotW / float64(len(groups))
+	barW := groupW * 0.8 / float64(len(seriesNames))
+	for gi, g := range groups {
+		x0 := float64(marginL) + groupW*float64(gi) + groupW*0.1
+		for si, v := range g.Values {
+			if si >= len(seriesNames) {
+				break
+			}
+			x := x0 + barW*float64(si)
+			y := yOf(v)
+			s.rect(x, y, barW-2, float64(marginT)+plotH-y, Palette[si%len(Palette)], "")
+		}
+		s.text(int(x0+groupW*0.4), marginT+int(plotH)+16, g.Label, 11, "middle", "#222222", false)
+	}
+	s.legend(seriesNames)
+	return s.finish(w)
+}
+
+// StackedBars writes a 100%-stacked bar chart (the shape of Figure 8):
+// each group's values are normalized to their sum.
+func StackedBars(w io.Writer, title string, segmentNames []string, groups []BarGroup) error {
+	s := newSVG(title)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	s.line(marginL, marginT, marginL, marginT+plotH, "#444444", false)
+	s.line(marginL, marginT+plotH, marginL+plotW, marginT+plotH, "#444444", false)
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		y := marginT + plotH*(1-frac)
+		s.line(marginL-4, y, marginL+plotW, y, "#dddddd", true)
+		s.text(marginL-8, int(y)+4, fmt.Sprintf("%.0f%%", frac*100), 11, "end", "#444444", false)
+	}
+
+	groupW := plotW / float64(len(groups))
+	for gi, g := range groups {
+		total := 0.0
+		for _, v := range g.Values {
+			total += v
+		}
+		if total == 0 {
+			total = 1
+		}
+		x := float64(marginL) + groupW*float64(gi) + groupW*0.15
+		y := marginT + plotH
+		for si, v := range g.Values {
+			h := plotH * v / total
+			y -= h
+			s.rect(x, y, groupW*0.7, h, Palette[si%len(Palette)], "")
+			_ = si
+		}
+		s.text(int(x+groupW*0.35), marginT+int(plotH)+16, g.Label, 10, "middle", "#222222", true)
+	}
+	s.legend(segmentNames)
+	return s.finish(w)
+}
+
+// LogLogLines writes a log-log line chart (the shape of Figure 9).
+func LogLogLines(w io.Writer, title, xLabel, yLabel string, series []Series) error {
+	s := newSVG(title)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, se := range series {
+		for i := range se.X {
+			if se.X[i] <= 0 || se.Y[i] <= 0 {
+				return fmt.Errorf("plot: log-log chart requires positive data, got (%g, %g)", se.X[i], se.Y[i])
+			}
+			minX = math.Min(minX, se.X[i])
+			maxX = math.Max(maxX, se.X[i])
+			minY = math.Min(minY, se.Y[i])
+			maxY = math.Max(maxY, se.Y[i])
+		}
+	}
+	if len(series) == 0 || math.IsInf(minX, 1) {
+		return fmt.Errorf("plot: no data")
+	}
+	lx := func(v float64) float64 {
+		return marginL + plotW*(math.Log10(v)-math.Log10(minX))/(math.Log10(maxX)-math.Log10(minX)+1e-12)
+	}
+	ly := func(v float64) float64 {
+		lo, hi := math.Log10(minY)-0.05, math.Log10(maxY)+0.05
+		return marginT + plotH*(1-(math.Log10(v)-lo)/(hi-lo))
+	}
+
+	s.line(marginL, marginT, marginL, marginT+plotH, "#444444", false)
+	s.line(marginL, marginT+plotH, marginL+plotW, marginT+plotH, "#444444", false)
+
+	// Decade grid lines.
+	for d := math.Floor(math.Log10(minX)); d <= math.Ceil(math.Log10(maxX)); d++ {
+		v := math.Pow(10, d)
+		if v < minX || v > maxX {
+			continue
+		}
+		x := lx(v)
+		s.line(x, marginT, x, marginT+plotH, "#dddddd", true)
+		s.text(int(x), marginT+int(plotH)+16, formatTick(v), 11, "middle", "#444444", false)
+	}
+	for d := math.Floor(math.Log10(minY)); d <= math.Ceil(math.Log10(maxY)); d++ {
+		v := math.Pow(10, d)
+		if v < minY/1.2 || v > maxY*1.2 {
+			continue
+		}
+		y := ly(v)
+		s.line(marginL, y, marginL+plotW, y, "#dddddd", true)
+		s.text(marginL-8, int(y)+4, formatTick(v), 11, "end", "#444444", false)
+	}
+	s.text(marginL+int(plotW)/2, height-marginB+40, xLabel, 12, "middle", "#222222", false)
+	s.text(18, marginT+int(plotH)/2, yLabel, 12, "middle", "#222222", true)
+
+	names := make([]string, len(series))
+	for si, se := range series {
+		names[si] = se.Name
+		color := Palette[si%len(Palette)]
+		var pts []float64
+		for i := range se.X {
+			x, y := lx(se.X[i]), ly(se.Y[i])
+			pts = append(pts, x, y)
+			s.circle(x, y, 3, color)
+		}
+		s.poly(pts, color)
+	}
+	s.legend(names)
+	return s.finish(w)
+}

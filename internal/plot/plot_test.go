@@ -1,0 +1,102 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGroupedBars(t *testing.T) {
+	var sb strings.Builder
+	err := GroupedBars(&sb, "Figure 6", "bodies/s",
+		[]string{"all-pairs", "octree", "bvh"},
+		[]BarGroup{
+			{Label: "cpu", Values: []float64{2303, 55392, 66689}},
+			{Label: "cpu-seq", Values: []float64{2000, 40000, 50000}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "Figure 6", "octree", "rect", "bodies/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Count(out, "<rect") < 7 { // background + 6 bars
+		t.Errorf("too few rects: %d", strings.Count(out, "<rect"))
+	}
+}
+
+func TestGroupedBarsZeroData(t *testing.T) {
+	var sb strings.Builder
+	err := GroupedBars(&sb, "empty", "y", []string{"a"}, []BarGroup{{Label: "g", Values: []float64{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "</svg>") {
+		t.Error("unterminated SVG")
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	var sb strings.Builder
+	err := StackedBars(&sb, "Figure 8",
+		[]string{"bbox", "sort", "build"},
+		[]BarGroup{
+			{Label: "bvh/dynamic", Values: []float64{5, 77, 15}},
+			{Label: "bvh/static", Values: []float64{5, 78, 15}},
+			{Label: "all-zero", Values: []float64{0, 0, 0}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 8", "sort", "100%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestLogLogLines(t *testing.T) {
+	var sb strings.Builder
+	err := LogLogLines(&sb, "Figure 9", "bodies", "bodies/s", []Series{
+		{Name: "octree", X: []float64{1e4, 1e5, 1e6}, Y: []float64{117534, 33133, 22359}},
+		{Name: "bvh", X: []float64{1e4, 1e5, 1e6}, Y: []float64{132854, 69680, 21120}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"polyline", "circle", "octree", "1e+06"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestLogLogLinesRejectsNonPositive(t *testing.T) {
+	var sb strings.Builder
+	err := LogLogLines(&sb, "bad", "x", "y", []Series{{Name: "s", X: []float64{0}, Y: []float64{1}}})
+	if err == nil {
+		t.Error("non-positive x accepted")
+	}
+	if err := LogLogLines(&sb, "none", "x", "y", nil); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	var sb strings.Builder
+	err := GroupedBars(&sb, `<&"title">`, "y", []string{"<s>"}, []BarGroup{{Label: "a&b", Values: []float64{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, `<&"title">`) || strings.Contains(out, "<s>") {
+		t.Error("unescaped text in SVG")
+	}
+	if !strings.Contains(out, "&lt;s&gt;") || !strings.Contains(out, "a&amp;b") {
+		t.Error("escape sequences missing")
+	}
+}

@@ -1,0 +1,470 @@
+// Package quadtree is the two-dimensional sibling of the Concurrent Octree
+// — the exact data structure of the paper's Figure 1, which illustrates the
+// scheme with a quadtree: per-node child-offset tokens (Empty / Locked /
+// Body / offset), sibling groups of four in Morton order with one parent
+// offset per group, a concurrent bump allocator, parallel insertion with
+// CAS-based fine-grained locking, a wait-free multipole reduction and a
+// stackless depth-first traversal.
+//
+// It exists for the paper's second motivating application: Barnes-Hut
+// approximation of pairwise repulsive fields in 2D embeddings (t-SNE-style
+// visualisation, force-directed graph layout). To serve those workloads the
+// traversal takes a pluggable radial kernel instead of hard-coding gravity:
+// the contribution of a far node with aggregate weight W at offset d is
+// W·k(|d|²)·d, and of a leaf point likewise.
+package quadtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"nbody/internal/par"
+)
+
+// Token values stored in the child array (same scheme as the octree).
+const (
+	tokenEmpty  int32 = -1
+	tokenLocked int32 = -2
+)
+
+func bodyToken(b int32) int32 { return -b - 3 }
+func tokenBody(t int32) int32 { return -t - 3 }
+
+// DefaultMaxDepth bounds subdivision; deeper coincident points chain.
+const DefaultMaxDepth = 40
+
+// ErrPoolExhausted reports that the node pool could not fit the point set
+// even after growth retries.
+var ErrPoolExhausted = errors.New("quadtree: node pool exhausted")
+
+// Kernel is a radial interaction profile: given the squared distance r²
+// between a target point and a source (point or aggregated node), it
+// returns the scalar k such that the source contributes W·k·(dx, dy) to the
+// target's field. Typical kernels:
+//
+//	gravity-like:  k(r²) = 1/(r²+ε²)^(3/2)
+//	t-SNE-like:    k(r²) = 1/(1+r²)²     (Cauchy repulsion, normalized later)
+//	coulomb 2D:    k(r²) = 1/(r²+ε²)
+type Kernel func(r2 float64) float64
+
+// Tree is a concurrent 2D Barnes-Hut quadtree. Reusable across Build calls;
+// the zero value is not usable — call New.
+type Tree struct {
+	maxDepth int
+
+	child   []int32
+	counter []int32
+	w       []float64 // aggregate weight per node
+	comX    []float64
+	comY    []float64
+
+	parent []int32 // per group
+	depth  []uint8 // per group
+
+	next []int32 // chain links for max-depth leaves
+
+	nGroups  atomic.Int32
+	overflow atomic.Bool
+
+	px, py, pw []float64 // point coordinates and weights captured during Build
+
+	cx, cy, half float64
+	n            int
+}
+
+// New returns an empty tree. maxDepth <= 0 selects DefaultMaxDepth.
+func New(maxDepth int) *Tree {
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	return &Tree{maxDepth: maxDepth}
+}
+
+// NumNodes returns the allocated node count after Build.
+func (t *Tree) NumNodes() int { return 1 + 4*int(t.nGroups.Load()) }
+
+// Build constructs the quadtree over points (x[i], y[i]) with weights w.
+// The three slices must have equal length. Insertion runs as a Parallel For
+// under the par policy (fine-grained locking needs parallel forward
+// progress), followed by the wait-free weight/center reduction.
+func (t *Tree) Build(r *par.Runtime, x, y, w []float64) error {
+	n := len(x)
+	if len(y) != n || len(w) != n {
+		return fmt.Errorf("quadtree: mismatched slice lengths %d/%d/%d", len(x), len(y), len(w))
+	}
+	t.n = n
+	t.px, t.py, t.pw = x, y, w
+
+	// Bounding square.
+	type box struct{ minX, maxX, minY, maxY float64 }
+	bb := par.ReduceRanges(r, par.ParUnseq, n,
+		box{math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1)},
+		func(a, b box) box {
+			return box{math.Min(a.minX, b.minX), math.Max(a.maxX, b.maxX),
+				math.Min(a.minY, b.minY), math.Max(a.maxY, b.maxY)}
+		},
+		func(acc box, lo, hi int) box {
+			for i := lo; i < hi; i++ {
+				acc.minX = math.Min(acc.minX, x[i])
+				acc.maxX = math.Max(acc.maxX, x[i])
+				acc.minY = math.Min(acc.minY, y[i])
+				acc.maxY = math.Max(acc.maxY, y[i])
+			}
+			return acc
+		})
+	minX, maxX, minY, maxY := bb.minX, bb.maxX, bb.minY, bb.maxY
+	if n == 0 {
+		minX, maxX, minY, maxY = 0, 0, 0, 0
+	}
+	t.cx, t.cy = (minX+maxX)/2, (minY+maxY)/2
+	t.half = math.Max(maxX-minX, maxY-minY)/2 + 1e-12 + (maxX-minX+maxY-minY)*1e-12
+
+	if len(t.next) < n {
+		t.next = make([]int32, n)
+	}
+	if want := estimateGroups(n); t.capGroups() < want {
+		t.grow(want)
+	}
+
+	const maxAttempts = 8
+	for attempt := 0; ; attempt++ {
+		if t.tryBuild(r, x, y) {
+			break
+		}
+		if attempt == maxAttempts {
+			return fmt.Errorf("%w after %d growth attempts", ErrPoolExhausted, attempt)
+		}
+		t.grow(2 * t.capGroups())
+	}
+
+	t.computeMoments(r, w)
+	return nil
+}
+
+func estimateGroups(n int) int {
+	g := n
+	if g < 16 {
+		g = 16
+	}
+	return g
+}
+
+func (t *Tree) capGroups() int {
+	if len(t.child) == 0 {
+		return 0
+	}
+	return (len(t.child) - 1) / 4
+}
+
+func (t *Tree) grow(groups int) {
+	nodes := 1 + 4*groups
+	t.child = make([]int32, nodes)
+	t.counter = make([]int32, nodes)
+	t.w = make([]float64, nodes)
+	t.comX = make([]float64, nodes)
+	t.comY = make([]float64, nodes)
+	t.parent = make([]int32, groups)
+	t.depth = make([]uint8, groups)
+}
+
+func (t *Tree) tryBuild(r *par.Runtime, x, y []float64) bool {
+	t.nGroups.Store(0)
+	t.overflow.Store(false)
+	t.child[0] = tokenEmpty
+
+	r.For(par.Par, t.n, func(i int) {
+		if t.overflow.Load() {
+			return
+		}
+		t.insert(int32(i), x[i], y[i])
+	})
+	return !t.overflow.Load()
+}
+
+func (t *Tree) insert(b int32, x, y float64) {
+	node := int32(0)
+	cx, cy, half := t.cx, t.cy, t.half
+	depth := 0
+
+	for {
+		tok := atomic.LoadInt32(&t.child[node])
+		switch {
+		case tok >= 0:
+			quad := int32(0)
+			half *= 0.5
+			if x >= cx {
+				quad |= 2
+				cx += half
+			} else {
+				cx -= half
+			}
+			if y >= cy {
+				quad |= 1
+				cy += half
+			} else {
+				cy -= half
+			}
+			node = tok + quad
+			depth++
+
+		case tok == tokenEmpty:
+			t.next[b] = -1
+			if atomic.CompareAndSwapInt32(&t.child[node], tokenEmpty, bodyToken(b)) {
+				return
+			}
+
+		case tok == tokenLocked:
+			runtime.Gosched()
+
+		default:
+			if depth >= t.maxDepth {
+				t.next[b] = tokenBody(tok)
+				if atomic.CompareAndSwapInt32(&t.child[node], tok, bodyToken(b)) {
+					return
+				}
+				continue
+			}
+			if !atomic.CompareAndSwapInt32(&t.child[node], tok, tokenLocked) {
+				continue
+			}
+			first, ok := t.allocGroup(node, depth+1)
+			if !ok {
+				atomic.StoreInt32(&t.child[node], tok)
+				t.overflow.Store(true)
+				return
+			}
+			old := tokenBody(tok)
+			quad := int32(0)
+			if t.px[old] >= cx {
+				quad |= 2
+			}
+			if t.py[old] >= cy {
+				quad |= 1
+			}
+			t.child[first+quad] = tok
+			atomic.StoreInt32(&t.child[node], first)
+		}
+	}
+}
+
+func (t *Tree) allocGroup(parentNode int32, depth int) (int32, bool) {
+	g := t.nGroups.Add(1) - 1
+	if int(g) >= t.capGroups() {
+		t.nGroups.Add(-1)
+		return 0, false
+	}
+	t.parent[g] = parentNode
+	if depth > 255 {
+		depth = 255
+	}
+	t.depth[g] = uint8(depth)
+	first := 1 + 4*g
+	for k := first; k < first+4; k++ {
+		t.child[k] = tokenEmpty
+		t.counter[k] = 0
+	}
+	return first, true
+}
+
+func (t *Tree) parentOf(i int32) int32 { return t.parent[(i-1)/4] }
+
+func (t *Tree) depthOf(i int32) int {
+	if i == 0 {
+		return 0
+	}
+	return int(t.depth[(i-1)/4])
+}
+
+// computeMoments runs the wait-free leaf-to-root reduction (gather
+// variant).
+func (t *Tree) computeMoments(r *par.Runtime, w []float64) {
+	nodes := t.NumNodes()
+	r.ForGrain(par.ParUnseq, nodes, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.w[i], t.comX[i], t.comY[i] = 0, 0, 0
+			t.counter[i] = 0
+		}
+	})
+
+	x, y := t.px, t.py
+	r.For(par.Par, nodes, func(i int) {
+		tok := t.child[int32(i)]
+		if tok >= 0 {
+			return
+		}
+		var lw, lx, ly float64
+		for b := leafBody(tok); b >= 0; b = t.next[b] {
+			lw += w[b]
+			lx += w[b] * x[b]
+			ly += w[b] * y[b]
+		}
+		node := int32(i)
+		t.w[node], t.comX[node], t.comY[node] = lw, lx, ly
+
+		for node != 0 {
+			p := t.parentOf(node)
+			if atomic.AddInt32(&t.counter[p], 1) != 4 {
+				return
+			}
+			first := t.child[p]
+			var gw, gx, gy float64
+			for c := first; c < first+4; c++ {
+				gw += t.w[c]
+				gx += t.comX[c]
+				gy += t.comY[c]
+			}
+			t.w[p], t.comX[p], t.comY[p] = gw, gx, gy
+			node = p
+		}
+	})
+
+	r.ForGrain(par.ParUnseq, nodes, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if t.w[i] != 0 {
+				t.comX[i] /= t.w[i]
+				t.comY[i] /= t.w[i]
+			}
+		}
+	})
+}
+
+func leafBody(tok int32) int32 {
+	if tok == tokenEmpty || tok == tokenLocked {
+		return -1
+	}
+	return tokenBody(tok)
+}
+
+// TotalWeight returns the root's aggregate weight after Build.
+func (t *Tree) TotalWeight() float64 { return t.w[0] }
+
+// Forces evaluates the Barnes-Hut-approximated field at every point:
+// outX[i], outY[i] receive Σ_j W_j·k(r²)·(x_i - x_j, y_i - y_j) over all
+// other points j, with far groups aggregated when cellSize < θ·distance.
+// Note the sign convention: positive kernels produce *repulsion* (the field
+// pushes points apart), matching the layout/t-SNE use case.
+func (t *Tree) Forces(r *par.Runtime, pol par.Policy, kernel Kernel, theta float64, outX, outY []float64) {
+	n := t.n
+	theta2 := theta * theta
+	rootSize := 2 * t.half
+
+	var sizeAt [260]float64
+	sz := rootSize
+	for d := range sizeAt {
+		sizeAt[d] = sz
+		sz *= 0.5
+	}
+
+	x, y := t.px, t.py
+	r.ForGrain(pol, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi, yi := x[i], y[i]
+			var fx, fy float64
+
+			node := int32(0)
+			for node >= 0 {
+				tok := t.child[node]
+				if tok >= 0 {
+					dx := xi - t.comX[node]
+					dy := yi - t.comY[node]
+					d2 := dx*dx + dy*dy
+					size := sizeAt[t.depthOf(node)]
+					if size*size < theta2*d2 {
+						k := t.w[node] * kernel(d2)
+						fx += k * dx
+						fy += k * dy
+						node = t.advance(node)
+					} else {
+						node = tok
+					}
+					continue
+				}
+				for b := leafBody(tok); b >= 0; b = t.next[b] {
+					if int(b) == i {
+						continue
+					}
+					dx := xi - x[b]
+					dy := yi - y[b]
+					d2 := dx*dx + dy*dy
+					if d2 == 0 {
+						continue
+					}
+					k := t.pw[b] * kernel(d2)
+					fx += k * dx
+					fy += k * dy
+				}
+				node = t.advance(node)
+			}
+
+			outX[i] = fx
+			outY[i] = fy
+		}
+	})
+}
+
+func (t *Tree) advance(node int32) int32 {
+	for node != 0 {
+		if (node-1)%4 != 3 {
+			return node + 1
+		}
+		node = t.parentOf(node)
+	}
+	return -1
+}
+
+// Potentials evaluates the scalar field Σ_j W_j·k(r²) at every point
+// (excluding the point itself), with the same Barnes-Hut aggregation as
+// Forces. Barnes-Hut-SNE needs this to estimate its normalization constant
+// Z = Σ_{i≠j} (1+|y_i−y_j|²)⁻¹ alongside the repulsive force field.
+func (t *Tree) Potentials(r *par.Runtime, pol par.Policy, kernel Kernel, theta float64, out []float64) {
+	n := t.n
+	theta2 := theta * theta
+	rootSize := 2 * t.half
+
+	var sizeAt [260]float64
+	sz := rootSize
+	for d := range sizeAt {
+		sizeAt[d] = sz
+		sz *= 0.5
+	}
+
+	x, y := t.px, t.py
+	r.ForGrain(pol, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi, yi := x[i], y[i]
+			var phi float64
+
+			node := int32(0)
+			for node >= 0 {
+				tok := t.child[node]
+				if tok >= 0 {
+					dx := xi - t.comX[node]
+					dy := yi - t.comY[node]
+					d2 := dx*dx + dy*dy
+					size := sizeAt[t.depthOf(node)]
+					if size*size < theta2*d2 {
+						phi += t.w[node] * kernel(d2)
+						node = t.advance(node)
+					} else {
+						node = tok
+					}
+					continue
+				}
+				for b := leafBody(tok); b >= 0; b = t.next[b] {
+					if int(b) == i {
+						continue
+					}
+					dx := xi - x[b]
+					dy := yi - y[b]
+					phi += t.pw[b] * kernel(dx*dx+dy*dy)
+				}
+				node = t.advance(node)
+			}
+
+			out[i] = phi
+		}
+	})
+}

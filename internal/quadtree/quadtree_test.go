@@ -1,0 +1,306 @@
+package quadtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nbody/internal/par"
+	"nbody/internal/rng"
+)
+
+var rt = par.NewRuntime(0, par.Dynamic)
+
+func randomPoints(n int, seed uint64) (x, y, w []float64) {
+	src := rng.New(seed)
+	x = make([]float64, n)
+	y = make([]float64, n)
+	w = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = src.Range(-5, 5)
+		y[i] = src.Range(-5, 5)
+		w[i] = src.Range(0.5, 1.5)
+	}
+	return
+}
+
+// exactForces is the O(N²) reference field.
+func exactForces(x, y, w []float64, kernel Kernel) (fx, fy []float64) {
+	n := len(x)
+	fx = make([]float64, n)
+	fy = make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			d2 := dx*dx + dy*dy
+			if d2 == 0 {
+				continue
+			}
+			k := w[j] * kernel(d2)
+			fx[i] += k * dx
+			fy[i] += k * dy
+		}
+	}
+	return
+}
+
+func coulomb(r2 float64) float64 { return 1 / (r2 + 1e-6) }
+
+func TestBuildTotals(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, 5000} {
+		x, y, w := randomPoints(n, uint64(n)+1)
+		tr := New(0)
+		if err := tr.Build(rt, x, y, w); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var want float64
+		for _, v := range w {
+			want += v
+		}
+		if n > 0 && math.Abs(tr.TotalWeight()-want) > 1e-9*want {
+			t.Errorf("n=%d: weight %v, want %v", n, tr.TotalWeight(), want)
+		}
+	}
+}
+
+func TestBuildMismatchedLengths(t *testing.T) {
+	tr := New(0)
+	if err := tr.Build(rt, make([]float64, 3), make([]float64, 2), make([]float64, 3)); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestForcesExactWhenThetaZero(t *testing.T) {
+	for _, n := range []int{2, 50, 500} {
+		x, y, w := randomPoints(n, uint64(n)+7)
+		tr := New(0)
+		if err := tr.Build(rt, x, y, w); err != nil {
+			t.Fatal(err)
+		}
+		fx := make([]float64, n)
+		fy := make([]float64, n)
+		tr.Forces(rt, par.ParUnseq, coulomb, 0, fx, fy)
+		wantX, wantY := exactForces(x, y, w, coulomb)
+		for i := 0; i < n; i++ {
+			scale := 1 + math.Abs(wantX[i]) + math.Abs(wantY[i])
+			if math.Abs(fx[i]-wantX[i])/scale > 1e-10 || math.Abs(fy[i]-wantY[i])/scale > 1e-10 {
+				t.Fatalf("n=%d point %d: (%v,%v) vs (%v,%v)", n, i, fx[i], fy[i], wantX[i], wantY[i])
+			}
+		}
+	}
+}
+
+func TestForcesApproximation(t *testing.T) {
+	n := 2000
+	x, y, w := randomPoints(n, 13)
+	tr := New(0)
+	if err := tr.Build(rt, x, y, w); err != nil {
+		t.Fatal(err)
+	}
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+	tr.Forces(rt, par.ParUnseq, coulomb, 0.5, fx, fy)
+	wantX, wantY := exactForces(x, y, w, coulomb)
+
+	var meanMag float64
+	for i := 0; i < n; i++ {
+		meanMag += math.Hypot(wantX[i], wantY[i])
+	}
+	meanMag /= float64(n)
+
+	var sum float64
+	for i := 0; i < n; i++ {
+		err := math.Hypot(fx[i]-wantX[i], fy[i]-wantY[i])
+		sum += err / (math.Hypot(wantX[i], wantY[i]) + 0.1*meanMag)
+	}
+	if mean := sum / float64(n); mean > 0.05 {
+		t.Errorf("mean normalized error %v", mean)
+	}
+}
+
+func TestTSNEKernel(t *testing.T) {
+	// The Cauchy kernel used by Barnes-Hut-SNE: k(r²) = 1/(1+r²)².
+	cauchy := func(r2 float64) float64 { q := 1 / (1 + r2); return q * q }
+	n := 300
+	x, y, w := randomPoints(n, 17)
+	tr := New(0)
+	if err := tr.Build(rt, x, y, w); err != nil {
+		t.Fatal(err)
+	}
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+	tr.Forces(rt, par.ParUnseq, cauchy, 0, fx, fy)
+	wantX, wantY := exactForces(x, y, w, cauchy)
+	for i := 0; i < n; i++ {
+		if math.Abs(fx[i]-wantX[i]) > 1e-10 || math.Abs(fy[i]-wantY[i]) > 1e-10 {
+			t.Fatalf("point %d: (%v,%v) vs (%v,%v)", i, fx[i], fy[i], wantX[i], wantY[i])
+		}
+	}
+}
+
+// exactPotentials is the O(N²) scalar-field reference.
+func exactPotentials(x, y, w []float64, kernel Kernel) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			out[i] += w[j] * kernel(dx*dx+dy*dy)
+		}
+	}
+	return out
+}
+
+func TestPotentialsExactWhenThetaZero(t *testing.T) {
+	for _, n := range []int{2, 50, 500} {
+		x, y, w := randomPoints(n, uint64(n)+31)
+		tr := New(0)
+		if err := tr.Build(rt, x, y, w); err != nil {
+			t.Fatal(err)
+		}
+		phi := make([]float64, n)
+		tr.Potentials(rt, par.ParUnseq, coulomb, 0, phi)
+		want := exactPotentials(x, y, w, coulomb)
+		for i := 0; i < n; i++ {
+			if math.Abs(phi[i]-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d point %d: %v vs %v", n, i, phi[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPotentialsApproximation(t *testing.T) {
+	n := 2000
+	x, y, w := randomPoints(n, 37)
+	tr := New(0)
+	if err := tr.Build(rt, x, y, w); err != nil {
+		t.Fatal(err)
+	}
+	phi := make([]float64, n)
+	tr.Potentials(rt, par.ParUnseq, coulomb, 0.5, phi)
+	want := exactPotentials(x, y, w, coulomb)
+	var sumRel float64
+	for i := 0; i < n; i++ {
+		sumRel += math.Abs(phi[i]-want[i]) / (math.Abs(want[i]) + 1e-12)
+	}
+	if mean := sumRel / float64(n); mean > 0.02 {
+		t.Errorf("mean relative potential error %v", mean)
+	}
+}
+
+func TestNumNodes(t *testing.T) {
+	x, y, w := randomPoints(100, 41)
+	tr := New(0)
+	if err := tr.Build(rt, x, y, w); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumNodes() <= 1 {
+		t.Errorf("NumNodes = %d", tr.NumNodes())
+	}
+}
+
+func TestCoincidentPoints(t *testing.T) {
+	n := 10
+	x := make([]float64, n)
+	y := make([]float64, n)
+	w := make([]float64, n)
+	for i := range x {
+		x[i], y[i], w[i] = 1, 1, 1
+	}
+	tr := New(6)
+	if err := tr.Build(rt, x, y, w); err != nil {
+		t.Fatal(err)
+	}
+	fx := make([]float64, n)
+	fy := make([]float64, n)
+	tr.Forces(rt, par.ParUnseq, coulomb, 0.5, fx, fy)
+	for i := 0; i < n; i++ {
+		if math.IsNaN(fx[i]) || math.IsNaN(fy[i]) {
+			t.Fatalf("NaN force at %d", i)
+		}
+	}
+	if math.Abs(tr.TotalWeight()-float64(n)) > 1e-12 {
+		t.Errorf("weight %v", tr.TotalWeight())
+	}
+}
+
+func TestRepulsionPushesApart(t *testing.T) {
+	// Two points: the field at each must point away from the other.
+	x := []float64{-1, 1}
+	y := []float64{0, 0}
+	w := []float64{1, 1}
+	tr := New(0)
+	if err := tr.Build(rt, x, y, w); err != nil {
+		t.Fatal(err)
+	}
+	fx := make([]float64, 2)
+	fy := make([]float64, 2)
+	tr.Forces(rt, par.ParUnseq, coulomb, 0.5, fx, fy)
+	if fx[0] >= 0 || fx[1] <= 0 {
+		t.Errorf("repulsion wrong sign: %v %v", fx[0], fx[1])
+	}
+}
+
+func TestReuseAcrossBuilds(t *testing.T) {
+	tr := New(0)
+	for step := 0; step < 4; step++ {
+		x, y, w := randomPoints(1000+step*500, uint64(step)+23)
+		if err := tr.Build(rt, x, y, w); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		var want float64
+		for _, v := range w {
+			want += v
+		}
+		if math.Abs(tr.TotalWeight()-want) > 1e-9*want {
+			t.Fatalf("step %d: weight %v want %v", step, tr.TotalWeight(), want)
+		}
+	}
+}
+
+// Property: total weight is preserved and forces are finite for random
+// configurations.
+func TestPropBuildForces(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		x, y, w := randomPoints(n, seed)
+		tr := New(0)
+		if err := tr.Build(rt, x, y, w); err != nil {
+			return false
+		}
+		fx := make([]float64, n)
+		fy := make([]float64, n)
+		tr.Forces(rt, par.ParUnseq, coulomb, 0.7, fx, fy)
+		for i := 0; i < n; i++ {
+			if math.IsNaN(fx[i]) || math.IsInf(fx[i], 0) || math.IsNaN(fy[i]) || math.IsInf(fy[i], 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuildAndForce1e5(b *testing.B) {
+	x, y, w := randomPoints(100000, 1)
+	tr := New(0)
+	fx := make([]float64, len(x))
+	fy := make([]float64, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Build(rt, x, y, w); err != nil {
+			b.Fatal(err)
+		}
+		tr.Forces(rt, par.ParUnseq, coulomb, 0.5, fx, fy)
+	}
+}

@@ -1,0 +1,120 @@
+// Package rng implements a small deterministic pseudo-random number
+// generator used by the workload generators.
+//
+// The simulation workloads in this repository must be bit-reproducible
+// across platforms and Go releases (the paper's galaxy-collision workload is
+// "deterministic"), so we cannot rely on math/rand whose algorithms and
+// seeding behaviour have changed between releases. Instead we implement
+// SplitMix64 (Steele, Lea, Flood 2014), a tiny, well-tested 64-bit generator
+// with provably full period, plus the usual derived distributions.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic SplitMix64 pseudo-random generator.
+// The zero value is a valid generator seeded with 0.
+type Source struct {
+	state    uint64
+	spare    float64 // second normal deviate from the polar method
+	hasSpare bool
+}
+
+// New returns a generator seeded with seed. Distinct seeds yield
+// independent-looking streams.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Split returns a new generator whose stream is independent of s's
+// continuing stream. It consumes one value from s.
+func (s *Source) Split() *Source { return New(s.Uint64() ^ 0x9e3779b97f4a7c15) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniformly random integer in [0, n). It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Lemire's multiply-shift rejection method, debiased.
+	threshold := (-n) % n
+	for {
+		hi, lo := bits.Mul64(s.Uint64(), n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniformly random float64 in [0, 1) with 53 bits of
+// precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Range returns a uniformly random float64 in [lo, hi).
+func (s *Source) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Norm returns a standard normally distributed float64 (mean 0, stddev 1)
+// using the Marsaglia polar method.
+func (s *Source) Norm() float64 {
+	if s.hasSpare {
+		s.hasSpare = false
+		return s.spare
+	}
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(q) / q)
+		s.spare = v * f
+		s.hasSpare = true
+		return u * f
+	}
+}
+
+// Exp returns an exponentially distributed float64 with rate 1
+// (mean 1), via inverse transform sampling.
+func (s *Source) Exp() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) using the
+// Fisher-Yates shuffle.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

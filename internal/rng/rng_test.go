@@ -1,0 +1,249 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	// Golden values locking the SplitMix64 stream for seed 1234567, so
+	// that any future change to the generator (which would silently alter
+	// every workload in the repository) fails loudly.
+	s := New(1234567)
+	want := []uint64{
+		6457827717110365317,
+		3203168211198807973,
+		9817491932198370423,
+		4593380528125082431,
+		16408922859458223821,
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Errorf("value %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical outputs from distinct seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := New(7)
+	c := a.Split()
+	// The split stream must not simply replay the parent stream.
+	av := make([]uint64, 50)
+	for i := range av {
+		av[i] = a.Uint64()
+	}
+	for i := 0; i < 50; i++ {
+		v := c.Uint64()
+		for _, x := range av {
+			if v == x {
+				t.Fatalf("split stream collided with parent at %d", i)
+			}
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(99)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		f := s.Float64()
+		sum += f
+		sum2 += f * f
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("variance = %v, want ~%v", variance, 1.0/12)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		f := s.Norm()
+		sum += f
+		sum2 += f * f
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		f := s.Exp()
+		if f < 0 {
+			t.Fatalf("Exp = %v < 0", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	s := New(3)
+	for _, n := range []uint64{1, 2, 3, 10, 1000, 1 << 40} {
+		for i := 0; i < 1000; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniform(t *testing.T) {
+	s := New(17)
+	const n, draws = 8, 80000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[s.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestUint64nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestRange(t *testing.T) {
+	s := New(23)
+	for i := 0; i < 10000; i++ {
+		f := s.Range(-3, 7)
+		if f < -3 || f >= 7 {
+			t.Fatalf("Range = %v out of [-3,7)", f)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	s := New(31)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermZero(t *testing.T) {
+	if p := New(1).Perm(0); len(p) != 0 {
+		t.Errorf("Perm(0) = %v", p)
+	}
+}
+
+// Property: Intn always lies in range for any positive n and seed.
+func TestPropIntnInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		s := New(seed)
+		for i := 0; i < 20; i++ {
+			v := s.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the zero-value Source is usable and deterministic.
+func TestZeroValueSource(t *testing.T) {
+	var a, b Source
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("zero-value sources diverged")
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNorm(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Norm()
+	}
+	_ = sink
+}

@@ -1,0 +1,42 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"nbody/internal/workload"
+)
+
+// FuzzRead hardens the snapshot reader against arbitrary bytes: it must
+// either return a valid system or an error — never panic, never allocate
+// absurdly, never return torn data that passes the checksum.
+func FuzzRead(f *testing.F) {
+	// Seed corpus: a valid snapshot, a truncation, and a few mutations.
+	sys := workload.Plummer(17, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, sys, Meta{Step: 5, Time: 0.5}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("NBODYSNP"))
+	f.Add([]byte{})
+	mut := append([]byte(nil), valid...)
+	mut[20] ^= 0xff
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, _, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything the reader accepts must be internally consistent.
+		if got == nil {
+			t.Fatal("nil system with nil error")
+		}
+		if len(got.Mass) != got.N() || len(got.ID) != got.N() {
+			t.Fatalf("inconsistent arrays: %d bodies", got.N())
+		}
+	})
+}

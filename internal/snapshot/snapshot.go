@@ -1,0 +1,206 @@
+// Package snapshot serializes body systems to a compact binary format for
+// checkpoint/restart of long simulations and for handing initial conditions
+// between tools. The format is versioned, self-describing and
+// endian-stable:
+//
+//	magic   [8]byte  "NBODYSNP"
+//	version uint32   (currently 1)
+//	n       uint64   body count
+//	step    uint64   simulation step the snapshot was taken at
+//	time    float64  simulation time
+//	then n records of 10 float64 (mass, pos xyz, vel xyz, acc xyz)
+//	and n int32 body IDs
+//	footer  uint64   xor-fold checksum of every payload word
+//
+// Everything is little-endian. The checksum detects truncated or corrupted
+// files at load time.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"nbody/internal/body"
+)
+
+const (
+	magic   = "NBODYSNP"
+	version = 1
+)
+
+// Meta describes a snapshot's provenance.
+type Meta struct {
+	Step int
+	Time float64
+}
+
+// Write serializes sys with its metadata to w.
+func Write(w io.Writer, sys *body.System, meta Meta) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var sum uint64
+
+	writeWord := func(v uint64) error {
+		sum ^= v + 0x9e3779b97f4a7c15 + (sum << 6) + (sum >> 2)
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var verBuf [4]byte
+	binary.LittleEndian.PutUint32(verBuf[:], version)
+	if _, err := bw.Write(verBuf[:]); err != nil {
+		return err
+	}
+
+	n := sys.N()
+	if err := writeWord(uint64(n)); err != nil {
+		return err
+	}
+	if err := writeWord(uint64(meta.Step)); err != nil {
+		return err
+	}
+	if err := writeWord(math.Float64bits(meta.Time)); err != nil {
+		return err
+	}
+
+	arrays := [][]float64{
+		sys.Mass,
+		sys.PosX, sys.PosY, sys.PosZ,
+		sys.VelX, sys.VelY, sys.VelZ,
+		sys.AccX, sys.AccY, sys.AccZ,
+	}
+	for _, arr := range arrays {
+		for _, v := range arr {
+			if err := writeWord(math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, id := range sys.ID {
+		if err := writeWord(uint64(uint32(id))); err != nil {
+			return err
+		}
+	}
+
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], sum)
+	if _, err := bw.Write(buf[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a snapshot from r, returning the system and metadata.
+func Read(r io.Reader) (*body.System, Meta, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var sum uint64
+
+	readWord := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		v := binary.LittleEndian.Uint64(buf[:])
+		sum ^= v + 0x9e3779b97f4a7c15 + (sum << 6) + (sum >> 2)
+		return v, nil
+	}
+
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, Meta{}, fmt.Errorf("snapshot: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, Meta{}, fmt.Errorf("snapshot: bad magic %q", head)
+	}
+	var verBuf [4]byte
+	if _, err := io.ReadFull(br, verBuf[:]); err != nil {
+		return nil, Meta{}, err
+	}
+	if v := binary.LittleEndian.Uint32(verBuf[:]); v != version {
+		return nil, Meta{}, fmt.Errorf("snapshot: unsupported version %d", v)
+	}
+
+	nWord, err := readWord()
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if nWord > 1<<40 {
+		return nil, Meta{}, fmt.Errorf("snapshot: implausible body count %d", nWord)
+	}
+	n := int(nWord)
+
+	stepWord, err := readWord()
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	timeWord, err := readWord()
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	meta := Meta{Step: int(stepWord), Time: math.Float64frombits(timeWord)}
+
+	sys := body.NewSystem(n)
+	arrays := [][]float64{
+		sys.Mass,
+		sys.PosX, sys.PosY, sys.PosZ,
+		sys.VelX, sys.VelY, sys.VelZ,
+		sys.AccX, sys.AccY, sys.AccZ,
+	}
+	for _, arr := range arrays {
+		for i := range arr {
+			w, err := readWord()
+			if err != nil {
+				return nil, Meta{}, fmt.Errorf("snapshot: truncated payload: %w", err)
+			}
+			arr[i] = math.Float64frombits(w)
+		}
+	}
+	for i := range sys.ID {
+		w, err := readWord()
+		if err != nil {
+			return nil, Meta{}, fmt.Errorf("snapshot: truncated ids: %w", err)
+		}
+		sys.ID[i] = int32(uint32(w))
+	}
+
+	want := sum
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, Meta{}, fmt.Errorf("snapshot: missing checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(buf[:]); got != want {
+		return nil, Meta{}, fmt.Errorf("snapshot: checksum mismatch (file %x, computed %x)", got, want)
+	}
+	return sys, meta, nil
+}
+
+// Save writes sys to a file (created or truncated).
+func Save(path string, sys *body.System, meta Meta) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, sys, meta); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a snapshot file written by Save.
+func Load(path string) (*body.System, Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,147 @@
+package snapshot
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"nbody/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	sys := workload.GalaxyCollision(1234, 7)
+	sys.AccX[5] = 3.25 // make sure accelerations round-trip too
+	meta := Meta{Step: 42, Time: 0.042}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, sys, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gotMeta, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Errorf("meta = %+v, want %+v", gotMeta, meta)
+	}
+	if got.N() != sys.N() {
+		t.Fatalf("N = %d", got.N())
+	}
+	for i := 0; i < sys.N(); i++ {
+		if got.Mass[i] != sys.Mass[i] || got.Pos(i) != sys.Pos(i) ||
+			got.Vel(i) != sys.Vel(i) || got.Acc(i) != sys.Acc(i) || got.ID[i] != sys.ID[i] {
+			t.Fatalf("body %d differs after round trip", i)
+		}
+	}
+}
+
+func TestRoundTripSpecialValues(t *testing.T) {
+	sys := workload.UniformCube(4, 1, 1)
+	sys.PosX[0] = math.Inf(1)
+	sys.PosY[1] = math.Copysign(0, -1) // negative zero
+	sys.VelZ[2] = math.NaN()
+	var buf bytes.Buffer
+	if err := Write(&buf, sys, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.PosX[0], 1) {
+		t.Error("Inf lost")
+	}
+	if math.Float64bits(got.PosY[1]) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Error("-0 lost")
+	}
+	if !math.IsNaN(got.VelZ[2]) {
+		t.Error("NaN lost")
+	}
+}
+
+func TestEmptySystem(t *testing.T) {
+	sys := workload.UniformCube(0, 1, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, sys, Meta{Step: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 0 || meta.Step != 1 {
+		t.Errorf("N=%d meta=%+v", got.N(), meta)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	sys := workload.UniformCube(100, 1, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, sys, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip one payload byte.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	if _, _, err := Read(bytes.NewReader(corrupt)); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+
+	// Truncate.
+	if _, _, err := Read(bytes.NewReader(data[:len(data)-20])); err == nil {
+		t.Error("truncated file accepted")
+	}
+
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	// Bad version.
+	badVer := append([]byte(nil), data...)
+	badVer[8] = 99
+	if _, _, err := Read(bytes.NewReader(badVer)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestImplausibleCountRejected(t *testing.T) {
+	var buf bytes.Buffer
+	sys := workload.UniformCube(1, 1, 1)
+	if err := Write(&buf, sys, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Overwrite the count word (offset 12) with a huge value; the reader
+	// must reject it before attempting a massive allocation.
+	for i := 0; i < 8; i++ {
+		data[12+i] = 0xff
+	}
+	if _, _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("implausible count accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chk.nbsnap")
+	sys := workload.Plummer(500, 11)
+	if err := Save(path, sys, Meta{Step: 9, Time: 0.09}); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Step != 9 || got.N() != 500 {
+		t.Errorf("meta=%+v n=%d", meta, got.N())
+	}
+	if _, _, err := Load(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

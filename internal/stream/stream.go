@@ -1,0 +1,170 @@
+// Package stream implements the five BabelStream memory-bandwidth kernels
+// (Copy, Mul, Add, Triad, Dot) over float64 arrays. The paper validates
+// every experimental platform by comparing the measured TRIAD bandwidth of
+// the ISO C++ parallel-algorithms BabelStream against theoretical peak
+// (Table I); this package reproduces that validation for the Go runtime on
+// the host executing the benchmarks.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nbody/internal/par"
+)
+
+// DefaultN is the default array length: 2²⁵ doubles = 256 MiB per array,
+// comfortably exceeding any CPU cache, matching BabelStream's default
+// sizing philosophy.
+const DefaultN = 1 << 25
+
+// scalar is the BabelStream scalar constant.
+const scalar = 0.4
+
+// Result reports one kernel's measured bandwidth.
+type Result struct {
+	Kernel  string
+	Bytes   int64         // bytes moved per iteration
+	Best    time.Duration // fastest iteration
+	Mean    time.Duration // mean over iterations
+	GBps    float64       // best-iteration bandwidth in GB/s (10⁹ bytes)
+	Checked bool          // result arrays verified
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	return fmt.Sprintf("%-5s %8.2f GB/s (best %v, mean %v)", r.Kernel, r.GBps, r.Best, r.Mean)
+}
+
+// Benchmark runs the five kernels iters times each on arrays of n float64
+// and returns per-kernel results in BabelStream order. Initialization
+// follows BabelStream (a=0.1, b=0.2, c=0.0); after all timed iterations the
+// array contents are verified against the analytically propagated values,
+// and Checked is set accordingly.
+func Benchmark(r *par.Runtime, pol par.Policy, n, iters int) []Result {
+	if n <= 0 {
+		n = DefaultN
+	}
+	if iters <= 0 {
+		iters = 10
+	}
+
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	initA, initB, initC := 0.1, 0.2, 0.0
+	r.ForGrain(pol, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i], b[i], c[i] = initA, initB, initC
+		}
+	})
+
+	type kernel struct {
+		name  string
+		bytes int64
+		run   func() float64 // returns the Dot sum (0 for others)
+	}
+	kernels := []kernel{
+		{"Copy", int64(n) * 16, func() float64 {
+			r.ForGrain(pol, n, 0, func(lo, hi int) {
+				copy(c[lo:hi], a[lo:hi])
+			})
+			return 0
+		}},
+		{"Mul", int64(n) * 16, func() float64 {
+			r.ForGrain(pol, n, 0, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					b[i] = scalar * c[i]
+				}
+			})
+			return 0
+		}},
+		{"Add", int64(n) * 24, func() float64 {
+			r.ForGrain(pol, n, 0, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					c[i] = a[i] + b[i]
+				}
+			})
+			return 0
+		}},
+		{"Triad", int64(n) * 24, func() float64 {
+			r.ForGrain(pol, n, 0, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					a[i] = b[i] + scalar*c[i]
+				}
+			})
+			return 0
+		}},
+		{"Dot", int64(n) * 16, func() float64 {
+			return par.ReduceRanges(r, pol, n, 0,
+				func(x, y float64) float64 { return x + y },
+				func(acc float64, lo, hi int) float64 {
+					for i := lo; i < hi; i++ {
+						acc += a[i] * b[i]
+					}
+					return acc
+				})
+		}},
+	}
+
+	results := make([]Result, len(kernels))
+	var lastDot float64
+	for k, kn := range kernels {
+		res := Result{Kernel: kn.name, Bytes: kn.bytes, Best: math.MaxInt64}
+		var total time.Duration
+		for it := 0; it < iters; it++ {
+			start := time.Now()
+			dot := kn.run()
+			d := time.Since(start)
+			if kn.name == "Dot" {
+				lastDot = dot
+			}
+			total += d
+			if d < res.Best {
+				res.Best = d
+			}
+		}
+		res.Mean = total / time.Duration(iters)
+		res.GBps = float64(kn.bytes) / res.Best.Seconds() / 1e9
+		results[k] = res
+	}
+
+	// Verification: propagate the init values through iters rounds of the
+	// first four kernels (each kernel ran iters times back to back, i.e.
+	// in BabelStream's grouped order rather than interleaved).
+	va, vb, vc := initA, initB, initC
+	for it := 0; it < iters; it++ {
+		vc = va // all Copy iterations
+	}
+	for it := 0; it < iters; it++ {
+		vb = scalar * vc
+	}
+	for it := 0; it < iters; it++ {
+		vc = va + vb
+	}
+	for it := 0; it < iters; it++ {
+		va = vb + scalar*vc
+	}
+	wantDot := va * vb * float64(n)
+
+	ok := true
+	const tol = 1e-8
+	for i := 0; i < n; i += n/97 + 1 { // sample; full scan is pointless
+		if relErr(a[i], va) > tol || relErr(b[i], vb) > tol || relErr(c[i], vc) > tol {
+			ok = false
+			break
+		}
+	}
+	if relErr(lastDot, wantDot) > 1e-6 {
+		ok = false
+	}
+	for k := range results {
+		results[k].Checked = ok
+	}
+	return results
+}
+
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / math.Max(math.Abs(want), 1e-300)
+}

@@ -1,0 +1,58 @@
+package stream
+
+import (
+	"testing"
+
+	"nbody/internal/par"
+)
+
+func TestBenchmarkKernels(t *testing.T) {
+	r := par.NewRuntime(0, par.Dynamic)
+	results := Benchmark(r, par.ParUnseq, 1<<16, 5)
+	if len(results) != 5 {
+		t.Fatalf("got %d results", len(results))
+	}
+	wantNames := []string{"Copy", "Mul", "Add", "Triad", "Dot"}
+	for i, res := range results {
+		if res.Kernel != wantNames[i] {
+			t.Errorf("kernel %d = %q, want %q", i, res.Kernel, wantNames[i])
+		}
+		if res.GBps <= 0 {
+			t.Errorf("%s: bandwidth %v", res.Kernel, res.GBps)
+		}
+		if res.Best <= 0 || res.Mean < res.Best {
+			t.Errorf("%s: best %v mean %v", res.Kernel, res.Best, res.Mean)
+		}
+		if !res.Checked {
+			t.Errorf("%s: verification failed", res.Kernel)
+		}
+		if len(res.String()) == 0 {
+			t.Errorf("%s: empty String", res.Kernel)
+		}
+	}
+}
+
+func TestBenchmarkSequential(t *testing.T) {
+	r := par.NewRuntime(1, par.Static)
+	results := Benchmark(r, par.Seq, 1<<14, 3)
+	for _, res := range results {
+		if !res.Checked {
+			t.Errorf("%s: verification failed sequentially", res.Kernel)
+		}
+	}
+}
+
+func TestBenchmarkDefaults(t *testing.T) {
+	// n<=0 and iters<=0 select defaults; use a tiny override to keep the
+	// test fast, but exercise the default path for iters.
+	r := par.NewRuntime(2, par.Dynamic)
+	results := Benchmark(r, par.ParUnseq, 1<<12, 0)
+	if len(results) != 5 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, res := range results {
+		if !res.Checked {
+			t.Errorf("%s: verification failed", res.Kernel)
+		}
+	}
+}

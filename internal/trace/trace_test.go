@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"nbody/internal/core"
+	"nbody/internal/grav"
+	"nbody/internal/workload"
+)
+
+func newSim(t *testing.T) *core.Sim {
+	t.Helper()
+	sys := workload.Plummer(200, 1)
+	sim, err := core.New(core.Config{DT: 0.005, Params: grav.Params{G: 1, Eps: 0.05, Theta: 0.3}}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestRecorder(t *testing.T) {
+	sim := newSim(t)
+	rec := NewRecorder(0.005)
+	rec.Record(sim, true)
+	for i := 0; i < 5; i++ {
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+		rec.Record(sim, true)
+	}
+	if rec.Len() != 6 {
+		t.Fatalf("Len = %d", rec.Len())
+	}
+	ss := rec.Samples()
+	if ss[0].Step != 0 || ss[5].Step != 5 {
+		t.Errorf("steps: %d..%d", ss[0].Step, ss[5].Step)
+	}
+	if ss[3].Time != 3*0.005 {
+		t.Errorf("time: %v", ss[3].Time)
+	}
+	if ss[0].Mass <= 0 || ss[0].TotalEnergy >= 0 {
+		t.Errorf("diagnostics look wrong: %+v", ss[0])
+	}
+	if drift := rec.EnergyDrift(); drift < 0 || drift > 0.01 {
+		t.Errorf("EnergyDrift = %v", drift)
+	}
+}
+
+func TestEnergyDriftEdge(t *testing.T) {
+	rec := NewRecorder(0.1)
+	if rec.EnergyDrift() != 0 {
+		t.Error("empty recorder drift not zero")
+	}
+	rec.samples = []Sample{{TotalEnergy: 0}, {TotalEnergy: 5}}
+	if rec.EnergyDrift() != 0 {
+		t.Error("zero-baseline drift should be 0 (undefined)")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	sim := newSim(t)
+	rec := NewRecorder(0.005)
+	rec.Record(sim, false)
+	if err := sim.Step(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Record(sim, false)
+
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "step,time,mass") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,0,") {
+		t.Errorf("first row: %q", lines[1])
+	}
+}
+
+func TestWriteSnapshotCSV(t *testing.T) {
+	sys := workload.Plummer(10, 2)
+	var sb strings.Builder
+	if err := WriteSnapshotCSV(&sb, 7, sys); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("snapshot lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "7,0,") {
+		t.Errorf("row: %q", lines[1])
+	}
+}

@@ -1,0 +1,344 @@
+// Package tsne implements Barnes-Hut-SNE (van der Maaten 2013, reference
+// [28] of the paper): t-distributed Stochastic Neighbor Embedding whose
+// O(N²) repulsive gradient term is approximated in O(N log N) with the
+// concurrent quadtree of internal/quadtree. The paper's introduction names
+// this exact application — "high-dimensional data visualisation in machine
+// learning" — as the modern motivation for Barnes-Hut beyond cosmology.
+//
+// The implementation follows the standard pipeline:
+//
+//  1. For every input point, find its 3·perplexity nearest neighbours and
+//     calibrate a Gaussian bandwidth σᵢ by bisection so the conditional
+//     distribution p_{j|i} has the requested perplexity.
+//  2. Symmetrize to joint affinities p_ij (sparse).
+//  3. Gradient descent on the 2-D embedding with momentum, per-parameter
+//     gains, and early exaggeration. Each iteration computes
+//     the attractive term exactly over the sparse neighbour pairs and the
+//     repulsive term with two Barnes-Hut field evaluations (the Cauchy
+//     force field and the normalization Z).
+package tsne
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nbody/internal/par"
+	"nbody/internal/quadtree"
+	"nbody/internal/rng"
+)
+
+// Config parameterizes an embedding run.
+type Config struct {
+	// Perplexity is the effective number of neighbours (default 30;
+	// must be < (n-1)/3).
+	Perplexity float64
+	// Iters is the number of gradient iterations (default 400).
+	Iters int
+	// Theta is the Barnes-Hut opening threshold for the repulsive term
+	// (default 0.5; 0 computes the exact O(N²) gradient).
+	Theta float64
+	// LearningRate is the gradient step scale (default 200).
+	LearningRate float64
+	// EarlyExaggeration multiplies affinities for the first quarter of
+	// the iterations (default 12).
+	EarlyExaggeration float64
+	// Seed makes the run deterministic (default 1).
+	Seed uint64
+	// Runtime is the parallel runtime (default par.Default()).
+	Runtime *par.Runtime
+}
+
+func (c *Config) applyDefaults() {
+	if c.Perplexity <= 0 {
+		c.Perplexity = 30
+	}
+	if c.Iters <= 0 {
+		c.Iters = 400
+	}
+	if c.Theta < 0 {
+		c.Theta = 0.5
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 200
+	}
+	if c.EarlyExaggeration <= 0 {
+		c.EarlyExaggeration = 12
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Runtime == nil {
+		c.Runtime = par.Default()
+	}
+}
+
+// Embed computes a 2-D embedding of the n×d row-major input matrix x
+// (n points, d features each). It returns the embedding as two slices
+// (y1[i], y2[i]) of length n.
+func Embed(x [][]float64, cfg Config) (y1, y2 []float64, err error) {
+	cfg.applyDefaults()
+	n := len(x)
+	if n == 0 {
+		return nil, nil, nil
+	}
+	d := len(x[0])
+	for i, row := range x {
+		if len(row) != d {
+			return nil, nil, fmt.Errorf("tsne: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	if n < 4 {
+		return nil, nil, errors.New("tsne: need at least 4 points")
+	}
+	k := int(3 * cfg.Perplexity)
+	if k >= n {
+		k = n - 1
+	}
+	if k < 1 {
+		return nil, nil, errors.New("tsne: perplexity too small")
+	}
+
+	rt := cfg.Runtime
+
+	// --- Step 1: kNN + bandwidth calibration → sparse conditional P.
+	nbr := make([][]int32, n)     // neighbour ids per point
+	pcond := make([][]float64, n) // p_{j|i} aligned with nbr
+	rt.For(par.Par, n, func(i int) {
+		ids, d2 := nearestNeighbors(x, i, k)
+		nbr[i] = ids
+		pcond[i] = calibrate(d2, cfg.Perplexity)
+	})
+
+	// --- Step 2: symmetrize into a sparse joint distribution.
+	// p_ij = (p_{j|i} + p_{i|j}) / (2n), stored once per unordered pair
+	// on the side of the smaller index.
+	type pair struct {
+		j int32
+		p float64
+	}
+	joint := make([][]pair, n)
+	// Build an index for p_{i|j} lookups.
+	condAt := func(i int, j int32) float64 {
+		for t, v := range nbr[i] {
+			if v == j {
+				return pcond[i][t]
+			}
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		for t, j := range nbr[i] {
+			if int(j) < i && contains(nbr[j], int32(i)) {
+				continue // already emitted from j's side
+			}
+			pij := (pcond[i][t] + condAt(int(j), int32(i))) / (2 * float64(n))
+			joint[i] = append(joint[i], pair{j, pij})
+		}
+	}
+
+	// --- Step 3: gradient descent.
+	src := rng.New(cfg.Seed)
+	y1 = make([]float64, n)
+	y2 = make([]float64, n)
+	for i := range y1 {
+		y1[i] = src.Norm() * 1e-4
+		y2[i] = src.Norm() * 1e-4
+	}
+	vel1 := make([]float64, n)
+	vel2 := make([]float64, n)
+	gain1 := ones(n)
+	gain2 := ones(n)
+	weights := ones(n)
+
+	tree := quadtree.New(0)
+	rep1 := make([]float64, n)
+	rep2 := make([]float64, n)
+	zParts := make([]float64, n)
+	grad1 := make([]float64, n)
+	grad2 := make([]float64, n)
+
+	cauchy := func(r2 float64) float64 { return 1 / (1 + r2) }
+	cauchy2 := func(r2 float64) float64 { q := 1 / (1 + r2); return q * q }
+
+	exagEnd := cfg.Iters / 4
+	for iter := 0; iter < cfg.Iters; iter++ {
+		exag := 1.0
+		if iter < exagEnd {
+			exag = cfg.EarlyExaggeration
+		}
+
+		// Repulsive field and normalization via Barnes-Hut.
+		if err := tree.Build(rt, y1, y2, weights); err != nil {
+			return nil, nil, err
+		}
+		tree.Forces(rt, par.ParUnseq, cauchy2, cfg.Theta, rep1, rep2)
+		tree.Potentials(rt, par.ParUnseq, cauchy, cfg.Theta, zParts)
+		var z float64
+		for _, v := range zParts {
+			z += v
+		}
+		if z <= 0 {
+			z = 1e-12
+		}
+
+		// Attractive term over sparse pairs (exact), minus normalized
+		// repulsion.
+		for i := range grad1 {
+			grad1[i] = -rep1[i] / z
+			grad2[i] = -rep2[i] / z
+		}
+		for i := 0; i < n; i++ {
+			for _, pr := range joint[i] {
+				j := int(pr.j)
+				dy1 := y1[i] - y1[j]
+				dy2 := y2[i] - y2[j]
+				q := 1 / (1 + dy1*dy1 + dy2*dy2)
+				f := exag * pr.p * q
+				grad1[i] += f * dy1
+				grad2[i] += f * dy2
+				grad1[j] -= f * dy1
+				grad2[j] -= f * dy2
+			}
+		}
+
+		// Momentum + gains update (van der Maaten's schedule).
+		momentum := 0.5
+		if iter >= 250 {
+			momentum = 0.8
+		}
+		step(y1, vel1, gain1, grad1, momentum, cfg.LearningRate)
+		step(y2, vel2, gain2, grad2, momentum, cfg.LearningRate)
+
+		// Re-center to keep the embedding bounded.
+		var c1, c2 float64
+		for i := range y1 {
+			c1 += y1[i]
+			c2 += y2[i]
+		}
+		c1 /= float64(n)
+		c2 /= float64(n)
+		for i := range y1 {
+			y1[i] -= c1
+			y2[i] -= c2
+		}
+	}
+	return y1, y2, nil
+}
+
+// step applies one momentum+gains gradient update in place.
+func step(y, vel, gain, grad []float64, momentum, eta float64) {
+	for i := range y {
+		if (grad[i] > 0) == (vel[i] > 0) {
+			gain[i] *= 0.8
+		} else {
+			gain[i] += 0.2
+		}
+		if gain[i] < 0.01 {
+			gain[i] = 0.01
+		}
+		vel[i] = momentum*vel[i] - eta*gain[i]*grad[i]
+		y[i] += vel[i]
+	}
+}
+
+// nearestNeighbors returns the k nearest neighbours of point i (ids and
+// squared distances, ascending) by exact scan — O(n·d) per point, adequate
+// for the embedding sizes this package targets.
+func nearestNeighbors(x [][]float64, i, k int) ([]int32, []float64) {
+	n := len(x)
+	ids := make([]int32, 0, k)
+	d2s := make([]float64, 0, k)
+	// Bounded insertion into a sorted top-k list.
+	for j := 0; j < n; j++ {
+		if j == i {
+			continue
+		}
+		d2 := sqDist(x[i], x[j])
+		if len(ids) == k && d2 >= d2s[k-1] {
+			continue
+		}
+		// Find insert position.
+		pos := len(d2s)
+		for pos > 0 && d2s[pos-1] > d2 {
+			pos--
+		}
+		if len(ids) < k {
+			ids = append(ids, 0)
+			d2s = append(d2s, 0)
+		}
+		copy(ids[pos+1:], ids[pos:])
+		copy(d2s[pos+1:], d2s[pos:])
+		ids[pos] = int32(j)
+		d2s[pos] = d2
+	}
+	return ids, d2s
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for t := range a {
+		d := a[t] - b[t]
+		s += d * d
+	}
+	return s
+}
+
+// calibrate finds p_{j|i} over the neighbour distances d2 whose Shannon
+// perplexity matches the target, by bisecting the Gaussian precision β.
+func calibrate(d2 []float64, perplexity float64) []float64 {
+	target := math.Log(perplexity)
+	beta := 1.0
+	lo, hi := 0.0, math.Inf(1)
+	p := make([]float64, len(d2))
+
+	for iter := 0; iter < 64; iter++ {
+		// Compute entropy H(β) and distribution.
+		var sum float64
+		base := d2[0] // subtract the min for numerical stability
+		for t, v := range d2 {
+			p[t] = math.Exp(-beta * (v - base))
+			sum += p[t]
+		}
+		var h float64
+		for t := range p {
+			p[t] /= sum
+			if p[t] > 1e-300 {
+				h -= p[t] * math.Log(p[t])
+			}
+		}
+		diff := h - target
+		if math.Abs(diff) < 1e-5 {
+			break
+		}
+		if diff > 0 { // entropy too high → sharpen
+			lo = beta
+			if math.IsInf(hi, 1) {
+				beta *= 2
+			} else {
+				beta = (beta + hi) / 2
+			}
+		} else {
+			hi = beta
+			beta = (beta + lo) / 2
+		}
+	}
+	return p
+}
+
+func contains(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func ones(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 1
+	}
+	return s
+}

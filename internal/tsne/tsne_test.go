@@ -1,0 +1,171 @@
+package tsne
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"nbody/internal/rng"
+)
+
+// gaussianClusters generates n points in dim dimensions grouped into k
+// well-separated Gaussian blobs, returning the data and cluster labels.
+func gaussianClusters(n, dim, k int, seed uint64) ([][]float64, []int) {
+	src := rng.New(seed)
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for t := range centers[c] {
+			centers[c][t] = src.Range(-20, 20)
+		}
+	}
+	x := make([][]float64, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % k
+		labels[i] = c
+		x[i] = make([]float64, dim)
+		for t := range x[i] {
+			x[i][t] = centers[c][t] + src.Norm()
+		}
+	}
+	return x, labels
+}
+
+func TestEmbedSeparatesClusters(t *testing.T) {
+	n, k := 300, 3
+	x, labels := gaussianClusters(n, 8, k, 5)
+	y1, y2, err := Embed(x, Config{Perplexity: 15, Iters: 250, Theta: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Quality: for most points, the nearest embedded neighbour shares
+	// the cluster label (1-NN purity).
+	correct := 0
+	for i := 0; i < n; i++ {
+		best, bestD := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			d := (y1[i]-y1[j])*(y1[i]-y1[j]) + (y2[i]-y2[j])*(y2[i]-y2[j])
+			if d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if labels[best] == labels[i] {
+			correct++
+		}
+	}
+	purity := float64(correct) / float64(n)
+	t.Logf("1-NN purity: %.3f", purity)
+	if purity < 0.9 {
+		t.Errorf("1-NN purity %.3f below 0.9 — clusters not separated", purity)
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	x, _ := gaussianClusters(100, 5, 2, 3)
+	a1, a2, err := Embed(x, Config{Perplexity: 10, Iters: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2, err := Embed(x, Config{Perplexity: 10, Iters: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != b1[i] || a2[i] != b2[i] {
+			t.Fatalf("embedding not deterministic at %d", i)
+		}
+	}
+}
+
+func TestEmbedExactVsBarnesHut(t *testing.T) {
+	// The dynamics are chaotic, so exact (θ=0) and approximated (θ=0.5)
+	// runs diverge geometrically; what must be preserved is the
+	// *quality*: both embeddings separate the planted clusters. (The
+	// gradient-level agreement of the BH approximation is covered by the
+	// quadtree package's force tests.)
+	n, k := 150, 3
+	x, labels := gaussianClusters(n, 6, k, 11)
+	purity := func(theta float64) float64 {
+		a, b, err := Embed(x, Config{Perplexity: 12, Iters: 200, Theta: theta, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		for i := 0; i < n; i++ {
+			best, bestD := -1, math.Inf(1)
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				d := (a[i]-a[j])*(a[i]-a[j]) + (b[i]-b[j])*(b[i]-b[j])
+				if d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if labels[best] == labels[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(n)
+	}
+	exact := purity(0)
+	bh := purity(0.5)
+	t.Logf("1-NN purity: exact %.3f, barnes-hut %.3f", exact, bh)
+	if exact < 0.9 || bh < 0.9 {
+		t.Errorf("purity degraded: exact %.3f, bh %.3f", exact, bh)
+	}
+}
+
+func TestEmbedValidation(t *testing.T) {
+	if _, _, err := Embed(nil, Config{}); err != nil {
+		t.Errorf("empty input should be a no-op, got %v", err)
+	}
+	if _, _, err := Embed([][]float64{{1}, {2}}, Config{}); err == nil {
+		t.Error("too-few points accepted")
+	}
+	if _, _, err := Embed([][]float64{{1, 2}, {3}, {4, 5}, {6, 7}}, Config{}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestNearestNeighbors(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}, {5}, {9}}
+	ids, d2 := nearestNeighbors(x, 0, 3)
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Errorf("ids = %v", ids)
+	}
+	if d2[0] != 1 || d2[1] != 4 || d2[2] != 25 {
+		t.Errorf("d2 = %v", d2)
+	}
+}
+
+func TestCalibratePerplexity(t *testing.T) {
+	// Uniform distances → p is uniform → perplexity equals k for any
+	// target ≤ k (entropy saturates); verify achieved perplexity for a
+	// non-degenerate case instead.
+	src := rng.New(23)
+	d2 := make([]float64, 50)
+	for i := range d2 {
+		d2[i] = src.Range(0.1, 10)
+	}
+	sort.Float64s(d2)
+	p := calibrate(d2, 10)
+	var sum, h float64
+	for _, v := range p {
+		sum += v
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("p sums to %v", sum)
+	}
+	if math.Abs(math.Exp(h)-10) > 0.1 {
+		t.Errorf("achieved perplexity %v, want ~10", math.Exp(h))
+	}
+}

@@ -1,0 +1,150 @@
+// Package vec provides small fixed-size vector algebra for double-precision
+// 3D simulation code. V3 is a value type; all operations return new values
+// and are free of heap allocation so they inline well in hot loops.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// V3 is a 3-component double-precision vector.
+type V3 struct {
+	X, Y, Z float64
+}
+
+// New returns the vector (x, y, z).
+func New(x, y, z float64) V3 { return V3{x, y, z} }
+
+// Splat returns the vector (s, s, s).
+func Splat(s float64) V3 { return V3{s, s, s} }
+
+// Zero is the zero vector.
+var Zero = V3{}
+
+// Add returns a + b.
+func (a V3) Add(b V3) V3 { return V3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a V3) Sub(b V3) V3 { return V3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Mul returns the component-wise product a * b.
+func (a V3) Mul(b V3) V3 { return V3{a.X * b.X, a.Y * b.Y, a.Z * b.Z} }
+
+// Div returns the component-wise quotient a / b.
+func (a V3) Div(b V3) V3 { return V3{a.X / b.X, a.Y / b.Y, a.Z / b.Z} }
+
+// Scale returns a scaled by s.
+func (a V3) Scale(s float64) V3 { return V3{a.X * s, a.Y * s, a.Z * s} }
+
+// Neg returns -a.
+func (a V3) Neg() V3 { return V3{-a.X, -a.Y, -a.Z} }
+
+// Dot returns the inner product a · b.
+func (a V3) Dot(b V3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the cross product a × b.
+func (a V3) Cross(b V3) V3 {
+	return V3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Norm2 returns the squared Euclidean norm |a|².
+func (a V3) Norm2() float64 { return a.Dot(a) }
+
+// Norm returns the Euclidean norm |a|.
+func (a V3) Norm() float64 { return math.Sqrt(a.Norm2()) }
+
+// Dist returns the Euclidean distance |a - b|.
+func (a V3) Dist(b V3) float64 { return a.Sub(b).Norm() }
+
+// Dist2 returns the squared Euclidean distance |a - b|².
+func (a V3) Dist2(b V3) float64 { return a.Sub(b).Norm2() }
+
+// Normalized returns a / |a|. The zero vector is returned unchanged.
+func (a V3) Normalized() V3 {
+	n := a.Norm()
+	if n == 0 {
+		return a
+	}
+	return a.Scale(1 / n)
+}
+
+// Min returns the component-wise minimum of a and b.
+func (a V3) Min(b V3) V3 {
+	return V3{math.Min(a.X, b.X), math.Min(a.Y, b.Y), math.Min(a.Z, b.Z)}
+}
+
+// Max returns the component-wise maximum of a and b.
+func (a V3) Max(b V3) V3 {
+	return V3{math.Max(a.X, b.X), math.Max(a.Y, b.Y), math.Max(a.Z, b.Z)}
+}
+
+// MaxComponent returns the largest of the three components.
+func (a V3) MaxComponent() float64 { return math.Max(a.X, math.Max(a.Y, a.Z)) }
+
+// MinComponent returns the smallest of the three components.
+func (a V3) MinComponent() float64 { return math.Min(a.X, math.Min(a.Y, a.Z)) }
+
+// Abs returns the component-wise absolute value.
+func (a V3) Abs() V3 { return V3{math.Abs(a.X), math.Abs(a.Y), math.Abs(a.Z)} }
+
+// IsFinite reports whether every component is finite (neither NaN nor ±Inf).
+func (a V3) IsFinite() bool {
+	return isFinite(a.X) && isFinite(a.Y) && isFinite(a.Z)
+}
+
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// Lerp returns the linear interpolation a + t(b-a).
+func (a V3) Lerp(b V3, t float64) V3 { return a.Add(b.Sub(a).Scale(t)) }
+
+// MulAdd returns a + b*s computed with fused multiply-adds per component.
+func (a V3) MulAdd(b V3, s float64) V3 {
+	return V3{
+		math.FMA(b.X, s, a.X),
+		math.FMA(b.Y, s, a.Y),
+		math.FMA(b.Z, s, a.Z),
+	}
+}
+
+// Component returns component i (0 → X, 1 → Y, 2 → Z). It panics for other i.
+func (a V3) Component(i int) float64 {
+	switch i {
+	case 0:
+		return a.X
+	case 1:
+		return a.Y
+	case 2:
+		return a.Z
+	}
+	panic(fmt.Sprintf("vec: component index %d out of range", i))
+}
+
+// WithComponent returns a copy of a with component i replaced by v.
+func (a V3) WithComponent(i int, v float64) V3 {
+	switch i {
+	case 0:
+		a.X = v
+	case 1:
+		a.Y = v
+	case 2:
+		a.Z = v
+	default:
+		panic(fmt.Sprintf("vec: component index %d out of range", i))
+	}
+	return a
+}
+
+// String implements fmt.Stringer.
+func (a V3) String() string { return fmt.Sprintf("(%g, %g, %g)", a.X, a.Y, a.Z) }
+
+// ApproxEqual reports whether a and b differ by at most tol in every
+// component.
+func (a V3) ApproxEqual(b V3, tol float64) bool {
+	d := a.Sub(b).Abs()
+	return d.X <= tol && d.Y <= tol && d.Z <= tol
+}

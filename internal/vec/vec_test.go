@@ -1,0 +1,258 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicAlgebra(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(4, -5, 6)
+
+	if got := a.Add(b); got != New(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != New(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(b); got != New(4, -10, 18) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Scale(2); got != New(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Neg(); got != New(-1, -2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Dot(b); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestDiv(t *testing.T) {
+	a := New(8, 6, 4)
+	b := New(2, 3, 4)
+	if got := a.Div(b); got != New(4, 2, 1) {
+		t.Errorf("Div = %v", got)
+	}
+}
+
+func TestCross(t *testing.T) {
+	x := New(1, 0, 0)
+	y := New(0, 1, 0)
+	z := New(0, 0, 1)
+	if got := x.Cross(y); got != z {
+		t.Errorf("x × y = %v, want %v", got, z)
+	}
+	if got := y.Cross(z); got != x {
+		t.Errorf("y × z = %v, want %v", got, x)
+	}
+	if got := z.Cross(x); got != y {
+		t.Errorf("z × x = %v, want %v", got, y)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := New(3, 4, 0)
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := a.Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := a.Dist(New(3, 4, 12)); got != 12 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := a.Dist2(New(3, 4, 12)); got != 144 {
+		t.Errorf("Dist2 = %v", got)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	a := New(0, 3, 4)
+	n := a.Normalized()
+	if math.Abs(n.Norm()-1) > 1e-15 {
+		t.Errorf("normalized norm = %v", n.Norm())
+	}
+	if Zero.Normalized() != Zero {
+		t.Errorf("Zero.Normalized() = %v", Zero.Normalized())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a := New(1, 5, 3)
+	b := New(2, 4, 3)
+	if got := a.Min(b); got != New(1, 4, 3) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != New(2, 5, 3) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := a.MaxComponent(); got != 5 {
+		t.Errorf("MaxComponent = %v", got)
+	}
+	if got := a.MinComponent(); got != 1 {
+		t.Errorf("MinComponent = %v", got)
+	}
+}
+
+func TestAbs(t *testing.T) {
+	if got := New(-1, 2, -3).Abs(); got != New(1, 2, 3) {
+		t.Errorf("Abs = %v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !New(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	for i := 0; i < 3; i++ {
+		for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+			v := New(1, 1, 1).WithComponent(i, bad)
+			if v.IsFinite() {
+				t.Errorf("IsFinite(%v) = true", v)
+			}
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a := New(0, 0, 0)
+	b := New(10, 20, 30)
+	if got := a.Lerp(b, 0.5); got != New(5, 10, 15) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestComponentAccess(t *testing.T) {
+	a := New(7, 8, 9)
+	for i, want := range []float64{7, 8, 9} {
+		if got := a.Component(i); got != want {
+			t.Errorf("Component(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if got := a.WithComponent(1, -1); got != New(7, -1, 9) {
+		t.Errorf("WithComponent = %v", got)
+	}
+}
+
+func TestComponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Component(3) did not panic")
+		}
+	}()
+	New(1, 2, 3).Component(3)
+}
+
+func TestWithComponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WithComponent(-1) did not panic")
+		}
+	}()
+	New(1, 2, 3).WithComponent(-1, 0)
+}
+
+func TestString(t *testing.T) {
+	if got := New(1, 2.5, -3).String(); got != "(1, 2.5, -3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMulAdd(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(4, 5, 6)
+	got := a.MulAdd(b, 2)
+	want := New(9, 12, 15)
+	if !got.ApproxEqual(want, 1e-15) {
+		t.Errorf("MulAdd = %v, want %v", got, want)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	a := New(1, 2, 3)
+	if !a.ApproxEqual(New(1+1e-12, 2, 3), 1e-9) {
+		t.Error("ApproxEqual false for close vectors")
+	}
+	if a.ApproxEqual(New(1.1, 2, 3), 1e-9) {
+		t.Error("ApproxEqual true for distant vectors")
+	}
+}
+
+// Property: dot product with self equals squared norm, and the
+// Cauchy-Schwarz inequality holds.
+func TestPropDotProperties(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := clampV(New(ax, ay, az))
+		b := clampV(New(bx, by, bz))
+		if math.Abs(a.Dot(a)-a.Norm2()) > 1e-9*(1+a.Norm2()) {
+			return false
+		}
+		lhs := math.Abs(a.Dot(b))
+		rhs := a.Norm() * b.Norm()
+		return lhs <= rhs*(1+1e-12)+1e-300
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cross product is orthogonal to both operands.
+func TestPropCrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := clampV(New(ax, ay, az))
+		b := clampV(New(bx, by, bz))
+		c := a.Cross(b)
+		scale := a.Norm() * b.Norm()
+		tol := 1e-9 * (1 + scale*scale)
+		return math.Abs(c.Dot(a)) <= tol && math.Abs(c.Dot(b)) <= tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add/Sub are inverses; Min/Max bracket both inputs.
+func TestPropAddSubMinMax(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := clampV(New(ax, ay, az))
+		b := clampV(New(bx, by, bz))
+		if d := a.Add(b).Sub(b).Sub(a).Abs().MaxComponent(); d > 1e-6*(1+a.Abs().MaxComponent()+b.Abs().MaxComponent()) {
+			return false
+		}
+		lo, hi := a.Min(b), a.Max(b)
+		for i := 0; i < 3; i++ {
+			if lo.Component(i) > a.Component(i) || lo.Component(i) > b.Component(i) {
+				return false
+			}
+			if hi.Component(i) < a.Component(i) || hi.Component(i) < b.Component(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampV maps arbitrary float64 inputs (which may be NaN/Inf from
+// testing/quick) into a sane finite range so algebraic identities are
+// numerically checkable.
+func clampV(a V3) V3 {
+	c := func(f float64) float64 {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 1
+		}
+		return math.Mod(f, 1e6)
+	}
+	return New(c(a.X), c(a.Y), c(a.Z))
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"math"
+
+	"nbody/internal/body"
+	"nbody/internal/rng"
+	"nbody/internal/vec"
+)
+
+// Units for the solar-system workload: lengths in astronomical units,
+// times in days, masses in solar masses.
+const (
+	// GMSun is the heliocentric gravitational parameter in AU³/day²
+	// (the square of the Gaussian gravitational constant k).
+	GMSun = 2.9591220828559115e-4
+	// GSolar is the gravitational constant in AU³/(Msun·day²); with the
+	// Sun at 1 Msun this reproduces GMSun.
+	GSolar = GMSun
+	// AsteroidMass is the default small-body mass in solar masses
+	// (~6·10¹⁸ kg, a mid-sized main-belt asteroid).
+	AsteroidMass = 3e-12
+)
+
+// Elements are classical Keplerian orbital elements of a heliocentric
+// orbit.
+type Elements struct {
+	A     float64 // semi-major axis [AU]
+	E     float64 // eccentricity [0, 1)
+	Inc   float64 // inclination [rad]
+	Omega float64 // longitude of ascending node Ω [rad]
+	Peri  float64 // argument of perihelion ω [rad]
+	M     float64 // mean anomaly at epoch [rad]
+}
+
+// SolveKepler solves Kepler's equation E - e·sinE = M for the eccentric
+// anomaly E with Newton iterations (and a bisection fallback for extreme
+// eccentricities), to within 1e-13 of a radian.
+func SolveKepler(m, e float64) float64 {
+	// Normalize M to [-π, π] for a good starting guess.
+	m = math.Mod(m, 2*math.Pi)
+	if m > math.Pi {
+		m -= 2 * math.Pi
+	} else if m < -math.Pi {
+		m += 2 * math.Pi
+	}
+
+	ecc := math.Min(math.Max(e, 0), 0.999999)
+	x := m
+	if ecc > 0.8 {
+		x = math.Pi * sign(m) // high-e orbits need a safer start
+	}
+	for iter := 0; iter < 64; iter++ {
+		f := x - ecc*math.Sin(x) - m
+		if math.Abs(f) < 1e-13 {
+			return x
+		}
+		x -= f / (1 - ecc*math.Cos(x))
+	}
+	// Newton failed to settle (can happen for e → 1 near perihelion);
+	// fall back to bisection, which always converges.
+	lo, hi := m-1.1, m+1.1
+	for math.Abs(hi-lo) > 1e-14 {
+		mid := (lo + hi) / 2
+		if mid-ecc*math.Sin(mid)-m > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// StateVector converts orbital elements to a heliocentric Cartesian
+// position [AU] and velocity [AU/day] around a center with gravitational
+// parameter gm.
+func (el Elements) StateVector(gm float64) (pos, vel vec.V3) {
+	ea := SolveKepler(el.M, el.E)
+	cosE, sinE := math.Cos(ea), math.Sin(ea)
+
+	// Perifocal coordinates.
+	a := el.A
+	b := a * math.Sqrt(1-el.E*el.E) // semi-minor axis
+	xp := a * (cosE - el.E)
+	yp := b * sinE
+
+	// Perifocal velocities from Ė = n/(1 - e·cosE).
+	n := math.Sqrt(gm / (a * a * a)) // mean motion [rad/day]
+	eDot := n / (1 - el.E*cosE)
+	vxp := -a * sinE * eDot
+	vyp := b * cosE * eDot
+
+	// Rotate perifocal → ecliptic: Rz(Ω)·Rx(i)·Rz(ω).
+	cosO, sinO := math.Cos(el.Omega), math.Sin(el.Omega)
+	cosI, sinI := math.Cos(el.Inc), math.Sin(el.Inc)
+	cosW, sinW := math.Cos(el.Peri), math.Sin(el.Peri)
+
+	r11 := cosO*cosW - sinO*sinW*cosI
+	r12 := -cosO*sinW - sinO*cosW*cosI
+	r21 := sinO*cosW + cosO*sinW*cosI
+	r22 := -sinO*sinW + cosO*cosW*cosI
+	r31 := sinW * sinI
+	r32 := cosW * sinI
+
+	pos = vec.New(r11*xp+r12*yp, r21*xp+r22*yp, r31*xp+r32*yp)
+	vel = vec.New(r11*vxp+r12*vyp, r21*vxp+r22*vyp, r31*vxp+r32*vyp)
+	return pos, vel
+}
+
+// SolarSystemBelt generates the synthetic stand-in for the JPL Small-Body
+// Database: a 1-solar-mass central body plus n-1 asteroids on heliocentric
+// orbits with main-belt-like element distributions (plus small near-Earth
+// and trans-Neptunian sub-populations, mirroring the database's makeup).
+// Units: AU, days, solar masses, G = GSolar. Body 0 is the Sun.
+func SolarSystemBelt(n int, seed uint64) *body.System {
+	s := body.NewSystem(n)
+	if n == 0 {
+		return s
+	}
+	src := rng.New(seed)
+	s.Set(0, 1, vec.Zero, vec.Zero)
+
+	for i := 1; i < n; i++ {
+		var el Elements
+		switch p := src.Float64(); {
+		case p < 0.85: // main belt
+			el.A = src.Range(2.0, 3.5)
+			el.E = rayleigh(src, 0.10, 0.4)
+			el.Inc = rayleigh(src, 6*math.Pi/180, 30*math.Pi/180)
+		case p < 0.95: // near-Earth-like
+			el.A = src.Range(0.8, 1.8)
+			el.E = rayleigh(src, 0.25, 0.7)
+			el.Inc = rayleigh(src, 10*math.Pi/180, 40*math.Pi/180)
+		default: // trans-Neptunian-like
+			el.A = src.Range(30, 48)
+			el.E = rayleigh(src, 0.08, 0.3)
+			el.Inc = rayleigh(src, 8*math.Pi/180, 35*math.Pi/180)
+		}
+		el.Omega = src.Range(0, 2*math.Pi)
+		el.Peri = src.Range(0, 2*math.Pi)
+		el.M = src.Range(0, 2*math.Pi)
+
+		pos, vel := el.StateVector(GMSun)
+		s.Set(i, AsteroidMass, pos, vel)
+	}
+	return s
+}
+
+// rayleigh samples a Rayleigh-distributed value with the given mode,
+// truncated below max (re-sampling the tail).
+func rayleigh(src *rng.Source, mode, max float64) float64 {
+	for {
+		v := mode * math.Sqrt(2*src.Exp())
+		if v < max {
+			return v
+		}
+	}
+}

@@ -1,0 +1,347 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nbody/internal/allpairs"
+	"nbody/internal/grav"
+	"nbody/internal/par"
+	"nbody/internal/rng"
+	"nbody/internal/vec"
+)
+
+var rt = par.NewRuntime(0, par.Dynamic)
+
+func TestClusteredPlummers(t *testing.T) {
+	n, k := 8000, 5
+	s := ClusteredPlummers(n, k, 3)
+	if s.N() != n {
+		t.Fatalf("N = %d", s.N())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Most bodies must sit near one of k well-separated centers: check
+	// that the median nearest-centroid distance is far below the domain.
+	// Rough proxy: mean distance to the system's own cluster via grid
+	// binning on 50-unit cells.
+	type cell struct{ x, y, z int }
+	cells := map[cell]int{}
+	for i := 0; i < n; i++ {
+		c := cell{int(math.Floor(s.PosX[i] / 50)), int(math.Floor(s.PosY[i] / 50)), int(math.Floor(s.PosZ[i] / 50))}
+		cells[c]++
+	}
+	// Bodies must concentrate: the occupied cells should be few compared
+	// with a uniform spread.
+	if len(cells) > 6*k {
+		t.Errorf("bodies spread over %d cells, expected concentration near %d clusters", len(cells), k)
+	}
+	if got := ClusteredPlummers(100, 0, 1); got.N() != 100 {
+		t.Errorf("k=0 fallback: N = %d", got.N())
+	}
+}
+
+func TestGeneratorsValid(t *testing.T) {
+	for _, name := range []string{"galaxy", "galaxy-single", "plummer", "uniform", "clusters", "solarsystem"} {
+		for _, n := range []int{0, 1, 2, 100, 5000} {
+			s, err := ByName(name, n, 42)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if s.N() != n {
+				t.Fatalf("%s: N = %d, want %d", name, s.N(), n)
+			}
+			if err := s.Validate(); err != nil {
+				t.Errorf("%s n=%d: %v", name, n, err)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", 10, 1); err == nil {
+		t.Error("unknown generator accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range []string{"galaxy", "plummer", "solarsystem"} {
+		a, _ := ByName(name, 2000, 7)
+		b, _ := ByName(name, 2000, 7)
+		for i := 0; i < a.N(); i++ {
+			if a.Pos(i) != b.Pos(i) || a.Vel(i) != b.Vel(i) || a.Mass[i] != b.Mass[i] {
+				t.Fatalf("%s: body %d differs between identical seeds", name, i)
+			}
+		}
+		c, _ := ByName(name, 2000, 8)
+		same := 0
+		for i := 0; i < a.N(); i++ {
+			if a.Pos(i) == c.Pos(i) {
+				same++
+			}
+		}
+		if same > a.N()/10 {
+			t.Errorf("%s: %d/%d identical positions across different seeds", name, same, a.N())
+		}
+	}
+}
+
+func TestGalaxyCollisionStructure(t *testing.T) {
+	n := 10000
+	s := GalaxyCollision(n, 3)
+
+	// Two dominant central bodies carrying ~91% of the mass.
+	heavy := 0
+	var heavyMass, total float64
+	for i := 0; i < n; i++ {
+		total += s.Mass[i]
+		if s.Mass[i] > 100 {
+			heavy++
+			heavyMass += s.Mass[i]
+		}
+	}
+	if heavy != 2 {
+		t.Fatalf("found %d central bodies, want 2", heavy)
+	}
+	if frac := heavyMass / total; frac < 0.8 || frac > 0.95 {
+		t.Errorf("central mass fraction %v", frac)
+	}
+
+	// The pair must start well separated and approaching.
+	com0 := s.Pos(0)
+	var com1 vec.V3
+	for i := 1; i < n; i++ {
+		if s.Mass[i] > 100 {
+			com1 = s.Pos(i)
+		}
+	}
+	if com0.Dist(com1) < 10 {
+		t.Errorf("galaxies too close: %v", com0.Dist(com1))
+	}
+	// Net momentum ~0 (head-on symmetric setup).
+	pTot := s.Momentum()
+	scale := math.Abs(s.Mass[0]) * 10
+	if pTot.Norm() > 0.05*scale {
+		t.Errorf("net momentum %v not small", pTot)
+	}
+}
+
+func TestGalaxyDiskIsBound(t *testing.T) {
+	// Disk bodies must be on bound, roughly circular orbits: specific
+	// orbital energy < 0 and tangential speed near circular speed.
+	n := 2000
+	s := Galaxy(n, 11)
+	m0 := s.Mass[0]
+	bad := 0
+	for i := 1; i < n; i++ {
+		r := s.Pos(i).Sub(s.Pos(0))
+		v := s.Vel(i)
+		eps := 0.5*v.Norm2() - m0/r.Norm() // G=1, central-mass dominated
+		if eps >= 0 {
+			bad++
+		}
+	}
+	if bad > n/100 {
+		t.Errorf("%d/%d disk bodies unbound", bad, n-1)
+	}
+}
+
+func TestGalaxyRotationSense(t *testing.T) {
+	// All disk bodies of a single galaxy share an angular-momentum sign
+	// about the z axis.
+	s := Galaxy(1000, 13)
+	pos, neg := 0, 0
+	for i := 1; i < s.N(); i++ {
+		lz := s.PosX[i]*s.VelY[i] - s.PosY[i]*s.VelX[i]
+		if lz > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos != 0 && neg != 0 && min(pos, neg) > s.N()/50 {
+		t.Errorf("mixed rotation: %d prograde vs %d retrograde", pos, neg)
+	}
+}
+
+func TestPlummerProfile(t *testing.T) {
+	n := 20000
+	s := Plummer(n, 17)
+
+	if math.Abs(s.TotalMass()-1) > 1e-12 {
+		t.Errorf("total mass %v, want 1", s.TotalMass())
+	}
+
+	// Half-mass radius of a Plummer sphere is ≈ 1.3048·a.
+	radii := make([]float64, n)
+	for i := 0; i < n; i++ {
+		radii[i] = s.Pos(i).Norm()
+	}
+	inside := 0
+	for _, r := range radii {
+		if r < 1.3048 {
+			inside++
+		}
+	}
+	frac := float64(inside) / float64(n)
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("half-mass fraction inside r_h: %v, want ~0.5", frac)
+	}
+
+	// Virial check: for an equilibrium Plummer model 2T + U ≈ 0 with
+	// U = -3π/32 · GM²/a ≈ -0.2945.
+	kin := s.KineticEnergy()
+	pot := allpairs.PotentialEnergy(rt, par.Par, s, grav.Params{G: 1, Eps: 0})
+	virial := (2*kin + pot) / math.Abs(pot)
+	if math.Abs(virial) > 0.05 {
+		t.Errorf("virial ratio (2T+U)/|U| = %v", virial)
+	}
+}
+
+func TestPlummerVelocitiesBound(t *testing.T) {
+	s := Plummer(5000, 19)
+	for i := 0; i < s.N(); i++ {
+		r := s.Pos(i).Norm()
+		vEsc := math.Sqrt2 * math.Pow(1+r*r, -0.25)
+		if v := s.Vel(i).Norm(); v > vEsc {
+			t.Fatalf("body %d speed %v exceeds escape %v", i, v, vEsc)
+		}
+	}
+}
+
+func TestUniformCube(t *testing.T) {
+	s := UniformCube(10000, 20, 23)
+	for i := 0; i < s.N(); i++ {
+		p := s.Pos(i)
+		if p.Abs().MaxComponent() > 10 {
+			t.Fatalf("body %d at %v outside cube", i, p)
+		}
+		if s.Mass[i] != 1 {
+			t.Fatalf("mass %v", s.Mass[i])
+		}
+	}
+	// Mean position near the center.
+	if com := s.CenterOfMass(); com.Norm() > 0.5 {
+		t.Errorf("center of mass %v", com)
+	}
+}
+
+func TestSolveKeplerResidual(t *testing.T) {
+	for _, e := range []float64{0, 0.1, 0.5, 0.9, 0.99} {
+		for _, m := range []float64{-3, -1, 0, 0.5, 1, 2, 3, 6, 100} {
+			ea := SolveKepler(m, e)
+			// Compare against M normalized the same way.
+			mn := math.Mod(m, 2*math.Pi)
+			if mn > math.Pi {
+				mn -= 2 * math.Pi
+			} else if mn < -math.Pi {
+				mn += 2 * math.Pi
+			}
+			if res := math.Abs(ea - e*math.Sin(ea) - mn); res > 1e-12 {
+				t.Errorf("e=%v M=%v: residual %g", e, m, res)
+			}
+		}
+	}
+}
+
+func TestPropSolveKepler(t *testing.T) {
+	f := func(mRaw, eRaw uint32) bool {
+		m := float64(mRaw%62832)/10000 - math.Pi
+		e := float64(eRaw%999) / 1000
+		ea := SolveKepler(m, e)
+		return math.Abs(ea-e*math.Sin(ea)-m) < 1e-11
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateVectorCircularOrbit(t *testing.T) {
+	// e = 0: radius = a, speed = √(GM/a) exactly, r·v = 0.
+	el := Elements{A: 2.5, E: 0, Inc: 0.3, Omega: 1.1, Peri: 0.7, M: 2.2}
+	pos, vel := el.StateVector(GMSun)
+	if math.Abs(pos.Norm()-2.5) > 1e-12 {
+		t.Errorf("radius %v, want 2.5", pos.Norm())
+	}
+	want := math.Sqrt(GMSun / 2.5)
+	if math.Abs(vel.Norm()-want) > 1e-12 {
+		t.Errorf("speed %v, want %v", vel.Norm(), want)
+	}
+	if dot := math.Abs(pos.Dot(vel)); dot > 1e-12 {
+		t.Errorf("r·v = %v", dot)
+	}
+}
+
+func TestStateVectorVisViva(t *testing.T) {
+	// Energy of any elliptical orbit is -GM/(2a); check vis-viva across
+	// random elements.
+	src := rng.New(29)
+	for k := 0; k < 200; k++ {
+		el := Elements{
+			A:     src.Range(0.5, 40),
+			E:     src.Range(0, 0.95),
+			Inc:   src.Range(0, math.Pi/2),
+			Omega: src.Range(0, 2*math.Pi),
+			Peri:  src.Range(0, 2*math.Pi),
+			M:     src.Range(0, 2*math.Pi),
+		}
+		pos, vel := el.StateVector(GMSun)
+		r := pos.Norm()
+		v2 := vel.Norm2()
+		lhs := v2/2 - GMSun/r
+		rhs := -GMSun / (2 * el.A)
+		if math.Abs(lhs-rhs) > 1e-12*math.Abs(rhs)+1e-15 {
+			t.Fatalf("elements %+v: energy %v, want %v", el, lhs, rhs)
+		}
+		// Angular momentum magnitude: √(GM·a·(1-e²)).
+		h := pos.Cross(vel).Norm()
+		wantH := math.Sqrt(GMSun * el.A * (1 - el.E*el.E))
+		if math.Abs(h-wantH) > 1e-10*wantH {
+			t.Fatalf("elements %+v: h %v, want %v", el, h, wantH)
+		}
+	}
+}
+
+func TestSolarSystemBeltStructure(t *testing.T) {
+	n := 20000
+	s := SolarSystemBelt(n, 31)
+	if s.Mass[0] != 1 || s.Pos(0) != vec.Zero {
+		t.Fatal("body 0 is not the Sun at origin")
+	}
+	belt, neo, tno := 0, 0, 0
+	for i := 1; i < n; i++ {
+		r := s.Pos(i).Norm()
+		// Perihelion ≥ a(1-e) ≥ 0.8·0.3; no body should be inside 0.2 AU
+		// or beyond ~100 AU.
+		if r < 0.2 || r > 100 {
+			t.Fatalf("body %d at %v AU", i, r)
+		}
+		switch {
+		case r < 2:
+			neo++
+		case r < 4.5:
+			belt++
+		default:
+			tno++
+		}
+	}
+	if frac := float64(belt) / float64(n-1); frac < 0.6 {
+		t.Errorf("belt fraction %v too low", frac)
+	}
+	if neo == 0 || tno == 0 {
+		t.Errorf("missing sub-populations: neo=%d tno=%d", neo, tno)
+	}
+}
+
+func TestSolarSystemOrbitsAreBound(t *testing.T) {
+	s := SolarSystemBelt(5000, 37)
+	for i := 1; i < s.N(); i++ {
+		r := s.Pos(i).Norm()
+		eps := 0.5*s.Vel(i).Norm2() - GMSun/r
+		if eps >= 0 {
+			t.Fatalf("body %d unbound (ε=%v)", i, eps)
+		}
+	}
+}

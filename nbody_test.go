@@ -1,0 +1,114 @@
+package nbody_test
+
+import (
+	"math"
+	"testing"
+
+	"nbody"
+)
+
+// TestValidationCrossAlgorithm reproduces the paper's validation experiment
+// (Section V-A) at reduced scale: simulate the solar-system small-body
+// catalogue for one full day with a timestep of one hour using each
+// implementation, and require the L2 error norm of the final body positions
+// between any two implementations to be below 10⁻⁶ (the paper's criterion,
+// in AU here). All-Pairs serves as the exact reference in place of the
+// Thüring et al. SYCL solver. Run `nbody-bench validate -n 1039551` for the
+// paper's full scale.
+func TestValidationCrossAlgorithm(t *testing.T) {
+	const n = 5_000
+	const steps = 24
+	const dt = 1.0 / 24 // one hour in days
+
+	params := nbody.Params{G: nbody.GSolar, Eps: 0, Theta: 0.5}
+
+	finalPos := func(alg nbody.Algorithm) [][3]float64 {
+		sys := nbody.NewSolarSystemBelt(n, 2024)
+		sim, err := nbody.NewSimulation(nbody.Config{Algorithm: alg, DT: dt, Params: params}, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(steps); err != nil {
+			t.Fatal(err)
+		}
+		// Re-index by body ID: the BVH permutes body order.
+		out := make([][3]float64, n)
+		for i := 0; i < n; i++ {
+			out[sys.ID[i]] = [3]float64{sys.PosX[i], sys.PosY[i], sys.PosZ[i]}
+		}
+		return out
+	}
+
+	ref := finalPos(nbody.AllPairs)
+	for _, alg := range []nbody.Algorithm{nbody.Octree, nbody.BVH} {
+		got := finalPos(alg)
+		var sum2 float64
+		for i := range ref {
+			dx := got[i][0] - ref[i][0]
+			dy := got[i][1] - ref[i][1]
+			dz := got[i][2] - ref[i][2]
+			sum2 += dx*dx + dy*dy + dz*dz
+		}
+		l2 := math.Sqrt(sum2 / float64(n))
+		t.Logf("%v vs all-pairs: RMS position error %.3g AU", alg, l2)
+		if l2 > 1e-6 {
+			t.Errorf("%v: L2 position error %g exceeds 1e-6 AU", alg, l2)
+		}
+	}
+}
+
+// TestFacadeQuickstart exercises the documented public API end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	sys := nbody.NewGalaxyCollision(1_000, 42)
+	sim, err := nbody.NewSimulation(nbody.Config{
+		Algorithm: nbody.Octree,
+		DT:        1e-5,
+		Runtime:   nbody.NewRuntime(0, nbody.Dynamic),
+	}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sim.Diagnostics(true)
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	after := sim.Diagnostics(true)
+	if math.Abs(after.Mass-before.Mass) > 1e-9*before.Mass {
+		t.Errorf("mass not conserved: %v -> %v", before.Mass, after.Mass)
+	}
+	if drift := math.Abs(after.TotalEnergy-before.TotalEnergy) / math.Abs(before.TotalEnergy); drift > 0.01 {
+		t.Errorf("energy drift %v", drift)
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	for _, name := range []string{"galaxy", "galaxy-single", "plummer", "uniform", "solarsystem"} {
+		sys, err := nbody.WorkloadByName(name, 100, 1)
+		if err != nil || sys.N() != 100 {
+			t.Errorf("%s: %v, n=%d", name, err, sys.N())
+		}
+	}
+	if _, err := nbody.WorkloadByName("bogus", 10, 1); err == nil {
+		t.Error("bogus workload accepted")
+	}
+	if nbody.NewGalaxy(10, 1).N() != 10 ||
+		nbody.NewPlummer(10, 1).N() != 10 ||
+		nbody.NewUniformCube(10, 1, 1).N() != 10 ||
+		nbody.NewSolarSystemBelt(10, 1).N() != 10 ||
+		nbody.NewSystem(10).N() != 10 {
+		t.Error("constructor N mismatch")
+	}
+}
+
+func TestFacadeAlgorithms(t *testing.T) {
+	if len(nbody.Algorithms()) != 4 {
+		t.Errorf("Algorithms() = %v", nbody.Algorithms())
+	}
+	a, err := nbody.ParseAlgorithm("bvh")
+	if err != nil || a != nbody.BVH {
+		t.Errorf("ParseAlgorithm: %v %v", a, err)
+	}
+	if nbody.DefaultParams().Theta != 0.5 {
+		t.Errorf("default theta: %v", nbody.DefaultParams().Theta)
+	}
+}
