@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race check serve clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The serve and core packages carry the concurrency-heavy session-manager
+# and cancellation tests; -race over the whole tree covers them and the
+# parallel substrate.
+race:
+	$(GO) test -race ./...
+
+check: vet build test race
+
+serve:
+	$(GO) run ./cmd/nbody-serve
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,152 @@
+// Command nbody-serve runs the simulation service: many independent N-body
+// sessions multiplexed over one machine behind a JSON HTTP API, with
+// admission control, streaming diagnostics and graceful drain on SIGTERM.
+//
+// Examples:
+//
+//	nbody-serve -addr :8080 -max-sessions 64 -max-bodies 1000000 -idle-ttl 10m
+//	curl -s localhost:8080/sessions -d '{"workload":"galaxy","n":10000,"dt":1e-3}'
+//	curl -s localhost:8080/sessions/s-1/step -d '{"steps":100}'
+//
+// See the README "Serving" section for the full API walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nbody/internal/par"
+	"nbody/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nbody-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxSessions = flag.Int("max-sessions", 64, "maximum live sessions (admission limit)")
+		maxBodies   = flag.Int("max-bodies", 1_000_000, "maximum bodies per session")
+		idleTTL     = flag.Duration("idle-ttl", 10*time.Minute, "idle session eviction age")
+		stepSlots   = flag.Int("step-slots", 2, "sessions stepping concurrently")
+		maxQueue    = flag.Int("max-queue", 0, "step requests allowed to wait for a slot (0 = step-slots)")
+		maxSteps    = flag.Int("max-steps-per-request", 10_000, "per-request step budget")
+		workers     = flag.Int("workers", 0, "total worker goroutines across all slots (0 = GOMAXPROCS)")
+		schedStr    = flag.String("sched", "dynamic", "scheduler: dynamic, static, guided")
+		drain       = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	// Reject nonsense before it turns into a confusing runtime state.
+	if *addr == "" {
+		return errors.New("-addr must not be empty")
+	}
+	if *maxSessions <= 0 {
+		return fmt.Errorf("-max-sessions must be > 0 (got %d)", *maxSessions)
+	}
+	if *maxBodies <= 0 {
+		return fmt.Errorf("-max-bodies must be > 0 (got %d)", *maxBodies)
+	}
+	if *idleTTL <= 0 {
+		return fmt.Errorf("-idle-ttl must be > 0 (got %v)", *idleTTL)
+	}
+	if *stepSlots <= 0 {
+		return fmt.Errorf("-step-slots must be > 0 (got %d)", *stepSlots)
+	}
+	if *maxQueue < 0 {
+		return fmt.Errorf("-max-queue must be >= 0 (got %d)", *maxQueue)
+	}
+	if *maxSteps <= 0 {
+		return fmt.Errorf("-max-steps-per-request must be > 0 (got %d)", *maxSteps)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (got %d)", *workers)
+	}
+	if *drain <= 0 {
+		return fmt.Errorf("-drain-timeout must be > 0 (got %v)", *drain)
+	}
+	sched, err := parseScheduler(*schedStr)
+	if err != nil {
+		return err
+	}
+
+	// Divide the machine between the stepping slots: each concurrently
+	// stepping session gets total/slots workers so the slots together
+	// saturate — but do not oversubscribe — the runtime's capacity.
+	total := par.NewRuntime(*workers, sched).Workers()
+	perSession := total / *stepSlots
+	if perSession < 1 {
+		perSession = 1
+	}
+
+	m, err := serve.NewManager(serve.Config{
+		MaxSessions:        *maxSessions,
+		MaxBodies:          *maxBodies,
+		IdleTTL:            *idleTTL,
+		StepSlots:          *stepSlots,
+		MaxQueue:           *maxQueue,
+		MaxStepsPerRequest: *maxSteps,
+		Runtime:            par.NewRuntime(perSession, sched),
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.LogMiddleware(serve.NewHandler(m), log.Printf),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (max-sessions %d, max-bodies %d, idle-ttl %v, %d slots × %d workers)",
+		*addr, *maxSessions, *maxBodies, *idleTTL, *stepSlots, perSession)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: cancel every in-flight run at its next step
+	// boundary, then let the HTTP server finish writing responses.
+	log.Printf("signal received, draining (budget %v)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := m.Close(dctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("drained cleanly")
+	return nil
+}
+
+func parseScheduler(s string) (par.Scheduler, error) {
+	switch s {
+	case "dynamic":
+		return par.Dynamic, nil
+	case "static":
+		return par.Static, nil
+	case "guided":
+		return par.Guided, nil
+	}
+	return 0, fmt.Errorf("unknown scheduler %q", s)
+}

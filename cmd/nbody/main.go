@@ -11,9 +11,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"nbody/internal/body"
@@ -124,11 +128,23 @@ func run() error {
 	d0 := sim.Diagnostics(*exact)
 	printDiag("initial", d0)
 
+	// Ctrl-C / SIGTERM cancels the run at the next step boundary instead of
+	// killing the process: the loop exits cleanly and the trace, snapshot
+	// and checkpoint outputs below are still written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
+	stepsDone := 0
 	for s := 1; s <= *steps; s++ {
-		if err := sim.Step(); err != nil {
+		if err := sim.RunContext(ctx, 1); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "\ninterrupted after %d steps; writing outputs\n", stepsDone)
+				break
+			}
 			return err
 		}
+		stepsDone = s
 		if *diagEach > 0 && s%*diagEach == 0 {
 			printDiag(fmt.Sprintf("step %d", s), sim.Diagnostics(*exact))
 			if rec != nil {
@@ -154,7 +170,7 @@ func run() error {
 		fmt.Printf("wrote diagnostics trace to %s (max energy drift %.3e)\n", *tracePath, rec.EnergyDrift())
 	}
 	if *savePath != "" {
-		meta := snapshot.Meta{Step: startStep + *steps, Time: float64(startStep+*steps) * *dt}
+		meta := snapshot.Meta{Step: startStep + stepsDone, Time: float64(startStep+stepsDone) * *dt}
 		if err := snapshot.Save(*savePath, sys, meta); err != nil {
 			return err
 		}
@@ -165,7 +181,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := trace.WriteSnapshotCSV(f, *steps, sys); err != nil {
+		if err := trace.WriteSnapshotCSV(f, stepsDone, sys); err != nil {
 			f.Close()
 			return err
 		}
@@ -183,7 +199,7 @@ func run() error {
 	fmt.Println("phase breakdown:")
 	fmt.Println(sim.Breakdown())
 	fmt.Printf("\nthroughput: %.3e bodies·steps/s (%v per step)\n",
-		metrics.Throughput(*n, *steps, elapsed), (elapsed / time.Duration(max(*steps, 1))).Round(time.Microsecond))
+		metrics.Throughput(sys.N(), stepsDone, elapsed), (elapsed / time.Duration(max(stepsDone, 1))).Round(time.Microsecond))
 	return nil
 }
 

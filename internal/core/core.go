@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -244,8 +245,19 @@ func (s *Sim) Step() error {
 }
 
 // Run advances the simulation by n steps.
-func (s *Sim) Run(n int) error {
+func (s *Sim) Run(n int) error { return s.RunContext(context.Background(), n) }
+
+// RunContext advances the simulation by up to n steps, checking ctx between
+// steps. A step in flight always completes — cancellation never leaves the
+// integrator mid-kick — so a cancelled run stops within one step and the
+// system remains in a consistent state at a step boundary. The returned
+// error wraps ctx's cancellation cause, so errors.Is(err, context.Canceled)
+// (or DeadlineExceeded) identifies an interrupted rather than failed run.
+func (s *Sim) RunContext(ctx context.Context, n int) error {
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: run interrupted at step %d: %w", s.step, err)
+		}
 		if err := s.Step(); err != nil {
 			return fmt.Errorf("core: step %d: %w", s.step, err)
 		}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"nbody/internal/body"
 	"nbody/internal/bvh"
@@ -382,5 +385,82 @@ func TestVariantConfigsRun(t *testing.T) {
 		if err := sim.Run(3); err != nil {
 			t.Fatalf("config %d: %v", i, err)
 		}
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	sys := workload.Plummer(100, 7)
+	sim, err := New(Config{Algorithm: AllPairs, DT: 0.01}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An already-cancelled context stops the run before the first step.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sim.RunContext(ctx, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if sim.StepCount() != 0 {
+		t.Fatalf("cancelled run advanced %d steps, want 0", sim.StepCount())
+	}
+
+	// A deadline in the past behaves the same with DeadlineExceeded.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if err := sim.RunContext(dctx, 10); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext past deadline = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// cancelAfterN is a context.Context whose Err flips to Canceled after n
+// checks, making mid-run cancellation deterministic without goroutines
+// (Sim is not safe for concurrent use; the serve layer locks around it).
+type cancelAfterN struct {
+	context.Context
+	n int
+}
+
+func (c *cancelAfterN) Err() error {
+	if c.n <= 0 {
+		return context.Canceled
+	}
+	c.n--
+	return nil
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	sys := workload.Plummer(300, 11)
+	sim, err := New(Config{Algorithm: AllPairs, DT: 0.001}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The context allows exactly two pre-step checks: the run must
+	// complete two steps and stop at the third boundary.
+	ctx := &cancelAfterN{Context: context.Background(), n: 2}
+	if err := sim.RunContext(ctx, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel = %v, want context.Canceled", err)
+	}
+	if n := sim.StepCount(); n != 2 {
+		t.Fatalf("cancelled run completed %d steps, want 2", n)
+	}
+	// The system must be left in a valid state at a step boundary.
+	if err := sim.System().Validate(); err != nil {
+		t.Fatalf("state invalid after cancel: %v", err)
+	}
+}
+
+func TestRunIsRunContextBackground(t *testing.T) {
+	sys := workload.Plummer(50, 13)
+	sim, err := New(Config{Algorithm: AllPairs, DT: 0.01}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if sim.StepCount() != 3 {
+		t.Fatalf("Run(3) advanced %d steps", sim.StepCount())
 	}
 }

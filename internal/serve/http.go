@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// snapshotContentType is the media type of the internal/snapshot wire
+// format on the upload and download paths.
+const snapshotContentType = "application/x-nbody-snapshot"
+
+// maxCreateJSON bounds the JSON body of POST /sessions.
+const maxCreateJSON = 1 << 20
+
+// NewHandler returns the service's HTTP API over m:
+//
+//	POST   /sessions               create (JSON params, or binary snapshot upload)
+//	GET    /sessions               list sessions
+//	GET    /sessions/{id}          session info
+//	POST   /sessions/{id}/step     advance {"steps": n}
+//	DELETE /sessions/{id}          delete (cancels an in-flight run)
+//	GET    /sessions/{id}/snapshot binary checkpoint download
+//	GET    /sessions/{id}/watch    chunked NDJSON per-step diagnostics stream
+//	GET    /sessions/{id}/trace    accumulated diagnostics trace (CSV)
+//	GET    /metrics                service counters + step latency percentiles
+//	GET    /healthz                liveness probe
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) { handleCreate(m, w, r) })
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": m.List()})
+	})
+	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /sessions/{id}/step", func(w http.ResponseWriter, r *http.Request) { handleStep(m, w, r) })
+	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Delete(r.PathValue("id")); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		w.Header().Set("Content-Type", snapshotContentType)
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".nbsnap"))
+		if err := m.WriteSnapshot(id, w); err != nil {
+			// Headers may be gone already; only report cleanly on lookup
+			// failure (WriteSnapshot validates before writing a byte).
+			writeError(w, err)
+		}
+	})
+	mux.HandleFunc("GET /sessions/{id}/watch", func(w http.ResponseWriter, r *http.Request) { handleWatch(m, w, r) })
+	mux.HandleFunc("GET /sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		w.Header().Set("Content-Type", "text/csv")
+		if err := m.WriteTrace(id, w); err != nil {
+			writeError(w, err)
+		}
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Metrics())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// handleCreate serves POST /sessions. A JSON body carries CreateRequest; a
+// binary body with the snapshot content type resumes an uploaded
+// checkpoint, with simulation parameters passed as query parameters.
+func handleCreate(m *Manager, w http.ResponseWriter, r *http.Request) {
+	ct := r.Header.Get("Content-Type")
+	ct, _, _ = strings.Cut(ct, ";")
+	ct = strings.TrimSpace(ct)
+
+	var info Info
+	var err error
+	switch ct {
+	case snapshotContentType, "application/octet-stream":
+		req, qerr := createRequestFromQuery(r)
+		if qerr != nil {
+			writeError(w, qerr)
+			return
+		}
+		// Cap the upload at the snapshot size of MaxBodies bodies
+		// (88 bytes per body) plus header/footer slack.
+		limit := int64(m.Config().MaxBodies)*88 + 4096
+		info, err = m.CreateFromSnapshot(http.MaxBytesReader(w, r.Body, limit), req)
+	default:
+		var req CreateRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCreateJSON))
+		dec.DisallowUnknownFields()
+		if derr := dec.Decode(&req); derr != nil {
+			writeError(w, fmt.Errorf("%w: body: %v", ErrBadRequest, derr))
+			return
+		}
+		if dec.More() {
+			writeError(w, fmt.Errorf("%w: trailing data after JSON body", ErrBadRequest))
+			return
+		}
+		info, err = m.Create(req)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/sessions/"+info.ID)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// createRequestFromQuery decodes snapshot-upload simulation parameters from
+// query parameters (dt, algorithm, theta, eps, g, sequential,
+// rebuild_every).
+func createRequestFromQuery(r *http.Request) (CreateRequest, error) {
+	q := r.URL.Query()
+	req := CreateRequest{Algorithm: q.Get("algorithm")}
+	var err error
+	parse := func(key string, dst *float64) {
+		if err != nil || !q.Has(key) {
+			return
+		}
+		if *dst, err = strconv.ParseFloat(q.Get(key), 64); err != nil {
+			err = fmt.Errorf("%w: query %s=%q: %v", ErrBadRequest, key, q.Get(key), err)
+		}
+	}
+	parse("dt", &req.DT)
+	parse("theta", &req.Theta)
+	parse("eps", &req.Eps)
+	parse("g", &req.G)
+	if err != nil {
+		return req, err
+	}
+	if q.Has("sequential") {
+		req.Sequential = q.Get("sequential") == "true" || q.Get("sequential") == "1"
+	}
+	if q.Has("rebuild_every") {
+		v, perr := strconv.Atoi(q.Get("rebuild_every"))
+		if perr != nil {
+			return req, fmt.Errorf("%w: query rebuild_every=%q", ErrBadRequest, q.Get("rebuild_every"))
+		}
+		req.RebuildEvery = v
+	}
+	return req, nil
+}
+
+// stepRequest is the JSON body of POST /sessions/{id}/step.
+type stepRequest struct {
+	Steps int `json:"steps"`
+}
+
+func handleStep(m *Manager, w http.ResponseWriter, r *http.Request) {
+	var req stepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCreateJSON))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: body: %v", ErrBadRequest, err))
+		return
+	}
+	res, err := m.Step(r.Context(), r.PathValue("id"), req.Steps)
+	if err != nil && !res.Interrupted {
+		writeError(w, err)
+		return
+	}
+	if err != nil {
+		// Partial progress: report it with the status of the interruption
+		// cause so clients can resume.
+		res.Error = err.Error()
+		writeJSONStatus(w, statusOf(err), res)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func handleWatch(m *Manager, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	steps, err := queryInt(r, "steps", 100)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	every, err := queryInt(r, "every", 1)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	flusher, _ := w.(http.Flusher)
+	wrote := false
+	enc := json.NewEncoder(w)
+	emit := func(ev WatchEvent) error {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("X-Accel-Buffering", "no")
+			w.WriteHeader(http.StatusOK)
+			wrote = true
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	if err := m.Watch(r.Context(), id, steps, every, emit); err != nil {
+		if !wrote {
+			writeError(w, err)
+			return
+		}
+		// Mid-stream failure: the status line is gone; append a terminal
+		// error record so clients can distinguish truncation from
+		// completion.
+		enc.Encode(map[string]string{"error": err.Error()})
+	}
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("%w: query %s=%q is not an integer", ErrBadRequest, key, v)
+	}
+	return n, nil
+}
+
+// statusOf maps the manager's typed errors onto HTTP status codes.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrTooManySessions), errors.Is(err, ErrBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrConflict):
+		return http.StatusConflict
+	case errors.Is(err, ErrShutdown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away or its deadline passed mid-request.
+		return 499 // client closed request (nginx convention)
+	}
+	return http.StatusInternalServerError
+}
+
+// writeError renders err as a JSON error document with its mapped status.
+func writeError(w http.ResponseWriter, err error) {
+	status := statusOf(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSONStatus(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) { writeJSONStatus(w, status, v) }
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// LogMiddleware wraps h with one-line request logging through logf
+// (signature matches log.Printf). It is the service's per-request trace
+// hook.
+func LogMiddleware(h http.Handler, logf func(format string, args ...any)) http.Handler {
+	if logf == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		logf("%s %s -> %d (%v)", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// statusWriter records the response status for logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards http.Flusher so the watch stream works through the
+// logging middleware.
+func (s *statusWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

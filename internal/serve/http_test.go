@@ -1,0 +1,491 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nbody/internal/snapshot"
+	"nbody/internal/workload"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := newTestManager(t, cfg)
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(srv.Close)
+	return m, srv
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+func TestHandlerCreateValidation(t *testing.T) {
+	_, srv := newTestServer(t, testConfig())
+
+	tests := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"valid", `{"workload":"plummer","n":64,"dt":0.001}`, http.StatusCreated},
+		{"valid explicit", `{"workload":"galaxy","n":128,"seed":7,"algorithm":"bvh","dt":1e-4,"theta":0.7}`, http.StatusCreated},
+		{"empty body", ``, http.StatusBadRequest},
+		{"malformed json", `{"workload":`, http.StatusBadRequest},
+		{"wrong type", `{"n":"many","dt":0.001}`, http.StatusBadRequest},
+		{"unknown field", `{"n":64,"dt":0.001,"bogus":1}`, http.StatusBadRequest},
+		{"trailing garbage", `{"n":64,"dt":0.001}{"again":true}`, http.StatusBadRequest},
+		{"zero bodies", `{"workload":"plummer","n":0,"dt":0.001}`, http.StatusBadRequest},
+		{"negative bodies", `{"workload":"plummer","n":-5,"dt":0.001}`, http.StatusBadRequest},
+		{"too many bodies", `{"workload":"plummer","n":1000000,"dt":0.001}`, http.StatusBadRequest},
+		{"zero dt", `{"workload":"plummer","n":64}`, http.StatusBadRequest},
+		{"negative dt", `{"workload":"plummer","n":64,"dt":-1}`, http.StatusBadRequest},
+		{"bad workload", `{"workload":"blackhole","n":64,"dt":0.001}`, http.StatusBadRequest},
+		{"bad algorithm", `{"workload":"plummer","n":64,"dt":0.001,"algorithm":"fmm"}`, http.StatusBadRequest},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, srv.URL+"/sessions", tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				b, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.status, b)
+			}
+			if tc.status != http.StatusCreated {
+				var e map[string]string
+				if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+					t.Fatalf("error responses must carry a JSON error document (err %v, %v)", err, e)
+				}
+			}
+		})
+	}
+}
+
+func TestHandlerSessionLifecycle(t *testing.T) {
+	_, srv := newTestServer(t, testConfig())
+
+	// Create.
+	resp := postJSON(t, srv.URL+"/sessions", `{"workload":"plummer","n":64,"seed":3,"dt":0.001}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, "/sessions/") {
+		t.Fatalf("Location header %q", loc)
+	}
+	info := decodeBody[Info](t, resp)
+	if info.ID == "" || info.State != "created" || info.N != 64 || info.Algorithm != "octree" {
+		t.Fatalf("create info %+v", info)
+	}
+
+	// Step.
+	resp = postJSON(t, srv.URL+"/sessions/"+info.ID+"/step", `{"steps":5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step status %d", resp.StatusCode)
+	}
+	res := decodeBody[StepResult](t, resp)
+	if res.Completed != 5 || res.Steps != 5 || res.Interrupted {
+		t.Fatalf("step result %+v", res)
+	}
+
+	// Info reflects the steps and the idle state.
+	resp, err := http.Get(srv.URL + "/sessions/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeBody[Info](t, resp)
+	if got.Steps != 5 || got.State != "idle" || got.TraceSamples != 1 {
+		t.Fatalf("info after step %+v", got)
+	}
+
+	// List contains it.
+	resp, err = http.Get(srv.URL + "/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decodeBody[map[string][]Info](t, resp)
+	if len(list["sessions"]) != 1 || list["sessions"][0].ID != info.ID {
+		t.Fatalf("list %+v", list)
+	}
+
+	// Trace CSV has a header and one sample row.
+	resp, err = http.Get(srv.URL + "/sessions/" + info.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if lines := strings.Count(strings.TrimSpace(string(csv)), "\n") + 1; lines != 2 {
+		t.Fatalf("trace CSV has %d lines, want header+1: %q", lines, csv)
+	}
+
+	// Delete, then everything 404s.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/sessions/"+info.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	for _, path := range []string{
+		"/sessions/" + info.ID,
+		"/sessions/" + info.ID + "/snapshot",
+		"/sessions/" + info.ID + "/trace",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s after delete = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHandlerAdmission429(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSessions = 1
+	_, srv := newTestServer(t, cfg)
+
+	resp := postJSON(t, srv.URL+"/sessions", `{"workload":"plummer","n":32,"dt":0.01}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first create %d", resp.StatusCode)
+	}
+	resp = postJSON(t, srv.URL+"/sessions", `{"workload":"plummer","n":32,"dt":0.01}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap create = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+func TestHandlerStepConflict409(t *testing.T) {
+	m, srv := newTestServer(t, testConfig())
+	info, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, done := blockedWatch(t, m, info.ID)
+	defer release()
+
+	resp := postJSON(t, srv.URL+"/sessions/"+info.ID+"/step", `{"steps":1}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting step = %d, want 409", resp.StatusCode)
+	}
+	release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotHTTPRoundTrip uploads a checkpoint, downloads it back through
+// the HTTP layer, and requires the served bytes to be identical to the
+// local encoding of the same system — proving write → serve → parse loses
+// nothing.
+func TestSnapshotHTTPRoundTrip(t *testing.T) {
+	_, srv := newTestServer(t, testConfig())
+
+	sys := workload.GalaxyCollision(200, 17)
+	meta := snapshot.Meta{Step: 40, Time: 0.04}
+	var local bytes.Buffer
+	if err := snapshot.Write(&local, sys, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	// Upload as a new session (dt via query parameters).
+	resp, err := http.Post(srv.URL+"/sessions?dt=0.001&algorithm=bvh",
+		snapshotContentType, bytes.NewReader(local.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("snapshot create = %d: %s", resp.StatusCode, b)
+	}
+	info := decodeBody[Info](t, resp)
+	if info.N != 200 || info.Steps != 40 || info.Algorithm != "bvh" || info.Workload != "snapshot" {
+		t.Fatalf("snapshot session info %+v", info)
+	}
+
+	// Download before stepping: must be byte-identical to the upload.
+	resp, err = http.Get(srv.URL + "/sessions/" + info.ID + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != snapshotContentType {
+		t.Errorf("snapshot content type %q", ct)
+	}
+	served, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, local.Bytes()) {
+		t.Fatalf("served snapshot differs from upload (%d vs %d bytes)", len(served), local.Len())
+	}
+
+	// And the served bytes parse back to the identical system.
+	got, gotMeta, err := snapshot.Read(bytes.NewReader(served))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta %+v, want %+v", gotMeta, meta)
+	}
+	for i := 0; i < sys.N(); i++ {
+		if got.PosX[i] != sys.PosX[i] || got.VelY[i] != sys.VelY[i] || got.ID[i] != sys.ID[i] {
+			t.Fatalf("body %d differs after round trip", i)
+		}
+	}
+
+	// After stepping, the snapshot metadata advances from the base.
+	resp = postJSON(t, srv.URL+"/sessions/"+info.ID+"/step", `{"steps":3}`)
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/sessions/" + info.ID + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m2, err := snapshot.Read(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Step != 43 {
+		t.Fatalf("stepped snapshot at step %d, want 43", m2.Step)
+	}
+}
+
+func TestHandlerSnapshotUploadValidation(t *testing.T) {
+	_, srv := newTestServer(t, testConfig())
+
+	// Corrupt payload.
+	resp, err := http.Post(srv.URL+"/sessions?dt=0.001", snapshotContentType,
+		strings.NewReader("NBODYSNP garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt snapshot = %d, want 400", resp.StatusCode)
+	}
+
+	// Valid payload but missing dt.
+	sys := workload.Plummer(10, 1)
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, sys, snapshot.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(srv.URL+"/sessions", snapshotContentType, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("snapshot without dt = %d, want 400", resp.StatusCode)
+	}
+
+	// Bad query parameter.
+	resp, err = http.Post(srv.URL+"/sessions?dt=fast", snapshotContentType, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad dt query = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHandlerWatchStream(t *testing.T) {
+	m, srv := newTestServer(t, testConfig())
+	info, err := m.Create(CreateRequest{Workload: "plummer", N: 64, DT: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/sessions/" + info.ID + "/watch?steps=6&every=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("watch content type %q", ct)
+	}
+
+	var events []WatchEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev WatchEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[2].Step != 6 {
+		t.Fatalf("final event at step %d, want 6", events[2].Step)
+	}
+	for _, ev := range events {
+		if len(ev.PhaseSeconds) == 0 {
+			t.Errorf("event %d missing phase timings", ev.Step)
+		}
+	}
+
+	// Invalid parameters are rejected before any stepping.
+	for _, q := range []string{"steps=abc", "steps=0", "steps=1000000000", "every=x"} {
+		resp, err := http.Get(srv.URL + "/sessions/" + info.ID + "/watch?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("watch?%s = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	m, srv := newTestServer(t, testConfig())
+	info, err := m.Create(CreateRequest{Workload: "plummer", N: 64, DT: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(context.Background(), info.ID, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeBody[MetricsSnapshot](t, resp)
+	if got.Sessions != 1 || got.StepsTotal != 4 || got.MaxSessions != testConfig().MaxSessions {
+		t.Fatalf("metrics %+v", got)
+	}
+	if got.StepLatency == nil || got.StepLatency.Count != 4 {
+		t.Fatalf("metrics latency %+v", got.StepLatency)
+	}
+}
+
+func TestHandlerNotFoundAndMethods(t *testing.T) {
+	_, srv := newTestServer(t, testConfig())
+
+	for _, tc := range []struct {
+		method, path string
+		status       int
+	}{
+		{http.MethodGet, "/sessions/nope", http.StatusNotFound},
+		{http.MethodPost, "/sessions/nope/step", http.StatusNotFound},
+		{http.MethodDelete, "/sessions/nope", http.StatusNotFound},
+		{http.MethodGet, "/sessions/nope/watch", http.StatusNotFound},
+		{http.MethodPut, "/sessions", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/bogus", http.StatusNotFound},
+	} {
+		var body io.Reader
+		if tc.method == http.MethodPost {
+			body = strings.NewReader(`{"steps":1}`)
+		}
+		req, _ := http.NewRequest(tc.method, srv.URL+tc.path, body)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.status)
+		}
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	_, srv := newTestServer(t, testConfig())
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d", resp.StatusCode)
+	}
+}
+
+// TestHandlerOverload429 drives the full stack into load shedding: with one
+// slot and one queue seat, a burst of step requests across sessions must
+// produce at least one 429 and no hung request.
+func TestHandlerOverload429(t *testing.T) {
+	cfg := testConfig()
+	cfg.StepSlots = 1
+	cfg.MaxQueue = 1
+	m, srv := newTestServer(t, cfg)
+
+	var ids [3]string
+	for i := range ids {
+		info, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = info.ID
+	}
+	release, done := blockedWatch(t, m, ids[0]) // pins the only slot
+	defer release()
+
+	queued := make(chan int, 1)
+	go func() {
+		resp := postJSON(t, srv.URL+"/sessions/"+ids[1]+"/step", `{"steps":1}`)
+		resp.Body.Close()
+		queued <- resp.StatusCode
+	}()
+	waitUntil(t, 5*time.Second, "queue depth 1", func() bool {
+		return m.Metrics().QueueDepth == 1
+	})
+
+	resp := postJSON(t, srv.URL+"/sessions/"+ids[2]+"/step", `{"steps":1}`)
+	shed := decodeBody[map[string]string](t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload step = %d (%v), want 429", resp.StatusCode, shed)
+	}
+
+	release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if code := <-queued; code != http.StatusOK {
+		t.Fatalf("queued request finished with %d", code)
+	}
+}

@@ -1,0 +1,644 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbody/internal/body"
+	"nbody/internal/bounds"
+	"nbody/internal/core"
+	"nbody/internal/metrics"
+	"nbody/internal/par"
+	"nbody/internal/snapshot"
+	"nbody/internal/trace"
+	"nbody/internal/workload"
+)
+
+// latencyRing keeps the most recent per-step wall times for the /metrics
+// percentiles without unbounded growth.
+const latencyRing = 4096
+
+// Manager owns the live sessions and enforces the service's resource
+// policy: a session cap with LRU eviction of TTL-expired idle sessions, a
+// slot semaphore bounding concurrent stepping, and a bounded admission
+// queue that sheds excess step requests with ErrBusy. All methods are safe
+// for concurrent use.
+type Manager struct {
+	cfg Config
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	lru      *list.List // *Session, front = least recently used
+	closed   bool
+
+	slots   chan struct{}
+	waiting atomic.Int64
+	nextID  atomic.Uint64
+	wg      sync.WaitGroup
+
+	janitorDone chan struct{}
+
+	// counters for /metrics
+	createdTotal     atomic.Int64
+	evictedTotal     atomic.Int64
+	deletedTotal     atomic.Int64
+	rejectedSessions atomic.Int64
+	rejectedSteps    atomic.Int64
+	stepsTotal       atomic.Int64
+
+	latMu  sync.Mutex
+	lat    [latencyRing]float64 // seconds
+	latIdx int
+	latN   int
+}
+
+// NewManager validates cfg, starts the eviction janitor and returns a ready
+// manager. Call Close to stop it.
+func NewManager(cfg Config) (*Manager, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	m := &Manager{
+		cfg:         cfg,
+		ctx:         ctx,
+		cancel:      cancel,
+		sessions:    make(map[string]*Session),
+		lru:         list.New(),
+		slots:       make(chan struct{}, cfg.StepSlots),
+		janitorDone: make(chan struct{}),
+	}
+	go m.janitor()
+	return m, nil
+}
+
+// Config returns the manager's configuration with defaults applied.
+func (m *Manager) Config() Config { return m.cfg }
+
+// janitor periodically evicts sessions idle past IdleTTL.
+func (m *Manager) janitor() {
+	defer close(m.janitorDone)
+	interval := m.cfg.IdleTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-t.C:
+			m.evictExpired(m.cfg.MaxSessions + 1)
+		}
+	}
+}
+
+// evictExpired removes up to limit sessions whose idle age exceeds IdleTTL,
+// least recently used first, and returns how many it evicted.
+func (m *Manager) evictExpired(limit int) int {
+	cutoff := time.Now().Add(-m.cfg.IdleTTL).UnixNano()
+	var victims []*Session
+	m.mu.Lock()
+	for e := m.lru.Front(); e != nil && len(victims) < limit; {
+		next := e.Next()
+		s := e.Value.(*Session)
+		if !s.busy.Load() && s.State() != StateRunning && s.lastUsed.Load() < cutoff {
+			m.lru.Remove(e)
+			delete(m.sessions, s.ID)
+			victims = append(victims, s)
+		}
+		e = next
+	}
+	m.mu.Unlock()
+	for _, s := range victims {
+		s.setState(StateEvicted)
+		s.cancel(fmt.Errorf("%w: session %s evicted after %v idle", ErrNotFound, s.ID, m.cfg.IdleTTL))
+		m.evictedTotal.Add(1)
+	}
+	return len(victims)
+}
+
+// Create builds a session from a workload generator request.
+func (m *Manager) Create(req CreateRequest) (Info, error) {
+	if req.Workload == "" {
+		req.Workload = "plummer"
+	}
+	if err := m.validate(req, req.N); err != nil {
+		return Info{}, err
+	}
+	sys, err := workload.ByName(req.Workload, req.N, req.Seed)
+	if err != nil {
+		return Info{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return m.insert(sys, req, req.Workload, 0, 0)
+}
+
+// CreateFromSnapshot builds a session from an uploaded binary checkpoint in
+// the internal/snapshot wire format. The simulation resumes at the
+// checkpoint's step/time, which snapshot downloads preserve.
+func (m *Manager) CreateFromSnapshot(r io.Reader, req CreateRequest) (Info, error) {
+	sys, meta, err := snapshot.Read(r)
+	if err != nil {
+		return Info{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if err := m.validate(req, sys.N()); err != nil {
+		return Info{}, err
+	}
+	return m.insert(sys, req, "snapshot", meta.Step, meta.Time)
+}
+
+// validate checks the request against service limits.
+func (m *Manager) validate(req CreateRequest, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: body count %d must be > 0", ErrBadRequest, n)
+	}
+	if n > m.cfg.MaxBodies {
+		return fmt.Errorf("%w: body count %d exceeds the service limit %d", ErrBadRequest, n, m.cfg.MaxBodies)
+	}
+	if !(req.DT > 0) {
+		return fmt.Errorf("%w: dt %v must be > 0", ErrBadRequest, req.DT)
+	}
+	return nil
+}
+
+// insert constructs the core.Sim and admits the session.
+func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName string, baseStep int, baseTime float64) (Info, error) {
+	algName := req.Algorithm
+	if algName == "" {
+		algName = "octree"
+	}
+	alg, err := core.ParseAlgorithm(algName)
+	if err != nil {
+		return Info{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	sim, err := core.New(core.Config{
+		Algorithm:     alg,
+		Params:        req.params(),
+		DT:            req.DT,
+		Runtime:       m.cfg.Runtime,
+		Sequential:    req.Sequential,
+		RebuildEvery:  req.RebuildEvery,
+		ValidateEvery: req.ValidateEvery,
+	}, sys)
+	if err != nil {
+		return Info{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+
+	ctx, cancel := context.WithCancelCause(m.ctx)
+	s := &Session{
+		sim:       sim,
+		rec:       trace.NewRecorder(req.DT),
+		ctx:       ctx,
+		cancel:    cancel,
+		baseStep:  baseStep,
+		baseTime:  baseTime,
+		created:   time.Now(),
+		algorithm: alg.String(),
+		workload:  workloadName,
+		seed:      req.Seed,
+		dt:        req.DT,
+		n:         sys.N(),
+	}
+	s.touch()
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel(ErrShutdown)
+		return Info{}, ErrShutdown
+	}
+	if excess := 1 + len(m.sessions) - m.cfg.MaxSessions; excess > 0 {
+		// Admission control: make room by evicting TTL-expired idle
+		// sessions (least recently used first); if none qualify the
+		// create is rejected, not queued.
+		m.mu.Unlock()
+		m.evictExpired(excess)
+		m.mu.Lock()
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		cancel(ErrTooManySessions)
+		m.rejectedSessions.Add(1)
+		return Info{}, fmt.Errorf("%w (max %d)", ErrTooManySessions, m.cfg.MaxSessions)
+	}
+	s.ID = fmt.Sprintf("s-%d", m.nextID.Add(1))
+	m.sessions[s.ID] = s
+	s.elem = m.lru.PushBack(s)
+	m.mu.Unlock()
+
+	m.createdTotal.Add(1)
+	return s.Info(), nil
+}
+
+// lookup returns the session and refreshes its LRU position.
+func (m *Manager) lookup(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	s.touch()
+	m.lru.MoveToBack(s.elem)
+	return s, nil
+}
+
+// Get returns a session's description.
+func (m *Manager) Get(id string) (Info, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return Info{}, err
+	}
+	return s.Info(), nil
+}
+
+// List returns every live session's description, most recently used last.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	ss := make([]*Session, 0, len(m.sessions))
+	for e := m.lru.Front(); e != nil; e = e.Next() {
+		ss = append(ss, e.Value.(*Session))
+	}
+	m.mu.Unlock()
+	infos := make([]Info, len(ss))
+	for i, s := range ss {
+		infos[i] = s.Info()
+	}
+	return infos
+}
+
+// Delete removes a session, cancelling any in-flight run within one step.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+		m.lru.Remove(s.elem)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	s.setState(StateEvicted)
+	s.cancel(fmt.Errorf("%w: session %s deleted", ErrNotFound, id))
+	m.deletedTotal.Add(1)
+	return nil
+}
+
+// admit serializes step/watch requests per session (ErrConflict), sheds
+// load once the slot queue is full (ErrBusy), and otherwise blocks for a
+// stepping slot. The returned release func must be called when the run
+// finishes.
+func (m *Manager) admit(ctx context.Context, s *Session) (release func(), err error) {
+	if err := m.ctx.Err(); err != nil {
+		return nil, ErrShutdown
+	}
+	if !s.busy.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("%w (%s)", ErrConflict, s.ID)
+	}
+	undo := func() { s.busy.Store(false) }
+
+	// Fast path: a free slot admits immediately without consuming queue
+	// budget.
+	select {
+	case m.slots <- struct{}{}:
+	default:
+		if w := m.waiting.Add(1); w > int64(m.cfg.MaxQueue) {
+			m.waiting.Add(-1)
+			undo()
+			m.rejectedSteps.Add(1)
+			return nil, fmt.Errorf("%w (%d queued, limit %d)", ErrBusy, w-1, m.cfg.MaxQueue)
+		}
+		select {
+		case m.slots <- struct{}{}:
+			m.waiting.Add(-1)
+		case <-ctx.Done():
+			m.waiting.Add(-1)
+			undo()
+			return nil, ctx.Err()
+		case <-s.ctx.Done():
+			m.waiting.Add(-1)
+			undo()
+			return nil, context.Cause(s.ctx)
+		}
+	}
+
+	s.setState(StateRunning)
+	m.wg.Add(1)
+	return func() {
+		<-m.slots
+		if s.State() == StateRunning {
+			s.setState(StateIdle)
+		}
+		s.touch()
+		s.busy.Store(false)
+		m.wg.Done()
+	}, nil
+}
+
+// checkBudget validates a requested step count against the per-request
+// budget.
+func (m *Manager) checkBudget(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: steps %d must be > 0", ErrBadRequest, n)
+	}
+	if n > m.cfg.MaxStepsPerRequest {
+		return fmt.Errorf("%w: steps %d exceeds the per-request budget %d", ErrBadRequest, n, m.cfg.MaxStepsPerRequest)
+	}
+	return nil
+}
+
+// Step advances session id by n steps on the worker pool. On interruption
+// (client timeout, session deletion, server drain) the returned StepResult
+// still reports the partial progress alongside the error.
+func (m *Manager) Step(ctx context.Context, id string, n int) (StepResult, error) {
+	if err := m.checkBudget(n); err != nil {
+		return StepResult{}, err
+	}
+	s, err := m.lookup(id)
+	if err != nil {
+		return StepResult{}, err
+	}
+	release, err := m.admit(ctx, s)
+	if err != nil {
+		return StepResult{}, err
+	}
+	defer release()
+
+	start := time.Now()
+	completed, runErr := m.runSteps(ctx, s, n, 0, nil)
+	res := StepResult{
+		ID:             s.ID,
+		Requested:      n,
+		Completed:      completed,
+		Steps:          s.StepCount(),
+		ElapsedSeconds: time.Since(start).Seconds(),
+		Interrupted:    runErr != nil,
+	}
+	// One diagnostics sample per step request feeds the session trace.
+	if completed > 0 {
+		s.mu.Lock()
+		s.rec.Record(s.sim, false)
+		s.mu.Unlock()
+	}
+	return res, runErr
+}
+
+// Watch advances session id by n steps, calling emit with a diagnostics
+// event every `every` steps (and after the final step). emit errors abort
+// the run — that is how a disconnected streaming client stops its
+// simulation work.
+func (m *Manager) Watch(ctx context.Context, id string, n, every int, emit func(WatchEvent) error) error {
+	if err := m.checkBudget(n); err != nil {
+		return err
+	}
+	if every <= 0 {
+		every = 1
+	}
+	s, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	release, err := m.admit(ctx, s)
+	if err != nil {
+		return err
+	}
+	defer release()
+	_, err = m.runSteps(ctx, s, n, every, emit)
+	return err
+}
+
+// runSteps is the shared stepping loop: one step per iteration under the
+// session lock (so snapshots interleave at step boundaries), cancellable
+// between steps via both the request context and the session context.
+func (m *Manager) runSteps(ctx context.Context, s *Session, n, every int, emit func(WatchEvent) error) (int, error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := context.AfterFunc(s.ctx, cancel)
+	defer stop()
+
+	var prev []time.Duration // per-phase elapsed at the previous emit
+	if emit != nil {
+		prev = make([]time.Duration, len(metrics.Phases()))
+		s.mu.Lock()
+		for _, p := range metrics.Phases() {
+			prev[p] = s.sim.Breakdown().Elapsed(p)
+		}
+		s.mu.Unlock()
+	}
+
+	completed := 0
+	for i := 1; i <= n; i++ {
+		start := time.Now()
+		s.mu.Lock()
+		err := s.sim.RunContext(runCtx, 1)
+		s.mu.Unlock()
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// Distinguish who cancelled: the session/manager (drain,
+				// delete) carries a typed cause; otherwise it was the
+				// request's own context.
+				if s.ctx.Err() != nil {
+					return completed, context.Cause(s.ctx)
+				}
+				return completed, err
+			}
+			return completed, fmt.Errorf("session %s: %w", s.ID, err)
+		}
+		m.recordLatency(time.Since(start).Seconds())
+		m.stepsTotal.Add(1)
+		completed++
+
+		if emit != nil && (i%every == 0 || i == n) {
+			if err := emit(m.buildEvent(s, prev)); err != nil {
+				return completed, err
+			}
+		}
+	}
+	return completed, nil
+}
+
+// buildEvent samples the session's diagnostics into a WatchEvent, also
+// appending to the session trace. prev carries per-phase elapsed times
+// across events so each event reports interval (not cumulative) wall time.
+func (m *Manager) buildEvent(s *Session, prev []time.Duration) WatchEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec.Record(s.sim, false)
+	sample := s.rec.Samples()[s.rec.Len()-1]
+
+	sys := s.sim.System()
+	box := bounds.OfPositions(m.cfg.Runtime, par.ParUnseq, sys.PosX, sys.PosY, sys.PosZ)
+
+	phases := make(map[string]float64, 6)
+	for _, p := range metrics.Phases() {
+		cur := s.sim.Breakdown().Elapsed(p)
+		if d := cur - prev[p]; d > 0 {
+			phases[p.String()] = d.Seconds()
+		}
+		prev[p] = cur
+	}
+
+	return WatchEvent{
+		Step:          s.baseStep + sample.Step,
+		Time:          s.baseTime + sample.Time,
+		KineticEnergy: sample.KineticEnergy,
+		Potential:     sample.Potential,
+		TotalEnergy:   sample.TotalEnergy,
+		MomentumNorm:  sample.MomentumNorm,
+		BoundsMin:     [3]float64{box.Min.X, box.Min.Y, box.Min.Z},
+		BoundsMax:     [3]float64{box.Max.X, box.Max.Y, box.Max.Z},
+		PhaseSeconds:  phases,
+	}
+}
+
+// WriteSnapshot serializes session id's current state in the
+// internal/snapshot wire format. It waits for at most one step to finish,
+// never observing torn state mid-step.
+func (m *Manager) WriteSnapshot(id string, w io.Writer) error {
+	s, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	count := s.sim.StepCount()
+	meta := snapshot.Meta{
+		Step: s.baseStep + count,
+		Time: s.baseTime + float64(count)*s.dt,
+	}
+	return snapshot.Write(w, s.sim.System(), meta)
+}
+
+// WriteTrace writes session id's accumulated diagnostics trace as CSV.
+func (m *Manager) WriteTrace(id string, w io.Writer) error {
+	s, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.WriteCSV(w)
+}
+
+// recordLatency appends one per-step wall time (seconds) to the ring.
+func (m *Manager) recordLatency(sec float64) {
+	m.latMu.Lock()
+	m.lat[m.latIdx] = sec
+	m.latIdx = (m.latIdx + 1) % latencyRing
+	if m.latN < latencyRing {
+		m.latN++
+	}
+	m.latMu.Unlock()
+}
+
+// LatencyStats summarizes recent per-step wall times.
+type LatencyStats struct {
+	Count       int     `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P90Seconds  float64 `json:"p90_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+}
+
+// MetricsSnapshot is the JSON body of GET /metrics.
+type MetricsSnapshot struct {
+	Sessions         int            `json:"sessions"`
+	SessionsByState  map[string]int `json:"sessions_by_state"`
+	MaxSessions      int            `json:"max_sessions"`
+	StepSlots        int            `json:"step_slots"`
+	SlotsInUse       int            `json:"slots_in_use"`
+	QueueDepth       int            `json:"queue_depth"`
+	MaxQueue         int            `json:"max_queue"`
+	CreatedTotal     int64          `json:"sessions_created_total"`
+	EvictedTotal     int64          `json:"sessions_evicted_total"`
+	DeletedTotal     int64          `json:"sessions_deleted_total"`
+	RejectedSessions int64          `json:"sessions_rejected_total"`
+	RejectedSteps    int64          `json:"steps_rejected_total"`
+	StepsTotal       int64          `json:"steps_total"`
+	StepLatency      *LatencyStats  `json:"step_latency,omitempty"`
+}
+
+// Metrics snapshots the service counters for the /metrics endpoint.
+func (m *Manager) Metrics() MetricsSnapshot {
+	m.mu.Lock()
+	byState := make(map[string]int, 4)
+	total := len(m.sessions)
+	for _, s := range m.sessions {
+		byState[s.State().String()]++
+	}
+	m.mu.Unlock()
+
+	snap := MetricsSnapshot{
+		Sessions:         total,
+		SessionsByState:  byState,
+		MaxSessions:      m.cfg.MaxSessions,
+		StepSlots:        m.cfg.StepSlots,
+		SlotsInUse:       len(m.slots),
+		QueueDepth:       int(m.waiting.Load()),
+		MaxQueue:         m.cfg.MaxQueue,
+		CreatedTotal:     m.createdTotal.Load(),
+		EvictedTotal:     m.evictedTotal.Load(),
+		DeletedTotal:     m.deletedTotal.Load(),
+		RejectedSessions: m.rejectedSessions.Load(),
+		RejectedSteps:    m.rejectedSteps.Load(),
+		StepsTotal:       m.stepsTotal.Load(),
+	}
+
+	m.latMu.Lock()
+	lats := append([]float64(nil), m.lat[:m.latN]...)
+	m.latMu.Unlock()
+	if len(lats) > 0 {
+		sum := metrics.Summarize(lats)
+		snap.StepLatency = &LatencyStats{
+			Count:       sum.N,
+			MeanSeconds: sum.Mean,
+			P50Seconds:  sum.Percentile(0.5),
+			P90Seconds:  sum.Percentile(0.9),
+			P99Seconds:  sum.Percentile(0.99),
+			MaxSeconds:  sum.Max,
+		}
+	}
+	return snap
+}
+
+// Close drains the manager: new work is refused with ErrShutdown, every
+// in-flight run is cancelled at its next step boundary, and Close waits for
+// them to release their slots (bounded by ctx).
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.closed
+	m.closed = true
+	m.mu.Unlock()
+	if !already {
+		m.cancel(ErrShutdown)
+	}
+	<-m.janitorDone
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain incomplete: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,106 @@
+// Package serve is the simulation service layer: it multiplexes many
+// independent N-body simulation sessions over one machine behind a JSON
+// HTTP API, turning the batch solvers of internal/core into a long-running
+// multi-tenant system.
+//
+// The design splits into two halves:
+//
+//   - Manager (manager.go, session.go) owns the sessions. Each session
+//     wraps a core.Sim plus a trace.Recorder and moves through the
+//     lifecycle created → running → idle → evicted. The manager enforces
+//     admission control (a hard session cap with LRU eviction of
+//     TTL-expired idle sessions), bounds concurrent stepping with a slot
+//     semaphore sized so that slots × per-session workers stays within the
+//     internal/par runtime's capacity, sheds load once the slot queue is
+//     full (the HTTP layer maps that to 429), and cancels in-flight runs
+//     on shutdown via core.Sim.RunContext.
+//
+//   - Handler (http.go) is the net/http front end: session CRUD, stepping,
+//     binary snapshot upload/download (internal/snapshot wire format), a
+//     chunked NDJSON per-step watch stream, a per-session diagnostics
+//     trace (CSV), and a /metrics endpoint exporting session counts, queue
+//     depth and step-latency percentiles.
+//
+// Everything is stdlib-only, matching the rest of the repository.
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"nbody/internal/par"
+)
+
+// Typed errors the HTTP layer maps onto status codes. Manager methods wrap
+// these with detail; match with errors.Is.
+var (
+	// ErrNotFound reports an unknown session ID (404).
+	ErrNotFound = errors.New("serve: session not found")
+	// ErrTooManySessions reports that the session cap is reached and no
+	// idle session was old enough to evict (429).
+	ErrTooManySessions = errors.New("serve: session limit reached")
+	// ErrBusy reports that the stepping queue is full; the request was
+	// shed instead of piling up goroutines (429).
+	ErrBusy = errors.New("serve: step queue full")
+	// ErrConflict reports a second concurrent step/watch request on one
+	// session (409).
+	ErrConflict = errors.New("serve: session is already stepping")
+	// ErrShutdown reports that the manager is draining (503).
+	ErrShutdown = errors.New("serve: server shutting down")
+	// ErrBadRequest reports invalid session parameters (400).
+	ErrBadRequest = errors.New("serve: invalid request")
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// MaxSessions caps live sessions; admission beyond it evicts the
+	// least-recently-used idle session past IdleTTL or fails with
+	// ErrTooManySessions. Required > 0.
+	MaxSessions int
+	// MaxBodies caps the body count of any one session. Required > 0.
+	MaxBodies int
+	// IdleTTL is how long a session may sit idle before it becomes
+	// evictable (by the background janitor, or on demand when a create
+	// needs room). Required > 0.
+	IdleTTL time.Duration
+	// StepSlots bounds how many sessions step concurrently. Together with
+	// Runtime's worker count it fixes the machine's total parallelism at
+	// roughly StepSlots × Runtime.Workers(). Default 2.
+	StepSlots int
+	// MaxQueue bounds how many step/watch requests may wait for a slot
+	// before new ones are shed with ErrBusy. Default StepSlots.
+	MaxQueue int
+	// MaxStepsPerRequest is the per-request step budget for step and
+	// watch calls. Default 10000.
+	MaxStepsPerRequest int
+	// Runtime is the parallel runtime each session steps on. Note this is
+	// the per-session runtime: size it as total workers / StepSlots (the
+	// nbody-serve binary does this). Default par.Default().
+	Runtime *par.Runtime
+}
+
+// withDefaults validates cfg and fills defaults.
+func (c Config) withDefaults() (Config, error) {
+	if c.MaxSessions <= 0 {
+		return c, errors.New("serve: MaxSessions must be > 0")
+	}
+	if c.MaxBodies <= 0 {
+		return c, errors.New("serve: MaxBodies must be > 0")
+	}
+	if c.IdleTTL <= 0 {
+		return c, errors.New("serve: IdleTTL must be > 0")
+	}
+	if c.StepSlots <= 0 {
+		c.StepSlots = 2
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = c.StepSlots
+	}
+	if c.MaxStepsPerRequest <= 0 {
+		c.MaxStepsPerRequest = 10_000
+	}
+	if c.Runtime == nil {
+		c.Runtime = par.Default()
+	}
+	return c, nil
+}

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbody/internal/core"
+	"nbody/internal/grav"
+	"nbody/internal/trace"
+)
+
+// State is a session's position in the lifecycle
+// created → running → idle → evicted (see DESIGN.md §5).
+type State int32
+
+const (
+	// StateCreated: session exists, no step request has run yet.
+	StateCreated State = iota
+	// StateRunning: a step or watch request is executing.
+	StateRunning
+	// StateIdle: at least one step request has completed; none in flight.
+	StateIdle
+	// StateEvicted: removed (deleted, TTL-evicted, or LRU-evicted); the
+	// terminal state. Requests holding a stale pointer observe it.
+	StateEvicted
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateCreated:
+		return "created"
+	case StateRunning:
+		return "running"
+	case StateIdle:
+		return "idle"
+	case StateEvicted:
+		return "evicted"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// Session is one live simulation owned by a Manager.
+type Session struct {
+	// ID is the manager-assigned identifier ("s-1", "s-2", ...).
+	ID string
+
+	// mu guards sim and its body system: held while stepping one step and
+	// while serializing a snapshot, so snapshots interleave with long runs
+	// at step boundaries instead of observing torn state.
+	mu  sync.Mutex
+	sim *core.Sim
+	rec *trace.Recorder
+
+	// busy serializes step/watch requests: a second concurrent one is
+	// rejected with ErrConflict instead of queueing behind the first.
+	busy atomic.Bool
+
+	state atomic.Int32
+
+	// ctx is cancelled when the session is deleted/evicted or the manager
+	// shuts down, stopping any in-flight run within one step.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	// baseStep/baseTime offset snapshot metadata when the session was
+	// created from an uploaded checkpoint mid-run.
+	baseStep int
+	baseTime float64
+
+	// elem is the session's node in the manager's LRU list (guarded by
+	// the manager's mutex).
+	elem *list.Element
+
+	created   time.Time
+	lastUsed  atomic.Int64 // unix nanos
+	algorithm string
+	workload  string
+	seed      uint64
+	dt        float64
+	n         int
+}
+
+// touch records use for LRU/TTL accounting.
+func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+// LastUsed returns the last time a request touched the session.
+func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) }
+
+// State returns the session's lifecycle state.
+func (s *Session) State() State { return State(s.state.Load()) }
+
+// setState transitions the lifecycle state.
+func (s *Session) setState(st State) { s.state.Store(int32(st)) }
+
+// StepCount returns completed steps including any checkpoint base offset.
+func (s *Session) StepCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.baseStep + s.sim.StepCount()
+}
+
+// Info is the JSON description of a session.
+type Info struct {
+	ID           string    `json:"id"`
+	State        string    `json:"state"`
+	Algorithm    string    `json:"algorithm"`
+	Workload     string    `json:"workload,omitempty"`
+	N            int       `json:"n"`
+	DT           float64   `json:"dt"`
+	Seed         uint64    `json:"seed"`
+	Steps        int       `json:"steps"`
+	Created      time.Time `json:"created"`
+	LastUsed     time.Time `json:"last_used"`
+	TraceSamples int       `json:"trace_samples"`
+}
+
+// Info snapshots the session's description.
+func (s *Session) Info() Info {
+	s.mu.Lock()
+	steps := s.baseStep + s.sim.StepCount()
+	samples := s.rec.Len()
+	s.mu.Unlock()
+	return Info{
+		ID:           s.ID,
+		State:        s.State().String(),
+		Algorithm:    s.algorithm,
+		Workload:     s.workload,
+		N:            s.n,
+		DT:           s.dt,
+		Seed:         s.seed,
+		Steps:        steps,
+		Created:      s.created,
+		LastUsed:     s.LastUsed(),
+		TraceSamples: samples,
+	}
+}
+
+// CreateRequest is the JSON body of POST /sessions. Zero physics parameters
+// inherit grav.DefaultParams() field-wise; zero workload/algorithm inherit
+// "plummer"/"octree".
+type CreateRequest struct {
+	Workload     string  `json:"workload"`
+	N            int     `json:"n"`
+	Seed         uint64  `json:"seed"`
+	Algorithm    string  `json:"algorithm"`
+	DT           float64 `json:"dt"`
+	Theta        float64 `json:"theta"`
+	Eps          float64 `json:"eps"`
+	G            float64 `json:"g"`
+	Sequential   bool    `json:"sequential"`
+	RebuildEvery int     `json:"rebuild_every"`
+	// ValidateEvery forwards core.Config.ValidateEvery (abort on
+	// non-finite state every k steps).
+	ValidateEvery int `json:"validate_every"`
+}
+
+// params resolves the request's physics parameters against the defaults.
+func (r CreateRequest) params() grav.Params {
+	p := grav.DefaultParams()
+	if r.G != 0 {
+		p.G = r.G
+	}
+	if r.Theta != 0 {
+		p.Theta = r.Theta
+	}
+	if r.Eps != 0 {
+		p.Eps = r.Eps
+	}
+	return p
+}
+
+// StepResult reports a completed (or interrupted) step request.
+type StepResult struct {
+	ID             string  `json:"id"`
+	Requested      int     `json:"requested"`
+	Completed      int     `json:"completed"`
+	Steps          int     `json:"steps"` // total completed steps
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Interrupted is set when the run stopped early (client timeout or
+	// server drain); Completed then reports the partial progress.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Error describes the interruption cause when Interrupted is set.
+	Error string `json:"error,omitempty"`
+}
+
+// WatchEvent is one NDJSON record of GET /sessions/{id}/watch: the
+// conservation diagnostics of internal/trace plus spatial bounds and the
+// per-phase wall-time of the interval since the previous event.
+type WatchEvent struct {
+	Step          int                `json:"step"`
+	Time          float64            `json:"time"`
+	KineticEnergy float64            `json:"kinetic"`
+	Potential     float64            `json:"potential"`
+	TotalEnergy   float64            `json:"total_energy"`
+	MomentumNorm  float64            `json:"momentum"`
+	BoundsMin     [3]float64         `json:"bounds_min"`
+	BoundsMax     [3]float64         `json:"bounds_max"`
+	PhaseSeconds  map[string]float64 `json:"phase_seconds,omitempty"`
+}

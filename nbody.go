@@ -23,6 +23,11 @@
 //	if err != nil { ... }
 //	err = sim.Run(100)
 //
+// Long runs are cancellable: sim.RunContext(ctx, n) stops at the next step
+// boundary once ctx is done, which is what the nbody CLI uses for clean
+// Ctrl-C handling and the nbody-serve service uses for request timeouts and
+// graceful shutdown.
+//
 // The parallel substrate (execution policies, schedulers, parallel
 // algorithms) lives in internal/par and is configured through
 // Config.Runtime; see NewRuntime.

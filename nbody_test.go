@@ -1,6 +1,8 @@
 package nbody_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -110,5 +112,26 @@ func TestFacadeAlgorithms(t *testing.T) {
 	}
 	if nbody.DefaultParams().Theta != 0.5 {
 		t.Errorf("default theta: %v", nbody.DefaultParams().Theta)
+	}
+}
+
+// TestFacadeRunContext checks the cancellable run API is reachable through
+// the public facade (the serve layer and CLIs depend on it).
+func TestFacadeRunContext(t *testing.T) {
+	sys := nbody.NewPlummer(64, 3)
+	sim, err := nbody.NewSimulation(nbody.Config{Algorithm: nbody.AllPairs, DT: 0.01}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunContext(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sim.RunContext(ctx, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunContext = %v, want context.Canceled", err)
+	}
+	if got := sim.StepCount(); got != 2 {
+		t.Fatalf("step count after cancel = %d, want 2", got)
 	}
 }
