@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"nbody/internal/snapshot"
 )
 
 // snapshotContentType is the media type of the internal/snapshot wire
@@ -57,9 +59,15 @@ func NewHandler(m *Manager) http.Handler {
 		w.Header().Set("Content-Type", snapshotContentType)
 		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".nbsnap"))
 		if err := m.WriteSnapshot(id, w); err != nil {
-			// Headers may be gone already; only report cleanly on lookup
-			// failure (WriteSnapshot validates before writing a byte).
-			writeError(w, err)
+			// WriteSnapshot validates before writing a byte, so a lookup
+			// failure can still be reported cleanly. Any other error means
+			// the binary response already started (usually the client went
+			// away); appending a JSON error document would corrupt it, so
+			// leave it truncated — the format's checksum flags that to the
+			// reader.
+			if errors.Is(err, ErrNotFound) {
+				writeError(w, err)
+			}
 		}
 	})
 	mux.HandleFunc("GET /sessions/{id}/watch", func(w http.ResponseWriter, r *http.Request) { handleWatch(m, w, r) })
@@ -67,7 +75,12 @@ func NewHandler(m *Manager) http.Handler {
 		id := r.PathValue("id")
 		w.Header().Set("Content-Type", "text/csv")
 		if err := m.WriteTrace(id, w); err != nil {
-			writeError(w, err)
+			// Same mid-stream rule as the snapshot download: only a lookup
+			// failure is reportable; a CSV write error means the response
+			// already started.
+			if errors.Is(err, ErrNotFound) {
+				writeError(w, err)
+			}
 		}
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -96,9 +109,10 @@ func handleCreate(m *Manager, w http.ResponseWriter, r *http.Request) {
 			writeError(w, qerr)
 			return
 		}
-		// Cap the upload at the snapshot size of MaxBodies bodies
-		// (88 bytes per body) plus header/footer slack.
-		limit := int64(m.Config().MaxBodies)*88 + 4096
+		// Cap the upload at the exact encoded size of MaxBodies bodies;
+		// anything larger necessarily declares a body count the manager
+		// rejects anyway.
+		limit := snapshot.EncodedSize(m.Config().MaxBodies)
 		info, err = m.CreateFromSnapshot(http.MaxBytesReader(w, r.Body, limit), req)
 	default:
 		var req CreateRequest

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -321,6 +322,25 @@ func TestHandlerSnapshotUploadValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad dt query = %d, want 400", resp.StatusCode)
+	}
+
+	// A forged header declaring a huge body count must be rejected with 400
+	// from the header alone — not by attempting (and dying on) a
+	// proportional allocation.
+	forged := []byte("NBODYSNP")
+	forged = binary.LittleEndian.AppendUint32(forged, 1)     // version
+	forged = binary.LittleEndian.AppendUint64(forged, 1<<39) // n, far over MaxBodies
+	resp, err = http.Post(srv.URL+"/sessions?dt=0.001", snapshotContentType, bytes.NewReader(forged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("forged body count = %d, want 400 (body %s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "exceeds limit") {
+		t.Errorf("forged body count error = %s", body)
 	}
 }
 

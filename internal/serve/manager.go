@@ -24,6 +24,12 @@ import (
 // percentiles without unbounded growth.
 const latencyRing = 4096
 
+// traceRing caps each session's diagnostics trace the same way: step and
+// watch requests append samples for the session's whole lifetime, so a
+// long-lived session in this long-running service must not accumulate them
+// unboundedly.
+const traceRing = 4096
+
 // Manager owns the live sessions and enforces the service's resource
 // policy: a session cap with LRU eviction of TTL-expired idle sessions, a
 // slot semaphore bounding concurrent stepping, and a bounded admission
@@ -149,9 +155,11 @@ func (m *Manager) Create(req CreateRequest) (Info, error) {
 
 // CreateFromSnapshot builds a session from an uploaded binary checkpoint in
 // the internal/snapshot wire format. The simulation resumes at the
-// checkpoint's step/time, which snapshot downloads preserve.
+// checkpoint's step/time, which snapshot downloads preserve. The upload is
+// untrusted: ReadMax rejects a header-declared body count over MaxBodies
+// before allocating anything proportional to it.
 func (m *Manager) CreateFromSnapshot(r io.Reader, req CreateRequest) (Info, error) {
-	sys, meta, err := snapshot.Read(r)
+	sys, meta, err := snapshot.ReadMax(r, m.cfg.MaxBodies)
 	if err != nil {
 		return Info{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -201,7 +209,7 @@ func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName strin
 	ctx, cancel := context.WithCancelCause(m.ctx)
 	s := &Session{
 		sim:       sim,
-		rec:       trace.NewRecorder(req.DT),
+		rec:       trace.NewRecorderLimit(req.DT, traceRing),
 		ctx:       ctx,
 		cancel:    cancel,
 		baseStep:  baseStep,
@@ -479,7 +487,7 @@ func (m *Manager) buildEvent(s *Session, prev []time.Duration) WatchEvent {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.rec.Record(s.sim, false)
-	sample := s.rec.Samples()[s.rec.Len()-1]
+	sample, _ := s.rec.Last()
 
 	sys := s.sim.System()
 	box := bounds.OfPositions(m.cfg.Runtime, par.ParUnseq, sys.PosX, sys.PosY, sys.PosZ)

@@ -32,6 +32,24 @@ const (
 	version = 1
 )
 
+// Wire-format sizes, exported so transports (e.g. the HTTP upload path) can
+// bound request bodies without duplicating the layout.
+const (
+	// HeaderBytes covers the magic, version and the n/step/time words.
+	HeaderBytes = 8 + 4 + 3*8
+	// BytesPerBody is the per-body payload: 10 float64 words plus the body
+	// ID, which is also carried in a full 8-byte word.
+	BytesPerBody = 11 * 8
+	// FooterBytes is the trailing checksum word.
+	FooterBytes = 8
+)
+
+// EncodedSize returns the exact encoded size in bytes of a snapshot holding
+// n bodies.
+func EncodedSize(n int) int64 {
+	return HeaderBytes + int64(n)*BytesPerBody + FooterBytes
+}
+
 // Meta describes a snapshot's provenance.
 type Meta struct {
 	Step int
@@ -99,7 +117,18 @@ func Write(w io.Writer, sys *body.System, meta Meta) error {
 }
 
 // Read deserializes a snapshot from r, returning the system and metadata.
+// For untrusted input prefer ReadMax, which bounds the allocation the
+// header-declared body count can trigger.
 func Read(r io.Reader) (*body.System, Meta, error) {
+	return ReadMax(r, 0)
+}
+
+// ReadMax is Read with a cap on the header-declared body count: when
+// maxBodies > 0, a snapshot declaring more bodies is rejected before any
+// per-body allocation happens, so a forged header in untrusted input cannot
+// force a huge allocation. maxBodies <= 0 applies only the format's own
+// plausibility limit.
+func ReadMax(r io.Reader, maxBodies int) (*body.System, Meta, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var sum uint64
 
@@ -134,6 +163,9 @@ func Read(r io.Reader) (*body.System, Meta, error) {
 	}
 	if nWord > 1<<40 {
 		return nil, Meta{}, fmt.Errorf("snapshot: implausible body count %d", nWord)
+	}
+	if maxBodies > 0 && nWord > uint64(maxBodies) {
+		return nil, Meta{}, fmt.Errorf("snapshot: body count %d exceeds limit %d", nWord, maxBodies)
 	}
 	n := int(nWord)
 

@@ -2,8 +2,10 @@ package snapshot
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"nbody/internal/workload"
@@ -143,5 +145,58 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, _, err := Load(filepath.Join(dir, "missing")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestReadMax(t *testing.T) {
+	sys := workload.Plummer(8, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, sys, Meta{Step: 1, Time: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Within the cap: identical to Read.
+	got, _, err := ReadMax(bytes.NewReader(data), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 8 {
+		t.Fatalf("N = %d", got.N())
+	}
+
+	// Over the cap: rejected.
+	if _, _, err := ReadMax(bytes.NewReader(data), 7); err == nil {
+		t.Error("body count over the cap accepted")
+	}
+
+	// A forged header declaring a huge (but format-plausible) count must be
+	// rejected from the header alone, before any per-body allocation — the
+	// truncated 20-byte input proves nothing past the count word is read.
+	forged := make([]byte, 0, 20)
+	forged = append(forged, magic...)
+	forged = binary.LittleEndian.AppendUint32(forged, version)
+	forged = binary.LittleEndian.AppendUint64(forged, 1<<39)
+	_, _, err = ReadMax(bytes.NewReader(forged), 10_000)
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("forged huge count: err = %v", err)
+	}
+
+	// maxBodies <= 0 means no cap beyond the plausibility limit.
+	if _, _, err := ReadMax(bytes.NewReader(data), 0); err != nil {
+		t.Errorf("uncapped ReadMax: %v", err)
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	for _, n := range []int{1, 8, 100} {
+		sys := workload.UniformCube(n, 1, 1)
+		var buf bytes.Buffer
+		if err := Write(&buf, sys, Meta{}); err != nil {
+			t.Fatal(err)
+		}
+		if got := int64(buf.Len()); got != EncodedSize(sys.N()) {
+			t.Errorf("n=%d: encoded %d bytes, EncodedSize says %d", sys.N(), got, EncodedSize(sys.N()))
+		}
 	}
 }

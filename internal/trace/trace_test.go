@@ -97,3 +97,56 @@ func TestWriteSnapshotCSV(t *testing.T) {
 		t.Errorf("row: %q", lines[1])
 	}
 }
+
+func TestRecorderLimit(t *testing.T) {
+	sim := newSim(t)
+	rec := NewRecorderLimit(0.005, 4)
+	if _, ok := rec.Last(); ok {
+		t.Error("empty recorder has a Last sample")
+	}
+	for i := 0; i < 10; i++ {
+		rec.Record(sim, false)
+		if err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", rec.Len())
+	}
+	ss := rec.Samples()
+	if len(ss) != 4 {
+		t.Fatalf("Samples len = %d", len(ss))
+	}
+	// Only the most recent samples survive, oldest first.
+	for i, s := range ss {
+		if s.Step != 6+i {
+			t.Fatalf("sample %d at step %d, want %d", i, s.Step, 6+i)
+		}
+	}
+	last, ok := rec.Last()
+	if !ok || last.Step != 9 {
+		t.Fatalf("Last = %+v ok=%v, want step 9", last, ok)
+	}
+
+	// CSV rows come out in step order too.
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[1], "6,") || !strings.HasPrefix(lines[4], "9,") {
+		t.Errorf("CSV rows out of order:\n%s", sb.String())
+	}
+
+	// max <= 0 falls back to unbounded.
+	unb := NewRecorderLimit(0.005, 0)
+	for i := 0; i < 6; i++ {
+		unb.Record(sim, false)
+	}
+	if unb.Len() != 6 {
+		t.Errorf("unbounded Len = %d", unb.Len())
+	}
+}
