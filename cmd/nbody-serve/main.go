@@ -25,6 +25,7 @@ import (
 
 	"nbody/internal/par"
 	"nbody/internal/serve"
+	"nbody/internal/store"
 )
 
 func main() {
@@ -46,6 +47,9 @@ func run() error {
 		workers     = flag.Int("workers", 0, "total worker goroutines across all slots (0 = GOMAXPROCS)")
 		schedStr    = flag.String("sched", "dynamic", "scheduler: dynamic, static, guided")
 		drain       = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget")
+		stateDir    = flag.String("state-dir", "", "checkpoint directory for crash-safe session durability (empty = in-memory only)")
+		ckptEvery   = flag.Int("checkpoint-every", 500, "also checkpoint mid-run every N steps (0 = only at request end; needs -state-dir)")
+		maxDrift    = flag.Float64("max-energy-drift", 0, "quarantine a session whose relative energy drift exceeds this (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -77,9 +81,22 @@ func run() error {
 	if *drain <= 0 {
 		return fmt.Errorf("-drain-timeout must be > 0 (got %v)", *drain)
 	}
+	if *ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0 (got %d)", *ckptEvery)
+	}
+	if *maxDrift < 0 {
+		return fmt.Errorf("-max-energy-drift must be >= 0 (got %g)", *maxDrift)
+	}
 	sched, err := parseScheduler(*schedStr)
 	if err != nil {
 		return err
+	}
+
+	var st *store.Store
+	if *stateDir != "" {
+		if st, err = store.Open(*stateDir); err != nil {
+			return err
+		}
 	}
 
 	// Divide the machine between the stepping slots: each concurrently
@@ -99,9 +116,17 @@ func run() error {
 		MaxQueue:           *maxQueue,
 		MaxStepsPerRequest: *maxSteps,
 		Runtime:            par.NewRuntime(perSession, sched),
+		Store:              st,
+		CheckpointEvery:    *ckptEvery,
+		MaxEnergyDrift:     *maxDrift,
 	})
 	if err != nil {
 		return err
+	}
+	if st != nil {
+		snap := m.Metrics()
+		log.Printf("state dir %s: recovered %d session(s), quarantined %d corrupt checkpoint(s)",
+			st.Dir(), snap.RecoveredTotal, snap.QuarantinedTotal)
 	}
 
 	srv := &http.Server{
@@ -125,15 +150,22 @@ func run() error {
 	}
 
 	// Graceful drain: cancel every in-flight run at its next step
-	// boundary, then let the HTTP server finish writing responses.
+	// boundary, then let the HTTP server finish writing responses. A
+	// blown drain deadline means sessions may not have reached their
+	// final checkpoint — that must be visible in the log AND the exit
+	// code, or supervisors treat a lossy shutdown as a clean one.
 	log.Printf("signal received, draining (budget %v)", *drain)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := m.Close(dctx); err != nil {
-		log.Printf("drain: %v", err)
+	drainErr := m.Close(dctx)
+	if drainErr != nil {
+		log.Printf("drain: %v", drainErr)
 	}
 	if err := srv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
 	}
 	log.Printf("drained cleanly")
 	return nil

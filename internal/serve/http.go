@@ -32,6 +32,7 @@ const maxCreateJSON = 1 << 20
 //	GET    /sessions/{id}/trace    accumulated diagnostics trace (CSV)
 //	GET    /metrics                service counters + step latency percentiles
 //	GET    /healthz                liveness probe
+//	GET    /readyz                 readiness probe (503 while draining)
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) { handleCreate(m, w, r) })
@@ -87,6 +88,15 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, m.Metrics())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness stays 200 through a drain (the process is healthy);
+		// readiness flips to 503 so load balancers stop routing here.
+		if !m.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
@@ -267,6 +277,11 @@ func statusOf(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrShutdown):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrSessionFailed):
+		// The request was well-formed but the session is quarantined
+		// (panic or numerical divergence): a semantic failure, not a
+		// syntax one.
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):

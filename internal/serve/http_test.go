@@ -465,6 +465,103 @@ func TestHandlerHealthz(t *testing.T) {
 	}
 }
 
+// TestHandlerReadyz: the readiness probe answers 200 while serving and 503
+// once the manager begins draining, while liveness stays 200 — the signal a
+// load balancer uses to stop routing before shutdown completes.
+func TestHandlerReadyz(t *testing.T) {
+	m, srv := newTestServer(t, testConfig())
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before drain = %d, want 200", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	live, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Body.Close()
+	if live.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200", live.StatusCode)
+	}
+}
+
+// TestHandlerFailedSession422: a quarantined session's step and watch
+// requests answer 422 with the failure reason, while its info and snapshot
+// stay readable and /metrics reports the failure.
+func TestHandlerFailedSession422(t *testing.T) {
+	m, srv := newTestServer(t, testConfig())
+	info, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.stepHook = func(*Session) { panic("http containment fault") }
+
+	resp := postJSON(t, srv.URL+"/sessions/"+info.ID+"/step", `{"steps":1}`)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("failed-session step = %d (%s), want 422", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "http containment fault") {
+		t.Fatalf("422 body %s lacks the failure reason", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/sessions/" + info.ID + "/watch?steps=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("failed-session watch = %d, want 422", resp.StatusCode)
+	}
+
+	// Info still serves, carrying the reason.
+	resp, err = http.Get(srv.URL + "/sessions/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeBody[Info](t, resp)
+	if got.State != "failed" || !strings.Contains(got.FailReason, "http containment fault") {
+		t.Fatalf("failed session info %+v", got)
+	}
+	// So does the snapshot download.
+	resp, err = http.Get(srv.URL + "/sessions/" + info.ID + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failed-session snapshot = %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := decodeBody[MetricsSnapshot](t, resp)
+	if ms.FailedTotal != 1 || ms.FailedSessions[info.ID] == "" {
+		t.Fatalf("metrics after failure %+v", ms)
+	}
+}
+
 // TestHandlerOverload429 drives the full stack into load shedding: with one
 // slot and one queue seat, a burst of step requests across sessions must
 // produce at least one 429 and no hung request.

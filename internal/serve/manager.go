@@ -53,6 +53,11 @@ type Manager struct {
 
 	janitorDone chan struct{}
 
+	// stepHook, when non-nil, runs under the session lock immediately
+	// before each step — the fault-injection point containment tests use
+	// to provoke step-path panics. Never set in production.
+	stepHook func(*Session)
+
 	// counters for /metrics
 	createdTotal     atomic.Int64
 	evictedTotal     atomic.Int64
@@ -60,6 +65,14 @@ type Manager struct {
 	rejectedSessions atomic.Int64
 	rejectedSteps    atomic.Int64
 	stepsTotal       atomic.Int64
+	failedTotal      atomic.Int64
+	recoveredTotal   atomic.Int64
+	quarantinedTotal atomic.Int64
+	checkpointsTotal atomic.Int64
+	checkpointErrors atomic.Int64
+
+	failMu         sync.Mutex
+	failuresByKind map[string]int64
 
 	latMu  sync.Mutex
 	lat    [latencyRing]float64 // seconds
@@ -67,8 +80,12 @@ type Manager struct {
 	latN   int
 }
 
-// NewManager validates cfg, starts the eviction janitor and returns a ready
-// manager. Call Close to stop it.
+// NewManager validates cfg, recovers any sessions the configured store
+// holds (quarantining corrupt checkpoints rather than failing), starts the
+// eviction janitor and returns a ready manager. Call Close to stop it.
+// Recovered sessions keep their original IDs and may momentarily exceed
+// MaxSessions; admission control holds new creates until eviction brings
+// the count back under the cap.
 func NewManager(cfg Config) (*Manager, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -76,13 +93,21 @@ func NewManager(cfg Config) (*Manager, error) {
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	m := &Manager{
-		cfg:         cfg,
-		ctx:         ctx,
-		cancel:      cancel,
-		sessions:    make(map[string]*Session),
-		lru:         list.New(),
-		slots:       make(chan struct{}, cfg.StepSlots),
-		janitorDone: make(chan struct{}),
+		cfg:            cfg,
+		ctx:            ctx,
+		cancel:         cancel,
+		sessions:       make(map[string]*Session),
+		lru:            list.New(),
+		slots:          make(chan struct{}, cfg.StepSlots),
+		janitorDone:    make(chan struct{}),
+		failuresByKind: make(map[string]int64),
+	}
+	if cfg.Store != nil {
+		if err := m.recoverSessions(); err != nil {
+			cancel(err)
+			close(m.janitorDone)
+			return nil, err
+		}
 	}
 	go m.janitor()
 	return m, nil
@@ -109,6 +134,7 @@ func (m *Manager) janitor() {
 			return
 		case <-t.C:
 			m.evictExpired(m.cfg.MaxSessions + 1)
+			m.checkpointDirty()
 		}
 	}
 }
@@ -131,6 +157,9 @@ func (m *Manager) evictExpired(limit int) int {
 	}
 	m.mu.Unlock()
 	for _, s := range victims {
+		// Persist-before-evict: the session leaves memory but its
+		// checkpoint survives, so a later restart restores it.
+		m.persistIfDirty(s)
 		s.setState(StateEvicted)
 		s.cancel(fmt.Errorf("%w: session %s evicted after %v idle", ErrNotFound, s.ID, m.cfg.IdleTTL))
 		m.evictedTotal.Add(1)
@@ -150,7 +179,12 @@ func (m *Manager) Create(req CreateRequest) (Info, error) {
 	if err != nil {
 		return Info{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	return m.insert(sys, req, req.Workload, 0, 0)
+	s, err := m.insert(sys, req, req.Workload, 0, 0)
+	if err != nil {
+		return Info{}, err
+	}
+	m.persist(s)
+	return s.Info(), nil
 }
 
 // CreateFromSnapshot builds a session from an uploaded binary checkpoint in
@@ -166,7 +200,12 @@ func (m *Manager) CreateFromSnapshot(r io.Reader, req CreateRequest) (Info, erro
 	if err := m.validate(req, sys.N()); err != nil {
 		return Info{}, err
 	}
-	return m.insert(sys, req, "snapshot", meta.Step, meta.Time)
+	s, err := m.insert(sys, req, "snapshot", meta.Step, meta.Time)
+	if err != nil {
+		return Info{}, err
+	}
+	m.persist(s)
+	return s.Info(), nil
 }
 
 // validate checks the request against service limits.
@@ -184,14 +223,14 @@ func (m *Manager) validate(req CreateRequest, n int) error {
 }
 
 // insert constructs the core.Sim and admits the session.
-func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName string, baseStep int, baseTime float64) (Info, error) {
+func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName string, baseStep int, baseTime float64) (*Session, error) {
 	algName := req.Algorithm
 	if algName == "" {
 		algName = "octree"
 	}
 	alg, err := core.ParseAlgorithm(algName)
 	if err != nil {
-		return Info{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	sim, err := core.New(core.Config{
 		Algorithm:     alg,
@@ -203,7 +242,7 @@ func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName strin
 		ValidateEvery: req.ValidateEvery,
 	}, sys)
 	if err != nil {
-		return Info{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 
 	ctx, cancel := context.WithCancelCause(m.ctx)
@@ -222,12 +261,13 @@ func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName strin
 		n:         sys.N(),
 	}
 	s.touch()
+	m.pinEnergyBaseline(s)
 
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		cancel(ErrShutdown)
-		return Info{}, ErrShutdown
+		return nil, ErrShutdown
 	}
 	if excess := 1 + len(m.sessions) - m.cfg.MaxSessions; excess > 0 {
 		// Admission control: make room by evicting TTL-expired idle
@@ -241,7 +281,7 @@ func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName strin
 		m.mu.Unlock()
 		cancel(ErrTooManySessions)
 		m.rejectedSessions.Add(1)
-		return Info{}, fmt.Errorf("%w (max %d)", ErrTooManySessions, m.cfg.MaxSessions)
+		return nil, fmt.Errorf("%w (max %d)", ErrTooManySessions, m.cfg.MaxSessions)
 	}
 	s.ID = fmt.Sprintf("s-%d", m.nextID.Add(1))
 	m.sessions[s.ID] = s
@@ -249,7 +289,7 @@ func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName strin
 	m.mu.Unlock()
 
 	m.createdTotal.Add(1)
-	return s.Info(), nil
+	return s, nil
 }
 
 // lookup returns the session and refreshes its LRU position.
@@ -304,6 +344,13 @@ func (m *Manager) Delete(id string) error {
 	s.setState(StateEvicted)
 	s.cancel(fmt.Errorf("%w: session %s deleted", ErrNotFound, id))
 	m.deletedTotal.Add(1)
+	// Delete is the one operation that removes checkpoint files: unlike
+	// eviction, a deleted session must not come back after a restart.
+	if st := m.cfg.Store; st != nil {
+		if err := st.Delete(id); err != nil {
+			m.checkpointErrors.Add(1)
+		}
+	}
 	return nil
 }
 
@@ -314,6 +361,11 @@ func (m *Manager) Delete(id string) error {
 func (m *Manager) admit(ctx context.Context, s *Session) (release func(), err error) {
 	if err := m.ctx.Err(); err != nil {
 		return nil, ErrShutdown
+	}
+	if s.State() == StateFailed {
+		// Quarantined sessions never step again; their data stays
+		// readable through info/snapshot/trace.
+		return nil, fmt.Errorf("%w: %s: %s", ErrSessionFailed, s.ID, s.FailReason())
 	}
 	if !s.busy.CompareAndSwap(false, true) {
 		return nil, fmt.Errorf("%w (%s)", ErrConflict, s.ID)
@@ -389,6 +441,18 @@ func (m *Manager) Step(ctx context.Context, id string, n int) (StepResult, error
 
 	start := time.Now()
 	completed, runErr := m.runSteps(ctx, s, n, 0, nil)
+	// One diagnostics sample per step request feeds the session trace and
+	// the energy-drift watchdog.
+	if completed > 0 {
+		s.mu.Lock()
+		s.rec.Record(s.sim, false)
+		sample, _ := s.rec.Last()
+		s.mu.Unlock()
+		if runErr == nil {
+			runErr = m.checkEnergyHealth(s, sample.TotalEnergy)
+		}
+	}
+	m.persistIfDirty(s)
 	res := StepResult{
 		ID:             s.ID,
 		Requested:      n,
@@ -396,12 +460,6 @@ func (m *Manager) Step(ctx context.Context, id string, n int) (StepResult, error
 		Steps:          s.StepCount(),
 		ElapsedSeconds: time.Since(start).Seconds(),
 		Interrupted:    runErr != nil,
-	}
-	// One diagnostics sample per step request feeds the session trace.
-	if completed > 0 {
-		s.mu.Lock()
-		s.rec.Record(s.sim, false)
-		s.mu.Unlock()
 	}
 	return res, runErr
 }
@@ -427,6 +485,7 @@ func (m *Manager) Watch(ctx context.Context, id string, n, every int, emit func(
 	}
 	defer release()
 	_, err = m.runSteps(ctx, s, n, every, emit)
+	m.persistIfDirty(s)
 	return err
 }
 
@@ -452,10 +511,13 @@ func (m *Manager) runSteps(ctx context.Context, s *Session, n, every int, emit f
 	completed := 0
 	for i := 1; i <= n; i++ {
 		start := time.Now()
-		s.mu.Lock()
-		err := s.sim.RunContext(runCtx, 1)
-		s.mu.Unlock()
+		err := m.stepOnce(runCtx, s)
 		if err != nil {
+			if errors.Is(err, ErrSessionFailed) {
+				// Panic or NaN/Inf state: the session is quarantined,
+				// the server and every other session keep going.
+				return completed, err
+			}
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				// Distinguish who cancelled: the session/manager (drain,
 				// delete) carries a typed cause; otherwise it was the
@@ -472,9 +534,20 @@ func (m *Manager) runSteps(ctx context.Context, s *Session, n, every int, emit f
 		completed++
 
 		if emit != nil && (i%every == 0 || i == n) {
-			if err := emit(m.buildEvent(s, prev)); err != nil {
+			ev := m.buildEvent(s, prev)
+			if err := emit(ev); err != nil {
 				return completed, err
 			}
+			// The event's energy sample doubles as the watchdog input, so
+			// a watching client sees the last good diagnostics before the
+			// quarantine error terminates the stream.
+			if err := m.checkEnergyHealth(s, ev.TotalEnergy); err != nil {
+				return completed, err
+			}
+		}
+		if m.cfg.Store != nil && m.cfg.CheckpointEvery > 0 &&
+			completed%m.cfg.CheckpointEvery == 0 {
+			m.persistIfDirty(s)
 		}
 	}
 	return completed, nil
@@ -579,7 +652,18 @@ type MetricsSnapshot struct {
 	RejectedSessions int64          `json:"sessions_rejected_total"`
 	RejectedSteps    int64          `json:"steps_rejected_total"`
 	StepsTotal       int64          `json:"steps_total"`
-	StepLatency      *LatencyStats  `json:"step_latency,omitempty"`
+	// Durability and fault-containment counters.
+	FailedTotal      int64 `json:"sessions_failed_total"`
+	RecoveredTotal   int64 `json:"sessions_recovered_total"`
+	QuarantinedTotal int64 `json:"checkpoints_quarantined_total"`
+	CheckpointsTotal int64 `json:"checkpoints_total"`
+	CheckpointErrors int64 `json:"checkpoint_errors_total"`
+	// FailuresByReason counts quarantined sessions by failure kind
+	// ("panic", "non_finite", "energy_drift").
+	FailuresByReason map[string]int64 `json:"failures_by_reason,omitempty"`
+	// FailedSessions maps each live quarantined session to its reason.
+	FailedSessions map[string]string `json:"failed_sessions,omitempty"`
+	StepLatency    *LatencyStats     `json:"step_latency,omitempty"`
 }
 
 // Metrics snapshots the service counters for the /metrics endpoint.
@@ -587,10 +671,32 @@ func (m *Manager) Metrics() MetricsSnapshot {
 	m.mu.Lock()
 	byState := make(map[string]int, 4)
 	total := len(m.sessions)
+	var failed []*Session
 	for _, s := range m.sessions {
-		byState[s.State().String()]++
+		st := s.State()
+		byState[st.String()]++
+		if st == StateFailed {
+			failed = append(failed, s)
+		}
 	}
 	m.mu.Unlock()
+
+	var failedSessions map[string]string
+	if len(failed) > 0 {
+		failedSessions = make(map[string]string, len(failed))
+		for _, s := range failed {
+			failedSessions[s.ID] = s.FailReason()
+		}
+	}
+	var byReason map[string]int64
+	m.failMu.Lock()
+	if len(m.failuresByKind) > 0 {
+		byReason = make(map[string]int64, len(m.failuresByKind))
+		for k, v := range m.failuresByKind {
+			byReason[k] = v
+		}
+	}
+	m.failMu.Unlock()
 
 	snap := MetricsSnapshot{
 		Sessions:         total,
@@ -606,6 +712,13 @@ func (m *Manager) Metrics() MetricsSnapshot {
 		RejectedSessions: m.rejectedSessions.Load(),
 		RejectedSteps:    m.rejectedSteps.Load(),
 		StepsTotal:       m.stepsTotal.Load(),
+		FailedTotal:      m.failedTotal.Load(),
+		RecoveredTotal:   m.recoveredTotal.Load(),
+		QuarantinedTotal: m.quarantinedTotal.Load(),
+		CheckpointsTotal: m.checkpointsTotal.Load(),
+		CheckpointErrors: m.checkpointErrors.Load(),
+		FailuresByReason: byReason,
+		FailedSessions:   failedSessions,
 	}
 
 	m.latMu.Lock()
@@ -623,6 +736,15 @@ func (m *Manager) Metrics() MetricsSnapshot {
 		}
 	}
 	return snap
+}
+
+// Ready reports whether the manager accepts new work. It flips to false
+// permanently once Close begins draining — the readiness probe's signal to
+// take the instance out of rotation.
+func (m *Manager) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.closed
 }
 
 // Close drains the manager: new work is refused with ErrShutdown, every
@@ -645,6 +767,9 @@ func (m *Manager) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Final checkpoint pass: whatever progress the drained runs made
+		// is durable before the process exits.
+		m.checkpointDirty()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain incomplete: %w", ctx.Err())

@@ -490,6 +490,103 @@ func TestWatchEmitErrorAborts(t *testing.T) {
 	}
 }
 
+// TestEvictExpiredLRUOrder: when several sessions are past the TTL,
+// eviction takes them least recently used first, and a bounded pass stops
+// at its limit.
+func TestEvictExpiredLRUOrder(t *testing.T) {
+	cfg := testConfig()
+	cfg.IdleTTL = time.Hour
+	m := newTestManager(t, cfg)
+
+	req := CreateRequest{Workload: "plummer", N: 32, DT: 0.01}
+	var ids [3]string
+	for i := range ids {
+		info, err := m.Create(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = info.ID
+	}
+	// All three expired, with ids[0] the coldest; ids[2] stays fresh.
+	backdate := func(id string, age time.Duration) {
+		s, err := m.lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.lastUsed.Store(time.Now().Add(-age).UnixNano())
+	}
+	backdate(ids[0], 3*time.Hour)
+	backdate(ids[1], 2*time.Hour)
+	// lookup refreshed LRU positions in call order, so the list front is
+	// now ids[0] — the coldest — followed by ids[1].
+
+	// Survival checks go through List: a Get would touch the session and
+	// refresh its TTL, un-expiring it.
+	alive := func() map[string]bool {
+		ids := make(map[string]bool)
+		for _, in := range m.List() {
+			ids[in.ID] = true
+		}
+		return ids
+	}
+
+	if n := m.evictExpired(1); n != 1 {
+		t.Fatalf("bounded eviction removed %d, want 1", n)
+	}
+	if got := alive(); got[ids[0]] || !got[ids[1]] {
+		t.Fatalf("limit-1 pass should evict only the coldest %s: alive %v", ids[0], got)
+	}
+
+	if n := m.evictExpired(8); n != 1 {
+		t.Fatalf("second pass removed %d, want 1 (only ids[1] is expired)", n)
+	}
+	if got := alive(); got[ids[1]] || !got[ids[2]] {
+		t.Fatalf("second pass should evict %s and keep fresh %s: alive %v", ids[1], ids[2], got)
+	}
+	if got := m.Metrics().EvictedTotal; got != 2 {
+		t.Fatalf("evicted counter = %d, want 2", got)
+	}
+}
+
+// TestCloseRacesWatch drives Close concurrently with an in-flight watch
+// stream (run under -race): the watch must terminate with the shutdown
+// cause at a step boundary and Close must drain cleanly.
+func TestCloseRacesWatch(t *testing.T) {
+	m, err := NewManager(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := m.Create(CreateRequest{Workload: "plummer", N: 256, DT: 1e-4, Algorithm: "all-pairs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan WatchEvent, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Watch(context.Background(), info.ID, 100_000, 1, func(ev WatchEvent) error {
+			select {
+			case events <- ev:
+			default:
+			}
+			return nil
+		})
+	}()
+	select {
+	case <-events:
+	case <-time.After(10 * time.Second):
+		t.Fatal("watch never emitted")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatalf("Close racing watch: %v", err)
+	}
+	if err := <-done; !errors.Is(err, ErrShutdown) {
+		t.Fatalf("interrupted watch error = %v, want ErrShutdown", err)
+	}
+}
+
 func TestMetricsLatency(t *testing.T) {
 	m := newTestManager(t, testConfig())
 	info, err := m.Create(CreateRequest{Workload: "plummer", N: 64, DT: 1e-3})

@@ -18,8 +18,15 @@
 //   - Handler (http.go) is the net/http front end: session CRUD, stepping,
 //     binary snapshot upload/download (internal/snapshot wire format), a
 //     chunked NDJSON per-step watch stream, a per-session diagnostics
-//     trace (CSV), and a /metrics endpoint exporting session counts, queue
-//     depth and step-latency percentiles.
+//     trace (CSV), liveness/readiness probes, and a /metrics endpoint
+//     exporting session counts, queue depth and step-latency percentiles.
+//
+// A third layer (durability.go + internal/store) makes the manager
+// crash-safe and fault-contained: sessions are checkpointed to an atomic
+// on-disk store and recovered at boot, step-path panics and numerical
+// divergence (NaN/Inf state, energy drift) quarantine only the offending
+// session (HTTP 422) while the rest of the service keeps running. See
+// DESIGN.md §8.
 //
 // Everything is stdlib-only, matching the rest of the repository.
 package serve
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"nbody/internal/par"
+	"nbody/internal/store"
 )
 
 // Typed errors the HTTP layer maps onto status codes. Manager methods wrap
@@ -49,6 +57,12 @@ var (
 	ErrShutdown = errors.New("serve: server shutting down")
 	// ErrBadRequest reports invalid session parameters (400).
 	ErrBadRequest = errors.New("serve: invalid request")
+	// ErrSessionFailed reports a step/watch on a session that has been
+	// quarantined after a step-path panic or a numerical-health violation
+	// (NaN/Inf state, energy drift past the limit). The session's data
+	// remains readable (info, snapshot, trace) but it will not step again
+	// (422).
+	ErrSessionFailed = errors.New("serve: session failed")
 )
 
 // Config parameterizes a Manager.
@@ -77,6 +91,26 @@ type Config struct {
 	// the per-session runtime: size it as total workers / StepSlots (the
 	// nbody-serve binary does this). Default par.Default().
 	Runtime *par.Runtime
+	// Store, when non-nil, makes sessions durable: every create/upload is
+	// checkpointed, stepping re-checkpoints per the CheckpointEvery
+	// policy, eviction persists before dropping the session, delete
+	// removes the files, and NewManager recovers whatever the store holds
+	// (quarantining corrupt checkpoints instead of failing boot). Nil
+	// keeps the manager fully in-memory.
+	Store *store.Store
+	// CheckpointEvery, when > 0 with a Store, also checkpoints mid-run
+	// every k completed steps, bounding how much progress a crash can
+	// lose inside one long step/watch request. Regardless of its value,
+	// sessions are checkpointed at every request end and janitor tick.
+	CheckpointEvery int
+	// MaxEnergyDrift, when > 0, is the numerical-health watchdog's limit
+	// on relative total-energy drift |E−E₀|/|E₀|, with E₀ pinned at
+	// session creation. A session exceeding it is halted and
+	// quarantined (ErrSessionFailed) instead of burning step slots on a
+	// diverged integration. NaN/Inf positions or velocities are always
+	// fatal to a session, watchdog limit or not. 0 disables the drift
+	// check.
+	MaxEnergyDrift float64
 }
 
 // withDefaults validates cfg and fills defaults.
@@ -98,6 +132,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MaxStepsPerRequest <= 0 {
 		c.MaxStepsPerRequest = 10_000
+	}
+	if c.CheckpointEvery < 0 {
+		return c, errors.New("serve: CheckpointEvery must be >= 0")
+	}
+	if c.MaxEnergyDrift < 0 || c.MaxEnergyDrift != c.MaxEnergyDrift {
+		return c, errors.New("serve: MaxEnergyDrift must be >= 0")
 	}
 	if c.Runtime == nil {
 		c.Runtime = par.Default()

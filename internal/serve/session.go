@@ -14,7 +14,8 @@ import (
 )
 
 // State is a session's position in the lifecycle
-// created → running → idle → evicted (see DESIGN.md §5).
+// created → running → idle → evicted, with a failed quarantine branch
+// (see DESIGN.md §8).
 type State int32
 
 const (
@@ -27,6 +28,11 @@ const (
 	// StateEvicted: removed (deleted, TTL-evicted, or LRU-evicted); the
 	// terminal state. Requests holding a stale pointer observe it.
 	StateEvicted
+	// StateFailed: quarantined after a step-path panic or a
+	// numerical-health violation. The session's data stays readable but
+	// step/watch requests are refused with ErrSessionFailed (422); only
+	// delete or eviction moves it on.
+	StateFailed
 )
 
 // String implements fmt.Stringer.
@@ -40,6 +46,8 @@ func (s State) String() string {
 		return "idle"
 	case StateEvicted:
 		return "evicted"
+	case StateFailed:
+		return "failed"
 	}
 	return fmt.Sprintf("State(%d)", int32(s))
 }
@@ -83,6 +91,23 @@ type Session struct {
 	seed      uint64
 	dt        float64
 	n         int
+
+	// failReason (guarded by mu) says why the session entered
+	// StateFailed: set once by the manager's panic isolation or
+	// numerical-health watchdog, then surfaced in Info, watch streams and
+	// /metrics.
+	failReason string
+
+	// savedStep (guarded by mu) is the total step count at the last
+	// durable checkpoint; the manager compares it against the live count
+	// to decide when a session is dirty.
+	savedStep int
+
+	// e0/haveE0 (guarded by mu) pin the session's total energy at
+	// creation, the baseline of the watchdog's relative energy-drift
+	// check.
+	e0     float64
+	haveE0 bool
 }
 
 // touch records use for LRU/TTL accounting.
@@ -104,6 +129,27 @@ func (s *Session) StepCount() int {
 	return s.baseStep + s.sim.StepCount()
 }
 
+// FailReason returns why the session was quarantined ("" while healthy).
+func (s *Session) FailReason() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failReason
+}
+
+// fail quarantines the session: records the reason and moves it to
+// StateFailed. It reports whether this call was the first failure (later
+// ones keep the original reason).
+func (s *Session) fail(reason string) bool {
+	s.mu.Lock()
+	first := s.failReason == ""
+	if first {
+		s.failReason = reason
+	}
+	s.mu.Unlock()
+	s.setState(StateFailed)
+	return first
+}
+
 // Info is the JSON description of a session.
 type Info struct {
 	ID           string    `json:"id"`
@@ -117,6 +163,8 @@ type Info struct {
 	Created      time.Time `json:"created"`
 	LastUsed     time.Time `json:"last_used"`
 	TraceSamples int       `json:"trace_samples"`
+	// FailReason says why a failed session was quarantined.
+	FailReason string `json:"fail_reason,omitempty"`
 }
 
 // Info snapshots the session's description.
@@ -124,6 +172,7 @@ func (s *Session) Info() Info {
 	s.mu.Lock()
 	steps := s.baseStep + s.sim.StepCount()
 	samples := s.rec.Len()
+	reason := s.failReason
 	s.mu.Unlock()
 	return Info{
 		ID:           s.ID,
@@ -137,6 +186,7 @@ func (s *Session) Info() Info {
 		Created:      s.created,
 		LastUsed:     s.LastUsed(),
 		TraceSamples: samples,
+		FailReason:   reason,
 	}
 }
 

@@ -1,0 +1,151 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FS is the slice of filesystem behaviour the store needs. The production
+// implementation is OSFS; tests substitute FaultFS to inject write, sync and
+// rename failures at exact points in the commit protocol.
+type FS interface {
+	MkdirAll(path string) error
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs a directory so a preceding rename is durable. On
+	// filesystems where directories cannot be synced the implementation
+	// may make this a no-op.
+	SyncDir(name string) error
+}
+
+// File is the store's view of an open file.
+type File interface {
+	io.Reader
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(path string) error           { return os.MkdirAll(path, 0o755) }
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error             { return os.Remove(name) }
+
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+func (OSFS) Open(name string) (File, error)   { return os.Open(name) }
+
+func (OSFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(filepath.Clean(name))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some platforms refuse fsync on directories; treat that as best-effort
+	// rather than a checkpoint failure.
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
+}
+
+// ErrInjected is the sentinel wrapped by every FaultFS-injected failure, so
+// tests can assert the store surfaced (rather than swallowed) the fault.
+var ErrInjected = fmt.Errorf("store: injected fault")
+
+// FaultFS wraps an FS and injects failures for crash-safety tests: an error
+// on the Nth data write (optionally a short write that leaves torn bytes
+// behind, simulating a crash mid-write), fsync failures, and rename
+// failures. The zero counters mean "never fail". All methods are safe for
+// concurrent use.
+type FaultFS struct {
+	Inner FS
+
+	mu     sync.Mutex
+	writes int // data writes observed so far
+
+	// FailWriteAt fails the Nth (1-based) File.Write call.
+	FailWriteAt int
+	// ShortWrite makes the injected write failure first persist half the
+	// buffer, leaving a torn file behind like a crash mid-write would.
+	ShortWrite bool
+	// FailSync fails every File.Sync and SyncDir call.
+	FailSync bool
+	// FailRename fails every Rename call.
+	FailRename bool
+}
+
+// Writes returns how many data writes the wrapped files have seen.
+func (f *FaultFS) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+func (f *FaultFS) MkdirAll(path string) error { return f.Inner.MkdirAll(path) }
+func (f *FaultFS) Remove(name string) error   { return f.Inner.Remove(name) }
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if f.FailRename {
+		return fmt.Errorf("%w: rename %s", ErrInjected, filepath.Base(newpath))
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	file, err := f.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, File: file}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) { return f.Inner.Open(name) }
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) { return f.Inner.ReadDir(name) }
+
+func (f *FaultFS) SyncDir(name string) error {
+	if f.FailSync {
+		return fmt.Errorf("%w: syncdir %s", ErrInjected, filepath.Base(name))
+	}
+	return f.Inner.SyncDir(name)
+}
+
+// faultFile counts writes and injects the configured failure.
+type faultFile struct {
+	fs *FaultFS
+	File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	f.fs.writes++
+	inject := f.fs.FailWriteAt > 0 && f.fs.writes == f.fs.FailWriteAt
+	short := f.fs.ShortWrite
+	f.fs.mu.Unlock()
+	if inject {
+		n := 0
+		if short && len(p) > 1 {
+			n, _ = f.File.Write(p[:len(p)/2])
+		}
+		return n, fmt.Errorf("%w: write %d", ErrInjected, f.fs.FailWriteAt)
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if f.fs.FailSync {
+		return fmt.Errorf("%w: sync", ErrInjected)
+	}
+	return f.File.Sync()
+}

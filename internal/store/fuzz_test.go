@@ -1,0 +1,83 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nbody/internal/snapshot"
+	"nbody/internal/workload"
+)
+
+// FuzzRecover plants arbitrary bytes in the state directory as a session's
+// metadata and snapshot payload. The recovery scan must never panic and
+// must never admit an invalid session: anything recovered has consistent,
+// in-limit, finite state.
+func FuzzRecover(f *testing.F) {
+	// Seed with a fully valid checkpoint so the fuzzer explores mutations
+	// of real content, not just noise.
+	sys := workload.Plummer(8, 1)
+	var snapBuf bytes.Buffer
+	if err := snapshot.Write(&snapBuf, sys, snapshot.Meta{Step: 4, Time: 0.004}); err != nil {
+		f.Fatal(err)
+	}
+	meta := Meta{
+		ID: "s-1", Algorithm: "octree", DT: 1e-3, N: 8, Step: 4, Time: 0.004,
+		State: StateOK, Snapshot: "s-1.4.snap",
+	}
+	metaBuf, err := json.Marshal(meta)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(metaBuf, snapBuf.Bytes())
+	f.Add([]byte(`{"id":"s-1"`), snapBuf.Bytes())
+	f.Add(metaBuf, snapBuf.Bytes()[:40])
+	f.Add([]byte(`{"id":"s-1","dt":1e999,"n":-1,"state":"??"}`), []byte("NBODYSNP"))
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte(`{"id":"s-1","algorithm":"octree","dt":0.001,"n":1099511627776,"step":0,"time":0,"state":"ok","snapshot":"s-1.0.snap"}`),
+		[]byte("NBODYSNP\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, metaBytes, snapBytes []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "s-1.json"), metaBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "s-1.4.snap"), snapBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const maxBodies = 64
+		recovered, quarantined, err := st.Recover(maxBodies) // must not panic
+		if err != nil {
+			t.Fatalf("recover failed outright: %v", err)
+		}
+		if len(recovered)+len(quarantined) == 0 {
+			t.Fatal("session neither recovered nor quarantined")
+		}
+		for _, r := range recovered {
+			if err := validateMeta(r.Meta, r.Meta.ID, maxBodies); err != nil {
+				t.Fatalf("recovered invalid metadata: %v (%+v)", err, r.Meta)
+			}
+			if r.Sys.N() != r.Meta.N {
+				t.Fatalf("recovered inconsistent body count %d != %d", r.Sys.N(), r.Meta.N)
+			}
+			if err := r.Sys.Validate(); err != nil {
+				t.Fatalf("recovered non-simulable state: %v", err)
+			}
+		}
+		// Recovery converges: a second scan finds nothing new to quarantine.
+		recovered2, quarantined2, err := st.Recover(maxBodies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(quarantined2) != 0 || len(recovered2) != len(recovered) {
+			t.Fatalf("second scan diverged: %+v / %+v", recovered2, quarantined2)
+		}
+	})
+}
