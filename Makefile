@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check serve clean
+.PHONY: all build vet test race check serve obs-smoke clean
 
 all: check
 
@@ -23,6 +23,12 @@ check: vet build test race
 
 serve:
 	$(GO) run ./cmd/nbody-serve
+
+# Boots the real nbody-serve binary, steps a session through the /v1 API
+# and asserts that GET /metrics exposes the populated per-phase step-time
+# histograms (see scripts/obs_smoke.sh).
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -5,8 +5,9 @@
 // Examples:
 //
 //	nbody-serve -addr :8080 -max-sessions 64 -max-bodies 1000000 -idle-ttl 10m
-//	curl -s localhost:8080/sessions -d '{"workload":"galaxy","n":10000,"dt":1e-3}'
-//	curl -s localhost:8080/sessions/s-1/step -d '{"steps":100}'
+//	curl -s localhost:8080/v1/sessions -d '{"workload":"galaxy","n":10000,"dt":1e-3}'
+//	curl -s localhost:8080/v1/sessions/s-1/step -d '{"steps":100}'
+//	curl -s localhost:8080/metrics   # Prometheus exposition
 //
 // See the README "Serving" section for the full API walkthrough.
 package main
@@ -23,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"nbody/internal/obs"
 	"nbody/internal/par"
 	"nbody/internal/serve"
 	"nbody/internal/store"
@@ -50,6 +52,8 @@ func run() error {
 		stateDir    = flag.String("state-dir", "", "checkpoint directory for crash-safe session durability (empty = in-memory only)")
 		ckptEvery   = flag.Int("checkpoint-every", 500, "also checkpoint mid-run every N steps (0 = only at request end; needs -state-dir)")
 		maxDrift    = flag.Float64("max-energy-drift", 0, "quarantine a session whose relative energy drift exceeds this (0 = disabled)")
+		debugAddr   = flag.String("debug-addr", "", "listen address for the debug mux (pprof + span ring); empty = disabled")
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
 
@@ -92,6 +96,11 @@ func run() error {
 		return err
 	}
 
+	ob, err := obs.NewObserver(os.Stderr, *logFormat, obs.DefaultTraceCapacity)
+	if err != nil {
+		return err
+	}
+
 	var st *store.Store
 	if *stateDir != "" {
 		if st, err = store.Open(*stateDir); err != nil {
@@ -119,6 +128,7 @@ func run() error {
 		Store:              st,
 		CheckpointEvery:    *ckptEvery,
 		MaxEnergyDrift:     *maxDrift,
+		Obs:                ob,
 	})
 	if err != nil {
 		return err
@@ -131,7 +141,7 @@ func run() error {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.LogMiddleware(serve.NewHandler(m), log.Printf),
+		Handler:           serve.NewHandler(m),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -140,6 +150,21 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugMux(ob.Tracer),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		// The debug listener is best-effort: a failure there (port taken,
+		// listener dies) must not take the service down with it.
+		go func() {
+			if err := dbg.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		log.Printf("debug mux (pprof, /debug/trace) on %s", *debugAddr)
+	}
 	log.Printf("listening on %s (max-sessions %d, max-bodies %d, idle-ttl %v, %d slots × %d workers)",
 		*addr, *maxSessions, *maxBodies, *idleTTL, *stepSlots, perSession)
 

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns the opt-in debug mux served on nbody-serve's
+// -debug-addr listener: the full net/http/pprof suite under /debug/pprof/
+// and (when t is non-nil) the span ring at /debug/trace. It is a separate
+// mux so profiling endpoints are never reachable through the public API
+// listener.
+func DebugMux(t *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if t != nil {
+		mux.Handle("GET /debug/trace", t.Handler())
+	}
+	return mux
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Log formats accepted by NewLogger.
+const (
+	FormatText = "text"
+	FormatJSON = "json"
+)
+
+// Logger writes one structured line per event, in logfmt-style text or
+// JSON. The request ID carried by the context (WithRequestID) is attached
+// to every line, which is how one request's log lines across the HTTP
+// layer, the session manager and the checkpoint store are correlated. A
+// nil *Logger discards everything, so call sites need no nil checks.
+type Logger struct {
+	mu   sync.Mutex
+	w    io.Writer
+	json bool
+	now  func() time.Time // test seam
+}
+
+// NewLogger returns a logger writing to w in the given format ("" means
+// text).
+func NewLogger(w io.Writer, format string) (*Logger, error) {
+	l := &Logger{w: w, now: time.Now}
+	switch format {
+	case "", FormatText:
+	case FormatJSON:
+		l.json = true
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want %s or %s)", format, FormatText, FormatJSON)
+	}
+	return l, nil
+}
+
+// Log writes one event with alternating key/value pairs. The line always
+// starts with the timestamp, the message and (when ctx carries one) the
+// request ID.
+func (l *Logger) Log(ctx context.Context, msg string, kv ...any) {
+	if l == nil || l.w == nil {
+		return
+	}
+	keys := make([]string, 0, 3+len(kv)/2)
+	vals := make([]any, 0, cap(keys))
+	add := func(k string, v any) { keys = append(keys, k); vals = append(vals, v) }
+	add("ts", l.now().UTC().Format(time.RFC3339Nano))
+	add("msg", msg)
+	if id := RequestID(ctx); id != "" {
+		add("request_id", id)
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		add(fmt.Sprint(kv[i]), kv[i+1])
+	}
+	if len(kv)%2 != 0 {
+		add("missing_value", kv[len(kv)-1])
+	}
+
+	var line string
+	if l.json {
+		line = renderJSON(keys, vals)
+	} else {
+		line = renderText(keys, vals)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, line+"\n")
+}
+
+// renderText emits logfmt-style key=value pairs, quoting values that need
+// it.
+func renderText(keys []string, vals []any) string {
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		v := fmt.Sprint(vals[i])
+		if strings.ContainsAny(v, " \t\n\"=") || v == "" {
+			v = strconv.Quote(v)
+		}
+		sb.WriteString(v)
+	}
+	return sb.String()
+}
+
+// renderJSON emits one JSON object per line, preserving key order.
+func renderJSON(keys []string, vals []any) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		kb, _ := json.Marshal(k)
+		sb.Write(kb)
+		sb.WriteByte(':')
+		vb, err := json.Marshal(vals[i])
+		if err != nil {
+			vb, _ = json.Marshal(fmt.Sprint(vals[i]))
+		}
+		sb.Write(vb)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

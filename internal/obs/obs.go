@@ -1,0 +1,88 @@
+// Package obs is the service's dependency-free observability layer:
+//
+//   - Registry (registry.go): a Prometheus-text-format metrics registry —
+//     counters, gauges and fixed-bucket histograms, with optional labels,
+//     rendered deterministically for GET /metrics.
+//   - Logger (log.go): request-scoped structured logging in text or JSON,
+//     with the request ID carried through context.Context.
+//   - Tracer (trace.go): a lightweight span recorder writing
+//     request → session-step → phase timings into a bounded in-memory
+//     ring, exported as JSON for GET /v1/debug/trace.
+//   - DebugMux (debug.go): the opt-in debug mux wiring net/http/pprof and
+//     the span ring behind a separate listener.
+//
+// The package deliberately imports nothing beyond the standard library and
+// nothing from this repository: the core simulation packages stay unaware
+// of it, and the serving layer adapts its own measurements (for example
+// metrics.Breakdown phase times) into these instruments.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Observer bundles the three observability facilities the serving layer
+// threads through its request paths. Logger and Tracer may be nil (both are
+// nil-safe); Registry must not be.
+type Observer struct {
+	Registry *Registry
+	Logger   *Logger
+	Tracer   *Tracer
+}
+
+// NewObserver builds a fully-equipped observer: a fresh registry, a logger
+// writing to logW in the given format ("text" or "json"), and a span ring
+// of traceCapacity records.
+func NewObserver(logW io.Writer, logFormat string, traceCapacity int) (*Observer, error) {
+	logger, err := NewLogger(logW, logFormat)
+	if err != nil {
+		return nil, err
+	}
+	return &Observer{
+		Registry: NewRegistry(),
+		Logger:   logger,
+		Tracer:   NewTracer(traceCapacity),
+	}, nil
+}
+
+// Nop returns an observer that records metrics into a private registry and
+// discards logs and spans — the default when no observability is wired up,
+// so instrumented code paths need no nil checks.
+func Nop() *Observer { return &Observer{Registry: NewRegistry()} }
+
+// ctxKey is the private type of this package's context keys.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// WithRequestID returns ctx carrying the given request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// reqSeq backs NewRequestID's fallback when the system's random source is
+// unavailable.
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-digit request identifier.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%016x", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegistryGolden pins the exact Prometheus text exposition: family
+// ordering, HELP/TYPE lines, label escaping, cumulative histogram buckets
+// and value formatting are all stable API for scrapers.
+func TestRegistryGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("test_counter", "A counter.")
+	c.Inc()
+	c.Inc()
+
+	r.GaugeFunc("test_fn", "A computed gauge.", func() float64 { return 7 })
+
+	g := r.Gauge("test_gauge", "A gauge.")
+	g.Set(2.5)
+
+	// Exact binary fractions keep the rendered _sum deterministic.
+	h := r.Histogram("test_hist", "A histogram.", []float64{0.1, 1})
+	h.Observe(0.0625)
+	h.Observe(0.5)
+	h.Observe(4)
+
+	v := r.CounterVec("test_labeled", "A labeled counter.", "a", "b")
+	v.With("x", "y").Inc()
+	v.With("needs\nescaping\"", "z").Add(3)
+
+	want := strings.Join([]string{
+		`# HELP test_counter A counter.`,
+		`# TYPE test_counter counter`,
+		`test_counter 2`,
+		`# HELP test_fn A computed gauge.`,
+		`# TYPE test_fn gauge`,
+		`test_fn 7`,
+		`# HELP test_gauge A gauge.`,
+		`# TYPE test_gauge gauge`,
+		`test_gauge 2.5`,
+		`# HELP test_hist A histogram.`,
+		`# TYPE test_hist histogram`,
+		`test_hist_bucket{le="0.1"} 1`,
+		`test_hist_bucket{le="1"} 2`,
+		`test_hist_bucket{le="+Inf"} 3`,
+		`test_hist_sum 4.5625`,
+		`test_hist_count 3`,
+		`# HELP test_labeled A labeled counter.`,
+		`# TYPE test_labeled counter`,
+		`test_labeled{a="needs\nescaping\"",b="z"} 3`,
+		`test_labeled{a="x",b="y"} 1`,
+	}, "\n") + "\n"
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "Total.").Inc()
+	collected := false
+	r.OnCollect(func() { collected = true })
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type %q", ct)
+	}
+	if !collected {
+		t.Error("OnCollect hook did not run at scrape time")
+	}
+	if !strings.Contains(rec.Body.String(), "test_total 1\n") {
+		t.Errorf("body %q", rec.Body.String())
+	}
+}
+
+func TestRegistryIdempotentAndConflicts(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_x", "x")
+	b := r.Counter("test_x", "x")
+	if a != b {
+		t.Error("re-registration must return the same counter")
+	}
+	mustPanic(t, "type conflict", func() { r.Gauge("test_x", "x") })
+	mustPanic(t, "invalid name", func() { r.Counter("0bad", "") })
+	mustPanic(t, "le label", func() { r.HistogramVec("test_h", "", []float64{1}, "le") })
+	mustPanic(t, "unsorted buckets", func() { r.Histogram("test_h2", "", []float64{2, 1}) })
+	mustPanic(t, "negative counter add", func() { a.Add(-1) })
+	mustPanic(t, "wrong label count", func() { r.CounterVec("test_v", "", "a").With("x", "y") })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestHistogramNaNDropped(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_nan", "", []float64{1})
+	h.Observe(nan())
+	if h.Count() != 0 {
+		t.Errorf("NaN observation counted: %d", h.Count())
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 10, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets %v, want %v", got, want)
+		}
+	}
+	if n := len(TimeBuckets()); n != 14 {
+		t.Errorf("TimeBuckets has %d buckets, want 14", n)
+	}
+}
+
+func TestLoggerText(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.now = func() time.Time { return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC) }
+
+	ctx := WithRequestID(context.Background(), "abc123")
+	l.Log(ctx, "session created", "id", "s-1", "n", 64, "note", "two words")
+
+	want := `ts=2026-08-06T12:00:00Z msg="session created" request_id=abc123 id=s-1 n=64 note="two words"` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("text line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Log(WithRequestID(context.Background(), "abc123"), "checkpoint failed", "err", "disk full", "odd")
+
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("line is not JSON: %v (%q)", err, buf.String())
+	}
+	if got["msg"] != "checkpoint failed" || got["request_id"] != "abc123" ||
+		got["err"] != "disk full" || got["missing_value"] != "odd" {
+		t.Errorf("JSON line %v", got)
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Log(context.Background(), "ignored") // must not panic
+	if _, err := NewLogger(&bytes.Buffer{}, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := NewTracer(2)
+	ctx := WithRequestID(context.Background(), "r1")
+	base := time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC)
+	for i, name := range []string{"a", "b", "c"} {
+		tr.Record(ctx, name, base.Add(time.Duration(i)*time.Second), time.Millisecond, nil)
+	}
+
+	spans, dropped := tr.Snapshot()
+	if dropped != 1 || len(spans) != 2 {
+		t.Fatalf("got %d spans, %d dropped; want 2 spans, 1 dropped", len(spans), dropped)
+	}
+	if spans[0].Name != "c" || spans[1].Name != "b" {
+		t.Errorf("snapshot order %s,%s; want newest first c,b", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].TraceID != "r1" {
+		t.Errorf("trace id %q", spans[0].TraceID)
+	}
+}
+
+func TestTracerSpanAndHandler(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.StartSpan(context.Background(), "phase.force")
+	sp.SetAttr("algorithm", "octree")
+	sp.End()
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/debug/trace", nil))
+	var body struct {
+		Spans   []SpanRecord `json:"spans"`
+		Dropped uint64       `json:"dropped"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Spans) != 1 || body.Spans[0].Name != "phase.force" || body.Spans[0].Attrs["algorithm"] != "octree" {
+		t.Errorf("trace body %+v", body)
+	}
+
+	// Nil tracer and nil span are inert.
+	var none *Tracer
+	none.Record(context.Background(), "x", time.Time{}, 0, nil)
+	none.StartSpan(context.Background(), "x").End()
+}
+
+func TestDebugMux(t *testing.T) {
+	mux := DebugMux(NewTracer(4))
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/trace"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Errorf("GET %s = %d", path, rec.Code)
+		}
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || a == b {
+		t.Errorf("request ids %q, %q", a, b)
+	}
+	if RequestID(context.Background()) != "" {
+		t.Error("empty context must have no request id")
+	}
+	if got := RequestID(WithRequestID(context.Background(), "x")); got != "x" {
+		t.Errorf("round trip %q", got)
+	}
+}
+
+func TestObserver(t *testing.T) {
+	if _, err := NewObserver(&bytes.Buffer{}, "xml", 0); err == nil {
+		t.Error("bad log format accepted")
+	}
+	o, err := NewObserver(&bytes.Buffer{}, FormatJSON, 16)
+	if err != nil || o.Registry == nil || o.Logger == nil || o.Tracer == nil {
+		t.Fatalf("observer %+v, err %v", o, err)
+	}
+	if n := Nop(); n.Registry == nil {
+		t.Error("Nop must carry a usable registry")
+	}
+}

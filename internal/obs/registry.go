@@ -1,0 +1,458 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 with lock-free Add/Store/Load, the storage cell
+// of every counter and gauge.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) Load() float64   { return math.Float64frombits(a.bits.Load()) }
+func (a *atomicFloat) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
+func (a *atomicFloat) Add(d float64) {
+	for {
+		old := a.bits.Load()
+		if a.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomicFloat }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d, which must not be negative.
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic("obs: counter decremented")
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add adds d (negative to decrease).
+func (g *Gauge) Add(d float64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Buckets are upper
+// bounds (inclusive, ascending); an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Uint64 // len(upper)+1, last is +Inf
+	sum    atomicFloat
+	n      atomic.Uint64
+}
+
+// Observe records one value. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// ExponentialBuckets returns count upper bounds starting at start and
+// multiplying by factor, for histograms spanning several orders of
+// magnitude.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("obs: ExponentialBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// TimeBuckets is the default latency bucket layout: 10µs to ~1.5s, the
+// range spanned by a single simulation phase on a small system up to a
+// full multi-step request on a large one.
+func TimeBuckets() []float64 { return ExponentialBuckets(1e-5, 2.5, 14) }
+
+// kind discriminates the metric families.
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// labelSep joins label values into series keys; it cannot appear in a
+// label value that survives escaping unambiguously, and the joined key is
+// never rendered.
+const labelSep = "\xff"
+
+// family is one named metric with all its labeled series.
+type family struct {
+	name    string
+	help    string
+	k       kind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]*child
+	fn     func() float64 // gauge callback (GaugeFunc), label-free
+}
+
+// child is one (label values → instrument) series of a family.
+type child struct {
+	values []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// get returns the series for the given label values, creating it on first
+// use.
+func (f *family) get(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s has %d labels, got %d values", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch, ok := f.series[key]
+	if !ok {
+		ch = &child{values: append([]string(nil), values...)}
+		switch f.k {
+		case counterKind:
+			ch.c = &Counter{}
+		case gaugeKind:
+			ch.g = &Gauge{}
+		case histogramKind:
+			ch.h = &Histogram{
+				upper:  f.buckets,
+				counts: make([]atomic.Uint64, len(f.buckets)+1),
+			}
+		}
+		f.series[key] = ch
+	}
+	return ch
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (one per label name,
+// in registration order).
+func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).c }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.get(values).g }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.get(values).h }
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. All methods are safe for concurrent use. Registration
+// is idempotent: registering the same name with the same type and labels
+// returns the existing family; a conflicting registration panics (it is a
+// programming error, not a runtime condition).
+type Registry struct {
+	mu         sync.Mutex
+	fams       map[string]*family
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+// validName reports whether name is a legal Prometheus metric or label
+// name.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) family(name, help string, k kind, buckets []float64, labels []string) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) || l == "le" {
+			panic(fmt.Sprintf("obs: invalid label name %q on %s", l, name))
+		}
+	}
+	if k == histogramKind {
+		if len(buckets) == 0 {
+			panic("obs: histogram " + name + " needs at least one bucket")
+		}
+		for i, b := range buckets {
+			if math.IsNaN(b) || (i > 0 && b <= buckets[i-1]) {
+				panic("obs: histogram " + name + " buckets must be ascending and finite")
+			}
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.k != k || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different type or labels", name))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		k:       k,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]*child),
+	}
+	r.fams[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers (or fetches) a label-free counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, counterKind, nil, nil).get(nil).c
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, counterKind, nil, labels)}
+}
+
+// Gauge registers (or fetches) a label-free gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, gaugeKind, nil, nil).get(nil).g
+}
+
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, gaugeKind, nil, labels)}
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, gaugeKind, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers (or fetches) a label-free histogram with the given
+// upper bounds.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.family(name, help, histogramKind, buckets, nil).get(nil).h
+}
+
+// HistogramVec registers a histogram family with the given upper bounds
+// and label names.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, histogramKind, buckets, labels)}
+}
+
+// OnCollect registers fn to run at the start of every scrape, before
+// rendering — the hook gauge owners use to refresh values that are derived
+// from live state rather than updated inline.
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// sorted by metric name and series labels so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+
+	for _, fn := range collectors {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var sb strings.Builder
+	for _, f := range fams {
+		f.render(&sb)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Handler returns the GET /metrics endpoint serving the registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// render writes one family's HELP/TYPE header and all its series.
+func (f *family) render(sb *strings.Builder) {
+	f.mu.Lock()
+	children := make([]*child, 0, len(f.series))
+	for _, ch := range f.series {
+		children = append(children, ch)
+	}
+	fn := f.fn
+	f.mu.Unlock()
+
+	if f.help != "" {
+		fmt.Fprintf(sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(sb, "# TYPE %s %s\n", f.name, f.k)
+
+	if fn != nil {
+		fmt.Fprintf(sb, "%s %s\n", f.name, formatValue(fn()))
+		return
+	}
+	sort.Slice(children, func(i, j int) bool {
+		return strings.Join(children[i].values, labelSep) < strings.Join(children[j].values, labelSep)
+	})
+	for _, ch := range children {
+		labels := formatLabels(f.labels, ch.values)
+		switch f.k {
+		case counterKind:
+			fmt.Fprintf(sb, "%s%s %s\n", f.name, labels, formatValue(ch.c.Value()))
+		case gaugeKind:
+			fmt.Fprintf(sb, "%s%s %s\n", f.name, labels, formatValue(ch.g.Value()))
+		case histogramKind:
+			renderHistogram(sb, f.name, f.labels, ch.values, ch.h)
+		}
+	}
+}
+
+// renderHistogram writes the cumulative _bucket series plus _sum and
+// _count.
+func renderHistogram(sb *strings.Builder, name string, labelNames, values []string, h *Histogram) {
+	bucketNames := append(append([]string{}, labelNames...), "le")
+	bucketLabels := func(le string) string {
+		return formatLabels(bucketNames, append(append([]string{}, values...), le))
+	}
+	var cum uint64
+	for i, upper := range h.upper {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(sb, "%s_bucket%s %d\n", name, bucketLabels(formatValue(upper)), cum)
+	}
+	cum += h.counts[len(h.upper)].Load()
+	fmt.Fprintf(sb, "%s_bucket%s %d\n", name, bucketLabels("+Inf"), cum)
+	plain := formatLabels(labelNames, values)
+	fmt.Fprintf(sb, "%s_sum%s %s\n", name, plain, formatValue(h.Sum()))
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, plain, cum)
+}
+
+// formatLabels renders {a="x",b="y"} ("" when label-free).
+func formatLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

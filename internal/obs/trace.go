@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one completed span in the tracer's ring: a named timing
+// (an HTTP request, a session step run, one solver phase) correlated to
+// its request by TraceID.
+type SpanRecord struct {
+	TraceID         string            `json:"trace_id,omitempty"`
+	Name            string            `json:"name"`
+	Start           time.Time         `json:"start"`
+	DurationSeconds float64           `json:"duration_seconds"`
+	Attrs           map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer records completed spans into a bounded in-memory ring: the
+// newest spans overwrite the oldest, so a long-running service holds a
+// recent window of request → session-step → phase timings at fixed
+// memory cost. A nil *Tracer discards everything. All methods are safe
+// for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []SpanRecord
+	next    int
+	n       int
+	dropped uint64
+}
+
+// DefaultTraceCapacity is the span ring size used when NewTracer is given
+// a non-positive capacity.
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer whose ring holds capacity spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]SpanRecord, capacity)}
+}
+
+// Record appends one completed span, taking the trace ID from ctx.
+func (t *Tracer) Record(ctx context.Context, name string, start time.Time, d time.Duration, attrs map[string]string) {
+	if t == nil {
+		return
+	}
+	rec := SpanRecord{
+		TraceID:         RequestID(ctx),
+		Name:            name,
+		Start:           start,
+		DurationSeconds: d.Seconds(),
+		Attrs:           attrs,
+	}
+	t.mu.Lock()
+	if t.n == len(t.ring) {
+		t.dropped++
+	} else {
+		t.n++
+	}
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	t.mu.Unlock()
+}
+
+// Span is an in-progress measurement started by StartSpan.
+type Span struct {
+	t     *Tracer
+	ctx   context.Context
+	name  string
+	start time.Time
+	mu    sync.Mutex
+	attrs map[string]string
+}
+
+// StartSpan begins a span; call End (usually deferred) to record it.
+func (t *Tracer) StartSpan(ctx context.Context, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, ctx: ctx, name: name, start: time.Now()}
+}
+
+// SetAttr attaches one key/value attribute to the span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[k] = v
+	s.mu.Unlock()
+}
+
+// End records the span into the tracer's ring.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.t.Record(s.ctx, s.name, s.start, time.Since(s.start), attrs)
+}
+
+// Snapshot returns the recorded spans, newest first, plus how many older
+// spans the ring has overwritten.
+func (t *Tracer) Snapshot() (spans []SpanRecord, dropped uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans = make([]SpanRecord, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		idx := (t.next - 1 - i + len(t.ring)*2) % len(t.ring)
+		spans = append(spans, t.ring[idx])
+	}
+	return spans, t.dropped
+}
+
+// Handler serves the span ring as JSON: {"spans": [...], "dropped": n},
+// newest span first — the GET /v1/debug/trace endpoint.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		spans, dropped := t.Snapshot()
+		if spans == nil {
+			spans = []SpanRecord{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"spans":   spans,
+			"dropped": dropped,
+		})
+	})
+}

@@ -38,9 +38,13 @@ func (m *Manager) failSession(s *Session, kind, reason string) error {
 		m.failMu.Lock()
 		m.failuresByKind[kind]++
 		m.failMu.Unlock()
+		m.ins.failures.With(kind).Inc()
+		m.log.Log(context.Background(), "session quarantined",
+			"session", s.ID, "kind", kind, "reason", reason)
 		if st := m.cfg.Store; st != nil {
 			if err := st.MarkFailed(s.ID, reason); err != nil {
 				m.checkpointErrors.Add(1)
+				m.ins.checkpointErrors.Inc()
 			}
 		}
 	}
@@ -153,8 +157,9 @@ func (m *Manager) checkEnergyHealth(s *Session, total float64) error {
 // store. Failed sessions are skipped — their last good checkpoint plus the
 // failure marker already on disk is exactly what a restart should see. A
 // store error degrades durability, not availability: it is counted, and
-// the session keeps serving from memory.
-func (m *Manager) persist(s *Session) {
+// the session keeps serving from memory. ctx carries the request ID for
+// log correlation (context.Background() from the janitor).
+func (m *Manager) persist(ctx context.Context, s *Session) {
 	st := m.cfg.Store
 	if st == nil {
 		return
@@ -182,6 +187,7 @@ func (m *Manager) persist(s *Session) {
 		Time:          s.baseTime + float64(count)*s.dt,
 		State:         store.StateOK,
 	}
+	start := time.Now()
 	err := st.Save(meta, s.sim.System())
 	if err == nil {
 		s.savedStep = meta.Step
@@ -189,14 +195,18 @@ func (m *Manager) persist(s *Session) {
 	s.mu.Unlock()
 	if err != nil {
 		m.checkpointErrors.Add(1)
+		m.ins.checkpointErrors.Inc()
+		m.log.Log(ctx, "checkpoint failed", "session", s.ID, "error", err.Error())
 	} else {
 		m.checkpointsTotal.Add(1)
+		m.ins.checkpointsTotal.Inc()
+		m.ins.checkpointSeconds.Observe(time.Since(start).Seconds())
 	}
 }
 
 // persistIfDirty checkpoints s only when steps have completed since the
 // last durable checkpoint.
-func (m *Manager) persistIfDirty(s *Session) {
+func (m *Manager) persistIfDirty(ctx context.Context, s *Session) {
 	if m.cfg.Store == nil {
 		return
 	}
@@ -204,7 +214,7 @@ func (m *Manager) persistIfDirty(s *Session) {
 	dirty := s.baseStep+s.sim.StepCount() != s.savedStep
 	s.mu.Unlock()
 	if dirty {
-		m.persist(s)
+		m.persist(ctx, s)
 	}
 }
 
@@ -225,7 +235,7 @@ func (m *Manager) checkpointDirty() {
 		// interleaving another writer at its step boundaries would just
 		// double the I/O.
 		if !s.busy.Load() {
-			m.persistIfDirty(s)
+			m.persistIfDirty(context.Background(), s)
 		}
 	}
 }
@@ -240,6 +250,10 @@ func (m *Manager) recoverSessions() error {
 		return err
 	}
 	m.quarantinedTotal.Add(int64(len(quarantined)))
+	m.ins.ckptQuarantined.Add(float64(len(quarantined)))
+	for _, q := range quarantined {
+		m.log.Log(context.Background(), "checkpoint quarantined", "session", q.ID, "reason", q.Reason)
+	}
 	var maxID uint64
 	for _, r := range recovered {
 		if err := m.restore(r.Meta, r.Sys); err != nil {
@@ -247,10 +261,14 @@ func (m *Manager) recoverSessions() error {
 			// build (e.g. an algorithm it does not know): same policy as
 			// corrupt files — quarantine, never fail boot.
 			m.quarantinedTotal.Add(1)
+			m.ins.ckptQuarantined.Inc()
 			m.cfg.Store.Quarantine(r.Meta.ID)
+			m.log.Log(context.Background(), "checkpoint quarantined", "session", r.Meta.ID, "reason", err.Error())
 			continue
 		}
 		m.recoveredTotal.Add(1)
+		m.ins.sessionsRecovered.Inc()
+		m.log.Log(context.Background(), "session recovered", "session", r.Meta.ID, "step", r.Meta.Step)
 		if suffix, ok := strings.CutPrefix(r.Meta.ID, "s-"); ok {
 			if n, err := strconv.ParseUint(suffix, 10, 64); err == nil && n > maxID {
 				maxID = n

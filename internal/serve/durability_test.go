@@ -56,7 +56,7 @@ func TestRestartRecoversSessions(t *testing.T) {
 	dir := t.TempDir()
 	m1 := newStoreManager(t, dir, nil)
 
-	info, err := m1.Create(CreateRequest{Workload: "plummer", N: 64, Seed: 5, DT: 1e-3})
+	info, err := m1.Create(context.Background(), CreateRequest{Workload: "plummer", N: 64, Seed: 5, DT: 1e-3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestRestartRecoversSessions(t *testing.T) {
 	}
 
 	// New sessions must not reuse the recovered ID.
-	fresh, err := m2.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+	fresh, err := m2.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestRecoveryQuarantinesCorruptCheckpoints(t *testing.T) {
 	req := CreateRequest{Workload: "plummer", N: 48, DT: 1e-3}
 	var ids [3]string
 	for i := range ids {
-		info, err := m1.Create(req)
+		info, err := m1.Create(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,11 +191,11 @@ func corruptSnap(t *testing.T, dir, id string, damage func(path string, data []b
 // stepping on the same manager.
 func TestPanicContainment(t *testing.T) {
 	m := newTestManager(t, testConfig())
-	victim, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+	victim, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
-	healthy, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+	healthy, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,11 +244,11 @@ func TestPanicContainment(t *testing.T) {
 // session is unaffected.
 func TestNaNQuarantine(t *testing.T) {
 	m := newTestManager(t, testConfig())
-	victim, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+	victim, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
-	healthy, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+	healthy, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +284,7 @@ func TestEnergyDriftQuarantine(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxEnergyDrift = 0.5
 	m := newTestManager(t, cfg)
-	info, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 1e-4})
+	info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 1e-4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +323,7 @@ func TestEnergyDriftQuarantine(t *testing.T) {
 func TestFailedSessionSurvivesRestartQuarantined(t *testing.T) {
 	dir := t.TempDir()
 	m1 := newStoreManager(t, dir, nil)
-	info, err := m1.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+	info, err := m1.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +359,7 @@ func TestFailedSessionSurvivesRestartQuarantined(t *testing.T) {
 func TestEvictionPersistsCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	m1 := newStoreManager(t, dir, nil)
-	info, err := m1.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+	info, err := m1.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +402,7 @@ func TestCheckpointEveryMidRun(t *testing.T) {
 	dir := t.TempDir()
 	m := newStoreManager(t, dir, func(c *Config) { c.CheckpointEvery = 5 })
 	defer closeManager(t, m)
-	info, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+	info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -427,14 +427,14 @@ func TestCheckpointEveryMidRun(t *testing.T) {
 func TestDeleteRemovesCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	m1 := newStoreManager(t, dir, nil)
-	info, err := m1.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+	info, err := m1.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := m1.Step(context.Background(), info.ID, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := m1.Delete(info.ID); err != nil {
+	if err := m1.Delete(context.Background(), info.ID); err != nil {
 		t.Fatal(err)
 	}
 	closeManager(t, m1)

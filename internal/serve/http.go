@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"nbody/internal/obs"
 	"nbody/internal/snapshot"
 )
 
@@ -17,29 +18,104 @@ import (
 // format on the upload and download paths.
 const snapshotContentType = "application/x-nbody-snapshot"
 
-// maxCreateJSON bounds the JSON body of POST /sessions.
+// maxCreateJSON bounds the JSON body of POST /v1/sessions.
 const maxCreateJSON = 1 << 20
 
-// NewHandler returns the service's HTTP API over m:
+// Stable machine-readable error codes of the v1 error envelope. Clients
+// dispatch on these, never on message text.
+const (
+	CodeSessionNotFound = "session_not_found"
+	CodeSessionFailed   = "session_failed"
+	CodeSessionBusy     = "session_busy"
+	CodeOverloaded      = "overloaded"
+	CodeShuttingDown    = "shutting_down"
+	CodeInvalidRequest  = "invalid_request"
+	CodeInvalidSnapshot = "invalid_snapshot"
+	CodeClientClosed    = "client_closed_request"
+	CodeInternal        = "internal"
+)
+
+// ErrorDetail is the body of every 4xx/5xx response:
 //
-//	POST   /sessions               create (JSON params, or binary snapshot upload)
-//	GET    /sessions               list sessions
-//	GET    /sessions/{id}          session info
-//	POST   /sessions/{id}/step     advance {"steps": n}
-//	DELETE /sessions/{id}          delete (cancels an in-flight run)
-//	GET    /sessions/{id}/snapshot binary checkpoint download
-//	GET    /sessions/{id}/watch    chunked NDJSON per-step diagnostics stream
-//	GET    /sessions/{id}/trace    accumulated diagnostics trace (CSV)
-//	GET    /metrics                service counters + step latency percentiles
-//	GET    /healthz                liveness probe
-//	GET    /readyz                 readiness probe (503 while draining)
+//	{"error":{"code":"session_not_found","message":"...","session_state":"..."}}
+//
+// Code is one of the Code* constants; SessionState is set when the error
+// implies a known lifecycle state (e.g. "failed" for session_failed).
+type ErrorDetail struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	SessionState string `json:"session_state,omitempty"`
+}
+
+// errorResponse is the error envelope, optionally carrying the partial
+// result of an interrupted step request.
+type errorResponse struct {
+	Error  ErrorDetail `json:"error"`
+	Result *StepResult `json:"result,omitempty"`
+}
+
+// listResponse is the body of GET /v1/sessions. NextCursor, when set, is
+// the cursor of the next page; its absence marks the final page.
+type listResponse struct {
+	Sessions   []Info `json:"sessions"`
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// NewHandler returns the service's HTTP API over m. The stable, versioned
+// surface lives under /v1:
+//
+//	POST   /v1/sessions               create (JSON params, or binary snapshot upload)
+//	GET    /v1/sessions               list sessions (?limit=&cursor= pagination)
+//	GET    /v1/sessions/{id}          session info
+//	POST   /v1/sessions/{id}/step     advance {"steps": n}
+//	DELETE /v1/sessions/{id}          delete (cancels an in-flight run)
+//	GET    /v1/sessions/{id}/snapshot binary checkpoint download
+//	GET    /v1/sessions/{id}/watch    chunked NDJSON per-step diagnostics stream
+//	GET    /v1/sessions/{id}/trace    accumulated diagnostics trace (CSV)
+//	GET    /v1/metrics                service counters + step latency percentiles (JSON)
+//	GET    /v1/debug/trace            recent request/step/phase spans (JSON)
+//
+// Unversioned session routes (/sessions...) remain as deprecated aliases
+// of their /v1 equivalents: same handlers and payloads, plus a
+// Deprecation header and a successor-version Link. Operational endpoints
+// stay at the root:
+//
+//	GET    /metrics                   Prometheus text exposition
+//	GET    /healthz                   liveness probe
+//	GET    /readyz                    readiness probe (503 while draining)
+//
+// Every response carries X-Request-ID (honouring the client's, if sent),
+// and every 4xx/5xx body is the JSON error envelope (ErrorDetail).
 func NewHandler(m *Manager) http.Handler {
+	o := m.Config().Obs
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) { handleCreate(m, w, r) })
-	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"sessions": m.List()})
-	})
-	mux.HandleFunc("GET /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+
+	// record notes the matched route pattern for the outer middleware's
+	// metrics/log/span labels (the outer request object never sees the
+	// pattern the mux matched).
+	record := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if p, ok := r.Context().Value(routeKey).(*routeHolder); ok {
+				p.pattern = r.Pattern
+			}
+			h(w, r)
+		}
+	}
+	// handle registers a /v1 route and its deprecated unversioned alias.
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, record(h))
+		method, v1Path, _ := strings.Cut(pattern, " ")
+		legacy := strings.TrimPrefix(v1Path, "/v1")
+		mux.HandleFunc(method+" "+legacy, record(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+			h(w, r)
+		}))
+	}
+
+	handle("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) { handleCreate(m, w, r) })
+	handle("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) { handleList(m, w, r) })
+	handle("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
 		info, err := m.Get(r.PathValue("id"))
 		if err != nil {
 			writeError(w, err)
@@ -47,15 +123,15 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, info)
 	})
-	mux.HandleFunc("POST /sessions/{id}/step", func(w http.ResponseWriter, r *http.Request) { handleStep(m, w, r) })
-	mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
-		if err := m.Delete(r.PathValue("id")); err != nil {
+	handle("POST /v1/sessions/{id}/step", func(w http.ResponseWriter, r *http.Request) { handleStep(m, w, r) })
+	handle("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Delete(r.Context(), r.PathValue("id")); err != nil {
 			writeError(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("GET /sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		w.Header().Set("Content-Type", snapshotContentType)
 		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".nbsnap"))
@@ -71,8 +147,8 @@ func NewHandler(m *Manager) http.Handler {
 			}
 		}
 	})
-	mux.HandleFunc("GET /sessions/{id}/watch", func(w http.ResponseWriter, r *http.Request) { handleWatch(m, w, r) })
-	mux.HandleFunc("GET /sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/sessions/{id}/watch", func(w http.ResponseWriter, r *http.Request) { handleWatch(m, w, r) })
+	handle("GET /v1/sessions/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		w.Header().Set("Content-Type", "text/csv")
 		if err := m.WriteTrace(id, w); err != nil {
@@ -84,13 +160,22 @@ func NewHandler(m *Manager) http.Handler {
 			}
 		}
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+
+	// Versioned JSON metrics (the pre-v1 ad-hoc /metrics payload, kept as
+	// a stable JSON surface for dashboards that do not scrape Prometheus).
+	mux.HandleFunc("GET /v1/metrics", record(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Metrics())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	if o.Tracer != nil {
+		mux.Handle("GET /v1/debug/trace", record(o.Tracer.Handler().ServeHTTP))
+	}
+
+	// Root-level operational endpoints.
+	mux.Handle("GET /metrics", record(o.Registry.Handler().ServeHTTP))
+	mux.HandleFunc("GET /healthz", record(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /readyz", record(func(w http.ResponseWriter, r *http.Request) {
 		// Liveness stays 200 through a drain (the process is healthy);
 		// readiness flips to 503 so load balancers stop routing here.
 		if !m.Ready() {
@@ -98,13 +183,62 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	return mux
+	}))
+
+	return instrument(mux, m)
 }
 
-// handleCreate serves POST /sessions. A JSON body carries CreateRequest; a
-// binary body with the snapshot content type resumes an uploaded
-// checkpoint, with simulation parameters passed as query parameters.
+// routeHolder carries the matched route pattern out of the mux for the
+// instrumentation middleware.
+type routeHolder struct{ pattern string }
+
+type routeCtxKey int
+
+const routeKey routeCtxKey = iota
+
+// instrument is the outermost middleware: it assigns the request ID
+// (honouring an incoming X-Request-ID), echoes it on the response, and on
+// completion feeds the HTTP metrics, the structured request log line and
+// the request span.
+func instrument(next http.Handler, m *Manager) http.Handler {
+	o := m.Config().Obs
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		holder := &routeHolder{}
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		ctx = context.WithValue(ctx, routeKey, holder)
+		w.Header().Set("X-Request-ID", reqID)
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+
+		route := holder.pattern
+		if route == "" {
+			// The mux rejected the request (404/405) before any handler
+			// ran; a constant label keeps cardinality bounded.
+			route = "unmatched"
+		}
+		m.ins.observeRequest(route, sw.status, elapsed.Seconds())
+		o.Logger.Log(ctx, "http request",
+			"method", r.Method, "path", r.URL.Path, "route", route,
+			"status", sw.status, "duration_ms", elapsed.Seconds()*1e3)
+		o.Tracer.Record(ctx, "http "+route, start, elapsed, map[string]string{
+			"method": r.Method,
+			"path":   r.URL.Path,
+			"status": strconv.Itoa(sw.status),
+		})
+	})
+}
+
+// handleCreate serves POST /v1/sessions. A JSON body carries
+// CreateRequest; a binary body with the snapshot content type resumes an
+// uploaded checkpoint, with simulation parameters passed as query
+// parameters.
 func handleCreate(m *Manager, w http.ResponseWriter, r *http.Request) {
 	ct := r.Header.Get("Content-Type")
 	ct, _, _ = strings.Cut(ct, ";")
@@ -123,7 +257,7 @@ func handleCreate(m *Manager, w http.ResponseWriter, r *http.Request) {
 		// anything larger necessarily declares a body count the manager
 		// rejects anyway.
 		limit := snapshot.EncodedSize(m.Config().MaxBodies)
-		info, err = m.CreateFromSnapshot(http.MaxBytesReader(w, r.Body, limit), req)
+		info, err = m.CreateFromSnapshot(r.Context(), http.MaxBytesReader(w, r.Body, limit), req)
 	default:
 		var req CreateRequest
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCreateJSON))
@@ -136,14 +270,32 @@ func handleCreate(m *Manager, w http.ResponseWriter, r *http.Request) {
 			writeError(w, fmt.Errorf("%w: trailing data after JSON body", ErrBadRequest))
 			return
 		}
-		info, err = m.Create(req)
+		info, err = m.Create(r.Context(), req)
 	}
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	w.Header().Set("Location", "/sessions/"+info.ID)
+	w.Header().Set("Location", "/v1/sessions/"+info.ID)
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleList serves GET /v1/sessions with ?limit=&cursor= pagination.
+func handleList(m *Manager, w http.ResponseWriter, r *http.Request) {
+	limit, err := queryInt(r, "limit", 0)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	infos, next, err := m.ListPage(limit, r.URL.Query().Get("cursor"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if infos == nil {
+		infos = []Info{}
+	}
+	writeJSON(w, http.StatusOK, listResponse{Sessions: infos, NextCursor: next})
 }
 
 // createRequestFromQuery decodes snapshot-upload simulation parameters from
@@ -181,7 +333,7 @@ func createRequestFromQuery(r *http.Request) (CreateRequest, error) {
 	return req, nil
 }
 
-// stepRequest is the JSON body of POST /sessions/{id}/step.
+// stepRequest is the JSON body of POST /v1/sessions/{id}/step.
 type stepRequest struct {
 	Steps int `json:"steps"`
 }
@@ -200,10 +352,11 @@ func handleStep(m *Manager, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		// Partial progress: report it with the status of the interruption
-		// cause so clients can resume.
+		// Partial progress: the error envelope carries the interruption
+		// cause and the partial result so clients can resume.
 		res.Error = err.Error()
-		writeJSONStatus(w, statusOf(err), res)
+		status, detail := errorDetailOf(err)
+		writeJSONStatus(w, status, errorResponse{Error: detail, Result: &res})
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -249,7 +402,8 @@ func handleWatch(m *Manager, w http.ResponseWriter, r *http.Request) {
 		// Mid-stream failure: the status line is gone; append a terminal
 		// error record so clients can distinguish truncation from
 		// completion.
-		enc.Encode(map[string]string{"error": err.Error()})
+		_, detail := errorDetailOf(err)
+		enc.Encode(errorResponse{Error: detail})
 	}
 }
 
@@ -266,38 +420,60 @@ func queryInt(r *http.Request, key string, def int) (int, error) {
 	return n, nil
 }
 
-// statusOf maps the manager's typed errors onto HTTP status codes.
-func statusOf(err error) int {
+// errorDetailOf maps the manager's typed errors onto an HTTP status and
+// the stable error envelope.
+func errorDetailOf(err error) (int, ErrorDetail) {
+	d := ErrorDetail{Message: err.Error()}
 	switch {
 	case errors.Is(err, ErrNotFound):
-		return http.StatusNotFound
+		d.Code = CodeSessionNotFound
+		return http.StatusNotFound, d
 	case errors.Is(err, ErrTooManySessions), errors.Is(err, ErrBusy):
-		return http.StatusTooManyRequests
+		d.Code = CodeOverloaded
+		return http.StatusTooManyRequests, d
 	case errors.Is(err, ErrConflict):
-		return http.StatusConflict
+		d.Code = CodeSessionBusy
+		d.SessionState = StateRunning.String()
+		return http.StatusConflict, d
 	case errors.Is(err, ErrShutdown):
-		return http.StatusServiceUnavailable
+		d.Code = CodeShuttingDown
+		return http.StatusServiceUnavailable, d
 	case errors.Is(err, ErrSessionFailed):
 		// The request was well-formed but the session is quarantined
 		// (panic or numerical divergence): a semantic failure, not a
 		// syntax one.
-		return http.StatusUnprocessableEntity
+		d.Code = CodeSessionFailed
+		d.SessionState = StateFailed.String()
+		return http.StatusUnprocessableEntity, d
+	case errors.Is(err, ErrInvalidSnapshot):
+		d.Code = CodeInvalidSnapshot
+		return http.StatusBadRequest, d
 	case errors.Is(err, ErrBadRequest):
-		return http.StatusBadRequest
+		d.Code = CodeInvalidRequest
+		return http.StatusBadRequest, d
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The client went away or its deadline passed mid-request.
-		return 499 // client closed request (nginx convention)
+		d.Code = CodeClientClosed
+		return 499, d // client closed request (nginx convention)
 	}
-	return http.StatusInternalServerError
+	d.Code = CodeInternal
+	return http.StatusInternalServerError, d
 }
 
-// writeError renders err as a JSON error document with its mapped status.
+// statusOf maps the manager's typed errors onto HTTP status codes.
+func statusOf(err error) int {
+	status, _ := errorDetailOf(err)
+	return status
+}
+
+// writeError renders err as the JSON error envelope with its mapped
+// status.
 func writeError(w http.ResponseWriter, err error) {
-	status := statusOf(err)
+	status, detail := errorDetailOf(err)
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSONStatus(w, status, map[string]string{"error": err.Error()})
+	writeJSONStatus(w, status, errorResponse{Error: detail})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) { writeJSONStatus(w, status, v) }
@@ -309,22 +485,8 @@ func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// LogMiddleware wraps h with one-line request logging through logf
-// (signature matches log.Printf). It is the service's per-request trace
-// hook.
-func LogMiddleware(h http.Handler, logf func(format string, args ...any)) http.Handler {
-	if logf == nil {
-		return h
-	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h.ServeHTTP(sw, r)
-		logf("%s %s -> %d (%v)", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
-	})
-}
-
-// statusWriter records the response status for logging.
+// statusWriter records the response status for the instrumentation
+// middleware.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -336,7 +498,7 @@ func (s *statusWriter) WriteHeader(code int) {
 }
 
 // Flush forwards http.Flusher so the watch stream works through the
-// logging middleware.
+// middleware.
 func (s *statusWriter) Flush() {
 	if f, ok := s.ResponseWriter.(http.Flusher); ok {
 		f.Flush()

@@ -76,9 +76,9 @@ func TestHandlerCreateValidation(t *testing.T) {
 				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.status, b)
 			}
 			if tc.status != http.StatusCreated {
-				var e map[string]string
-				if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
-					t.Fatalf("error responses must carry a JSON error document (err %v, %v)", err, e)
+				var e errorResponse
+				if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error.Code != CodeInvalidRequest {
+					t.Fatalf("error responses must carry the JSON error envelope (err %v, %+v)", err, e)
 				}
 			}
 		})
@@ -93,7 +93,7 @@ func TestHandlerSessionLifecycle(t *testing.T) {
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create status %d", resp.StatusCode)
 	}
-	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, "/sessions/") {
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, "/v1/sessions/") {
 		t.Fatalf("Location header %q", loc)
 	}
 	info := decodeBody[Info](t, resp)
@@ -190,7 +190,7 @@ func TestHandlerAdmission429(t *testing.T) {
 
 func TestHandlerStepConflict409(t *testing.T) {
 	m, srv := newTestServer(t, testConfig())
-	info, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+	info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +346,7 @@ func TestHandlerSnapshotUploadValidation(t *testing.T) {
 
 func TestHandlerWatchStream(t *testing.T) {
 	m, srv := newTestServer(t, testConfig())
-	info, err := m.Create(CreateRequest{Workload: "plummer", N: 64, DT: 1e-3})
+	info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 64, DT: 1e-3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +402,7 @@ func TestHandlerWatchStream(t *testing.T) {
 
 func TestHandlerMetrics(t *testing.T) {
 	m, srv := newTestServer(t, testConfig())
-	info, err := m.Create(CreateRequest{Workload: "plummer", N: 64, DT: 1e-3})
+	info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 64, DT: 1e-3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,7 +410,7 @@ func TestHandlerMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, err := http.Get(srv.URL + "/metrics")
+	resp, err := http.Get(srv.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -508,7 +508,7 @@ func TestHandlerReadyz(t *testing.T) {
 // stay readable and /metrics reports the failure.
 func TestHandlerFailedSession422(t *testing.T) {
 	m, srv := newTestServer(t, testConfig())
-	info, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+	info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -552,7 +552,7 @@ func TestHandlerFailedSession422(t *testing.T) {
 		t.Fatalf("failed-session snapshot = %d, want 200", resp.StatusCode)
 	}
 
-	resp, err = http.Get(srv.URL + "/metrics")
+	resp, err = http.Get(srv.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -573,7 +573,7 @@ func TestHandlerOverload429(t *testing.T) {
 
 	var ids [3]string
 	for i := range ids {
-		info, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+		info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -593,9 +593,12 @@ func TestHandlerOverload429(t *testing.T) {
 	})
 
 	resp := postJSON(t, srv.URL+"/sessions/"+ids[2]+"/step", `{"steps":1}`)
-	shed := decodeBody[map[string]string](t, resp)
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("overload step = %d (%v), want 429", resp.StatusCode, shed)
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("overload 429 without Retry-After")
+	}
+	shed := decodeBody[errorResponse](t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests || shed.Error.Code != CodeOverloaded {
+		t.Fatalf("overload step = %d (%+v), want 429 %s", resp.StatusCode, shed, CodeOverloaded)
 	}
 
 	release()

@@ -6,6 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +17,7 @@ import (
 	"nbody/internal/bounds"
 	"nbody/internal/core"
 	"nbody/internal/metrics"
+	"nbody/internal/obs"
 	"nbody/internal/par"
 	"nbody/internal/snapshot"
 	"nbody/internal/trace"
@@ -58,6 +62,10 @@ type Manager struct {
 	// to provoke step-path panics. Never set in production.
 	stepHook func(*Session)
 
+	// ins holds the obs instruments; log is cfg.Obs.Logger (nil-safe).
+	ins *instruments
+	log *obs.Logger
+
 	// counters for /metrics
 	createdTotal     atomic.Int64
 	evictedTotal     atomic.Int64
@@ -101,8 +109,12 @@ func NewManager(cfg Config) (*Manager, error) {
 		slots:          make(chan struct{}, cfg.StepSlots),
 		janitorDone:    make(chan struct{}),
 		failuresByKind: make(map[string]int64),
+		ins:            newInstruments(cfg.Obs.Registry),
+		log:            cfg.Obs.Logger,
 	}
+	m.installCollectors()
 	if cfg.Store != nil {
+		cfg.Store.SetObserver(storeObserver{m.ins})
 		if err := m.recoverSessions(); err != nil {
 			cancel(err)
 			close(m.janitorDone)
@@ -159,16 +171,19 @@ func (m *Manager) evictExpired(limit int) int {
 	for _, s := range victims {
 		// Persist-before-evict: the session leaves memory but its
 		// checkpoint survives, so a later restart restores it.
-		m.persistIfDirty(s)
+		m.persistIfDirty(context.Background(), s)
 		s.setState(StateEvicted)
 		s.cancel(fmt.Errorf("%w: session %s evicted after %v idle", ErrNotFound, s.ID, m.cfg.IdleTTL))
 		m.evictedTotal.Add(1)
+		m.ins.sessionsEvicted.Inc()
+		m.log.Log(context.Background(), "session evicted", "session", s.ID, "idle_ttl", m.cfg.IdleTTL.String())
 	}
 	return len(victims)
 }
 
-// Create builds a session from a workload generator request.
-func (m *Manager) Create(req CreateRequest) (Info, error) {
+// Create builds a session from a workload generator request. ctx carries
+// the request ID for log correlation only; it does not bound the work.
+func (m *Manager) Create(ctx context.Context, req CreateRequest) (Info, error) {
 	if req.Workload == "" {
 		req.Workload = "plummer"
 	}
@@ -183,7 +198,9 @@ func (m *Manager) Create(req CreateRequest) (Info, error) {
 	if err != nil {
 		return Info{}, err
 	}
-	m.persist(s)
+	m.log.Log(ctx, "session created", "session", s.ID,
+		"workload", s.workload, "algorithm", s.algorithm, "n", s.n, "dt", s.dt)
+	m.persist(ctx, s)
 	return s.Info(), nil
 }
 
@@ -192,10 +209,10 @@ func (m *Manager) Create(req CreateRequest) (Info, error) {
 // checkpoint's step/time, which snapshot downloads preserve. The upload is
 // untrusted: ReadMax rejects a header-declared body count over MaxBodies
 // before allocating anything proportional to it.
-func (m *Manager) CreateFromSnapshot(r io.Reader, req CreateRequest) (Info, error) {
+func (m *Manager) CreateFromSnapshot(ctx context.Context, r io.Reader, req CreateRequest) (Info, error) {
 	sys, meta, err := snapshot.ReadMax(r, m.cfg.MaxBodies)
 	if err != nil {
-		return Info{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return Info{}, fmt.Errorf("%w: %v", ErrInvalidSnapshot, err)
 	}
 	if err := m.validate(req, sys.N()); err != nil {
 		return Info{}, err
@@ -204,7 +221,9 @@ func (m *Manager) CreateFromSnapshot(r io.Reader, req CreateRequest) (Info, erro
 	if err != nil {
 		return Info{}, err
 	}
-	m.persist(s)
+	m.log.Log(ctx, "session created", "session", s.ID,
+		"workload", "snapshot", "algorithm", s.algorithm, "n", s.n, "base_step", meta.Step)
+	m.persist(ctx, s)
 	return s.Info(), nil
 }
 
@@ -281,6 +300,7 @@ func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName strin
 		m.mu.Unlock()
 		cancel(ErrTooManySessions)
 		m.rejectedSessions.Add(1)
+		m.ins.admissionRejected.With("session").Inc()
 		return nil, fmt.Errorf("%w (max %d)", ErrTooManySessions, m.cfg.MaxSessions)
 	}
 	s.ID = fmt.Sprintf("s-%d", m.nextID.Add(1))
@@ -289,6 +309,7 @@ func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName strin
 	m.mu.Unlock()
 
 	m.createdTotal.Add(1)
+	m.ins.sessionsCreated.Inc()
 	return s, nil
 }
 
@@ -329,8 +350,73 @@ func (m *Manager) List() []Info {
 	return infos
 }
 
+// listLimitMax caps the page size of ListPage; listLimitDefault applies
+// when the caller does not specify one.
+const (
+	listLimitDefault = 100
+	listLimitMax     = 1000
+)
+
+// idSortKey orders session IDs for pagination: manager-assigned IDs
+// ("s-<n>") sort numerically, anything else lexicographically after them.
+func idSortKey(id string) (uint64, string) {
+	if suffix, ok := strings.CutPrefix(id, "s-"); ok {
+		if n, err := strconv.ParseUint(suffix, 10, 64); err == nil {
+			return n, ""
+		}
+	}
+	return ^uint64(0), id
+}
+
+func idLess(a, b string) bool {
+	an, as := idSortKey(a)
+	bn, bs := idSortKey(b)
+	if an != bn {
+		return an < bn
+	}
+	return as < bs
+}
+
+// ListPage returns up to limit session descriptions ordered by session ID,
+// starting after cursor (the last ID of the previous page; "" starts from
+// the beginning). nextCursor is "" on the final page. limit 0 defaults to
+// 100; the page size is capped at 1000 so listing stays bounded no matter
+// how many sessions are live.
+func (m *Manager) ListPage(limit int, cursor string) (infos []Info, nextCursor string, err error) {
+	switch {
+	case limit < 0:
+		return nil, "", fmt.Errorf("%w: limit %d must be >= 0", ErrBadRequest, limit)
+	case limit == 0:
+		limit = listLimitDefault
+	case limit > listLimitMax:
+		limit = listLimitMax
+	}
+	m.mu.Lock()
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		if cursor == "" || idLess(cursor, s.ID) {
+			ss = append(ss, s)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(ss, func(i, j int) bool { return idLess(ss[i].ID, ss[j].ID) })
+	more := len(ss) > limit
+	if more {
+		ss = ss[:limit]
+	}
+	infos = make([]Info, len(ss))
+	for i, s := range ss {
+		infos[i] = s.Info()
+	}
+	if more {
+		nextCursor = ss[len(ss)-1].ID
+	}
+	return infos, nextCursor, nil
+}
+
 // Delete removes a session, cancelling any in-flight run within one step.
-func (m *Manager) Delete(id string) error {
+// ctx carries the request ID for log correlation only.
+func (m *Manager) Delete(ctx context.Context, id string) error {
 	m.mu.Lock()
 	s, ok := m.sessions[id]
 	if ok {
@@ -344,11 +430,15 @@ func (m *Manager) Delete(id string) error {
 	s.setState(StateEvicted)
 	s.cancel(fmt.Errorf("%w: session %s deleted", ErrNotFound, id))
 	m.deletedTotal.Add(1)
+	m.ins.sessionsDeleted.Inc()
+	m.log.Log(ctx, "session deleted", "session", id)
 	// Delete is the one operation that removes checkpoint files: unlike
 	// eviction, a deleted session must not come back after a restart.
 	if st := m.cfg.Store; st != nil {
 		if err := st.Delete(id); err != nil {
 			m.checkpointErrors.Add(1)
+			m.ins.checkpointErrors.Inc()
+			m.log.Log(ctx, "checkpoint delete failed", "session", id, "error", err.Error())
 		}
 	}
 	return nil
@@ -381,6 +471,7 @@ func (m *Manager) admit(ctx context.Context, s *Session) (release func(), err er
 			m.waiting.Add(-1)
 			undo()
 			m.rejectedSteps.Add(1)
+			m.ins.admissionRejected.With("step").Inc()
 			return nil, fmt.Errorf("%w (%d queued, limit %d)", ErrBusy, w-1, m.cfg.MaxQueue)
 		}
 		select {
@@ -439,8 +530,13 @@ func (m *Manager) Step(ctx context.Context, id string, n int) (StepResult, error
 	}
 	defer release()
 
+	span := m.cfg.Obs.Tracer.StartSpan(ctx, "session.step")
+	span.SetAttr("session", s.ID)
+	span.SetAttr("algorithm", s.algorithm)
 	start := time.Now()
 	completed, runErr := m.runSteps(ctx, s, n, 0, nil)
+	span.SetAttr("steps", strconv.Itoa(completed))
+	span.End()
 	// One diagnostics sample per step request feeds the session trace and
 	// the energy-drift watchdog.
 	if completed > 0 {
@@ -452,7 +548,7 @@ func (m *Manager) Step(ctx context.Context, id string, n int) (StepResult, error
 			runErr = m.checkEnergyHealth(s, sample.TotalEnergy)
 		}
 	}
-	m.persistIfDirty(s)
+	m.persistIfDirty(ctx, s)
 	res := StepResult{
 		ID:             s.ID,
 		Requested:      n,
@@ -484,8 +580,13 @@ func (m *Manager) Watch(ctx context.Context, id string, n, every int, emit func(
 		return err
 	}
 	defer release()
-	_, err = m.runSteps(ctx, s, n, every, emit)
-	m.persistIfDirty(s)
+	span := m.cfg.Obs.Tracer.StartSpan(ctx, "session.watch")
+	span.SetAttr("session", s.ID)
+	span.SetAttr("algorithm", s.algorithm)
+	completed, err := m.runSteps(ctx, s, n, every, emit)
+	span.SetAttr("steps", strconv.Itoa(completed))
+	span.End()
+	m.persistIfDirty(ctx, s)
 	return err
 }
 
@@ -507,11 +608,27 @@ func (m *Manager) runSteps(ctx context.Context, s *Session, n, every int, emit f
 		}
 		s.mu.Unlock()
 	}
+	// prevPhase tracks the cumulative Breakdown between steps so each
+	// step's per-phase deltas feed the nbody_step_phase_seconds
+	// histograms; phaseStart pins the request's baseline for the phase
+	// spans recorded when the run ends.
+	prevPhase := make([]int64, len(metrics.Phases()))
+	s.mu.Lock()
+	for _, p := range metrics.Phases() {
+		prevPhase[p] = int64(s.sim.Breakdown().Elapsed(p))
+	}
+	s.mu.Unlock()
+	phaseStart := append([]int64(nil), prevPhase...)
+	requestStart := time.Now()
+	defer m.recordPhaseSpans(ctx, s, phaseStart, requestStart)
 
 	completed := 0
 	for i := 1; i <= n; i++ {
 		start := time.Now()
 		err := m.stepOnce(runCtx, s)
+		s.mu.Lock()
+		m.ins.observePhases(s.algorithm, s.sim.Breakdown(), prevPhase)
+		s.mu.Unlock()
 		if err != nil {
 			if errors.Is(err, ErrSessionFailed) {
 				// Panic or NaN/Inf state: the session is quarantined,
@@ -531,6 +648,7 @@ func (m *Manager) runSteps(ctx context.Context, s *Session, n, every int, emit f
 		}
 		m.recordLatency(time.Since(start).Seconds())
 		m.stepsTotal.Add(1)
+		m.ins.stepsTotal.Inc()
 		completed++
 
 		if emit != nil && (i%every == 0 || i == n) {
@@ -547,10 +665,33 @@ func (m *Manager) runSteps(ctx context.Context, s *Session, n, every int, emit f
 		}
 		if m.cfg.Store != nil && m.cfg.CheckpointEvery > 0 &&
 			completed%m.cfg.CheckpointEvery == 0 {
-			m.persistIfDirty(s)
+			m.persistIfDirty(ctx, s)
 		}
 	}
 	return completed, nil
+}
+
+// recordPhaseSpans writes one span per solver phase covering a whole
+// step/watch request — the per-phase half of the request →
+// session-step → phase trace. base is the cumulative Breakdown at
+// request start.
+func (m *Manager) recordPhaseSpans(ctx context.Context, s *Session, base []int64, start time.Time) {
+	tr := m.cfg.Obs.Tracer
+	if tr == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range metrics.Phases() {
+		d := s.sim.Breakdown().Elapsed(p) - time.Duration(base[p])
+		if d <= 0 {
+			continue
+		}
+		tr.Record(ctx, "phase."+p.String(), start, d, map[string]string{
+			"session":   s.ID,
+			"algorithm": s.algorithm,
+		})
+	}
 }
 
 // buildEvent samples the session's diagnostics into a WatchEvent, also
@@ -616,8 +757,10 @@ func (m *Manager) WriteTrace(id string, w io.Writer) error {
 	return s.rec.WriteCSV(w)
 }
 
-// recordLatency appends one per-step wall time (seconds) to the ring.
+// recordLatency appends one per-step wall time (seconds) to the ring and
+// the step-latency histogram.
 func (m *Manager) recordLatency(sec float64) {
+	m.ins.stepSeconds.Observe(sec)
 	m.latMu.Lock()
 	m.lat[m.latIdx] = sec
 	m.latIdx = (m.latIdx + 1) % latencyRing

@@ -101,7 +101,7 @@ func TestConcurrentDeterminism(t *testing.T) {
 	req := CreateRequest{Workload: "plummer", N: nBodies, Seed: seed, Algorithm: "all-pairs", DT: dt}
 	ids := make([]string, sessions)
 	for i := range ids {
-		info, err := m.Create(req)
+		info, err := m.Create(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -151,11 +151,11 @@ func TestSessionAdmissionLimit(t *testing.T) {
 
 	req := CreateRequest{Workload: "plummer", N: 32, DT: 0.01}
 	for i := 0; i < 2; i++ {
-		if _, err := m.Create(req); err != nil {
+		if _, err := m.Create(context.Background(), req); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := m.Create(req); !errors.Is(err, ErrTooManySessions) {
+	if _, err := m.Create(context.Background(), req); !errors.Is(err, ErrTooManySessions) {
 		t.Fatalf("over-cap create = %v, want ErrTooManySessions", err)
 	}
 	if got := m.Metrics().RejectedSessions; got != 1 {
@@ -172,11 +172,11 @@ func TestCreateEvictsExpiredLRU(t *testing.T) {
 	m := newTestManager(t, cfg)
 
 	req := CreateRequest{Workload: "plummer", N: 32, DT: 0.01}
-	a, err := m.Create(req)
+	a, err := m.Create(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := m.Create(req)
+	b, err := m.Create(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestCreateEvictsExpiredLRU(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c, err := m.Create(req)
+	c, err := m.Create(context.Background(), req)
 	if err != nil {
 		t.Fatalf("create with expired LRU available = %v", err)
 	}
@@ -211,7 +211,7 @@ func TestJanitorEvictsIdle(t *testing.T) {
 	cfg.IdleTTL = 20 * time.Millisecond
 	m := newTestManager(t, cfg)
 
-	if _, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01}); err != nil {
+	if _, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01}); err != nil {
 		t.Fatal(err)
 	}
 	waitUntil(t, 2*time.Second, "janitor eviction", func() bool {
@@ -261,7 +261,7 @@ func TestStepLoadShedding(t *testing.T) {
 	req := CreateRequest{Workload: "plummer", N: 32, DT: 0.01}
 	var ids [3]string
 	for i := range ids {
-		info, err := m.Create(req)
+		info, err := m.Create(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -301,7 +301,7 @@ func TestStepLoadShedding(t *testing.T) {
 
 func TestConcurrentStepConflict(t *testing.T) {
 	m := newTestManager(t, testConfig())
-	info, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+	info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +321,7 @@ func TestStepBudget(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxStepsPerRequest = 10
 	m := newTestManager(t, cfg)
-	info, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
+	info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +341,7 @@ func TestShutdownCancelsMidRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := m.Create(CreateRequest{Workload: "plummer", N: 512, DT: 1e-4, Algorithm: "all-pairs"})
+	info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 512, DT: 1e-4, Algorithm: "all-pairs"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +376,7 @@ func TestShutdownCancelsMidRun(t *testing.T) {
 	t.Logf("drained after %d/%d steps in %v", o.res.Completed, huge, time.Since(start))
 
 	// The drained manager refuses new work.
-	if _, err := m.Create(CreateRequest{Workload: "plummer", N: 32, DT: 0.01}); !errors.Is(err, ErrShutdown) {
+	if _, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 32, DT: 0.01}); !errors.Is(err, ErrShutdown) {
 		t.Fatalf("create after Close = %v, want ErrShutdown", err)
 	}
 	if _, err := m.Step(context.Background(), info.ID, 1); !errors.Is(err, ErrShutdown) {
@@ -386,7 +386,7 @@ func TestShutdownCancelsMidRun(t *testing.T) {
 
 func TestDeleteCancelsMidRun(t *testing.T) {
 	m := newTestManager(t, testConfig())
-	info, err := m.Create(CreateRequest{Workload: "plummer", N: 512, DT: 1e-4, Algorithm: "all-pairs"})
+	info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 512, DT: 1e-4, Algorithm: "all-pairs"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +398,7 @@ func TestDeleteCancelsMidRun(t *testing.T) {
 	waitUntil(t, 10*time.Second, "first step to land", func() bool {
 		return m.Metrics().StepsTotal > 0
 	})
-	if err := m.Delete(info.ID); err != nil {
+	if err := m.Delete(context.Background(), info.ID); err != nil {
 		t.Fatal(err)
 	}
 	if err := <-done; !errors.Is(err, ErrNotFound) {
@@ -411,7 +411,7 @@ func TestDeleteCancelsMidRun(t *testing.T) {
 
 func TestRequestContextCancelsRun(t *testing.T) {
 	m := newTestManager(t, testConfig())
-	info, err := m.Create(CreateRequest{Workload: "plummer", N: 512, DT: 1e-4, Algorithm: "all-pairs"})
+	info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 512, DT: 1e-4, Algorithm: "all-pairs"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,7 +437,7 @@ func TestRequestContextCancelsRun(t *testing.T) {
 
 func TestWatchEvents(t *testing.T) {
 	m := newTestManager(t, testConfig())
-	info, err := m.Create(CreateRequest{Workload: "plummer", N: 64, DT: 1e-3})
+	info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 64, DT: 1e-3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,7 +472,7 @@ func TestWatchEvents(t *testing.T) {
 
 func TestWatchEmitErrorAborts(t *testing.T) {
 	m := newTestManager(t, testConfig())
-	info, err := m.Create(CreateRequest{Workload: "plummer", N: 64, DT: 1e-3})
+	info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 64, DT: 1e-3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -501,7 +501,7 @@ func TestEvictExpiredLRUOrder(t *testing.T) {
 	req := CreateRequest{Workload: "plummer", N: 32, DT: 0.01}
 	var ids [3]string
 	for i := range ids {
-		info, err := m.Create(req)
+		info, err := m.Create(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -556,7 +556,7 @@ func TestCloseRacesWatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := m.Create(CreateRequest{Workload: "plummer", N: 256, DT: 1e-4, Algorithm: "all-pairs"})
+	info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 256, DT: 1e-4, Algorithm: "all-pairs"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -589,7 +589,7 @@ func TestCloseRacesWatch(t *testing.T) {
 
 func TestMetricsLatency(t *testing.T) {
 	m := newTestManager(t, testConfig())
-	info, err := m.Create(CreateRequest{Workload: "plummer", N: 64, DT: 1e-3})
+	info, err := m.Create(context.Background(), CreateRequest{Workload: "plummer", N: 64, DT: 1e-3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,153 @@
+package serve
+
+// This file is the serving layer's observability seam: it adapts the
+// manager's internal measurements — admission decisions, step latencies,
+// each session's metrics.Breakdown phase times, checkpoint and store
+// commit latencies — into internal/obs instruments. The simulation
+// packages themselves stay unaware of obs (see DESIGN.md §9).
+
+import (
+	"strconv"
+
+	"nbody/internal/metrics"
+	"nbody/internal/obs"
+)
+
+// instruments holds every obs metric the serving layer feeds. Names are
+// stable API: they are documented in the README's Observability section
+// and scraped by operators.
+type instruments struct {
+	// HTTP front end.
+	reqTotal   *obs.CounterVec   // route, code
+	reqSeconds *obs.HistogramVec // route
+
+	// Stepping.
+	stepsTotal   *obs.Counter
+	stepSeconds  *obs.Histogram
+	phaseSeconds *obs.HistogramVec // algorithm, phase
+
+	// Session lifecycle and admission.
+	sessionsCreated   *obs.Counter
+	sessionsDeleted   *obs.Counter
+	sessionsEvicted   *obs.Counter
+	sessionsRecovered *obs.Counter
+	admissionRejected *obs.CounterVec // kind: session | step
+	failures          *obs.CounterVec // reason: panic | non_finite | energy_drift
+
+	// Durability.
+	checkpointsTotal  *obs.Counter
+	checkpointErrors  *obs.Counter
+	checkpointSeconds *obs.Histogram
+	ckptQuarantined   *obs.Counter
+	storeFsync        *obs.HistogramVec // file: snapshot | metadata
+	storeRename       *obs.HistogramVec // file
+	storeCommitErrors *obs.Counter
+
+	// Live state, refreshed by the registry's collect hook at scrape time.
+	sessionsByState *obs.GaugeVec // state
+	slotsInUse      *obs.Gauge
+	queueDepth      *obs.Gauge
+}
+
+// newInstruments registers the serving layer's metric families in reg.
+func newInstruments(reg *obs.Registry) *instruments {
+	t := obs.TimeBuckets()
+	return &instruments{
+		reqTotal: reg.CounterVec("nbody_http_requests_total",
+			"HTTP requests by route pattern and status code.", "route", "code"),
+		reqSeconds: reg.HistogramVec("nbody_http_request_seconds",
+			"HTTP request latency by route pattern.", t, "route"),
+
+		stepsTotal: reg.Counter("nbody_steps_total",
+			"Simulation steps completed across all sessions."),
+		stepSeconds: reg.Histogram("nbody_step_seconds",
+			"Wall time of one simulation step.", t),
+		phaseSeconds: reg.HistogramVec("nbody_step_phase_seconds",
+			"Per-step wall time of each tree-code phase (the paper's Figure 8 breakdown).",
+			t, "algorithm", "phase"),
+
+		sessionsCreated: reg.Counter("nbody_sessions_created_total",
+			"Sessions admitted (JSON create or snapshot upload)."),
+		sessionsDeleted: reg.Counter("nbody_sessions_deleted_total",
+			"Sessions removed by DELETE."),
+		sessionsEvicted: reg.Counter("nbody_sessions_evicted_total",
+			"Sessions evicted after exceeding the idle TTL."),
+		sessionsRecovered: reg.Counter("nbody_sessions_recovered_total",
+			"Sessions restored from checkpoints at boot."),
+		admissionRejected: reg.CounterVec("nbody_admission_rejected_total",
+			"Requests shed by admission control (kind: session create or step).", "kind"),
+		failures: reg.CounterVec("nbody_session_failures_total",
+			"Sessions quarantined, by failure reason.", "reason"),
+
+		checkpointsTotal: reg.Counter("nbody_checkpoints_total",
+			"Checkpoints committed to the store."),
+		checkpointErrors: reg.Counter("nbody_checkpoint_errors_total",
+			"Checkpoint or store operations that failed."),
+		checkpointSeconds: reg.Histogram("nbody_checkpoint_seconds",
+			"End-to-end latency of one session checkpoint commit.", t),
+		ckptQuarantined: reg.Counter("nbody_checkpoints_quarantined_total",
+			"Corrupt or unusable checkpoints moved to quarantine."),
+		storeFsync: reg.HistogramVec("nbody_store_fsync_seconds",
+			"fsync latency of store file commits.", t, "file"),
+		storeRename: reg.HistogramVec("nbody_store_rename_seconds",
+			"rename latency of store file commits.", t, "file"),
+		storeCommitErrors: reg.Counter("nbody_store_commit_errors_total",
+			"Store file commits that failed at any stage."),
+
+		sessionsByState: reg.GaugeVec("nbody_sessions",
+			"Live sessions by lifecycle state.", "state"),
+		slotsInUse: reg.Gauge("nbody_step_slots_in_use",
+			"Step slots currently executing a run."),
+		queueDepth: reg.Gauge("nbody_step_queue_depth",
+			"Step requests waiting for a slot."),
+	}
+}
+
+// observeRequest records one finished HTTP request.
+func (ins *instruments) observeRequest(route string, status int, seconds float64) {
+	ins.reqTotal.With(route, strconv.Itoa(status)).Inc()
+	ins.reqSeconds.With(route).Observe(seconds)
+}
+
+// observePhases feeds the per-phase histograms with the step's deltas and
+// advances prev to the session's current cumulative breakdown. Call with
+// s.mu held (it reads the live Breakdown).
+func (ins *instruments) observePhases(algorithm string, b *metrics.Breakdown, prev []int64) {
+	for _, p := range metrics.Phases() {
+		cur := int64(b.Elapsed(p))
+		ins.phaseSeconds.With(algorithm, p.String()).Observe(float64(cur-prev[p]) / 1e9)
+		prev[p] = cur
+	}
+}
+
+// installCollectors registers the scrape-time refresh of the live-state
+// gauges (sessions by state, slots, queue depth) against m.
+func (m *Manager) installCollectors() {
+	ins := m.ins
+	m.cfg.Obs.Registry.OnCollect(func() {
+		counts := make(map[State]int, 8)
+		m.mu.Lock()
+		for _, s := range m.sessions {
+			counts[s.State()]++
+		}
+		m.mu.Unlock()
+		for _, st := range []State{StateCreated, StateRunning, StateIdle, StateFailed} {
+			ins.sessionsByState.With(st.String()).Set(float64(counts[st]))
+		}
+		ins.slotsInUse.Set(float64(len(m.slots)))
+		ins.queueDepth.Set(float64(m.waiting.Load()))
+	})
+}
+
+// storeObserver adapts internal/store's Observer callbacks onto the obs
+// instruments.
+type storeObserver struct{ ins *instruments }
+
+func (o storeObserver) CommitObserved(file string, fsyncSeconds, renameSeconds float64, err error) {
+	if err != nil {
+		o.ins.storeCommitErrors.Inc()
+		return
+	}
+	o.ins.storeFsync.With(file).Observe(fsyncSeconds)
+	o.ins.storeRename.With(file).Observe(renameSeconds)
+}

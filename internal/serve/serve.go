@@ -35,6 +35,7 @@ import (
 	"errors"
 	"time"
 
+	"nbody/internal/obs"
 	"nbody/internal/par"
 	"nbody/internal/store"
 )
@@ -57,6 +58,9 @@ var (
 	ErrShutdown = errors.New("serve: server shutting down")
 	// ErrBadRequest reports invalid session parameters (400).
 	ErrBadRequest = errors.New("serve: invalid request")
+	// ErrInvalidSnapshot reports an uploaded checkpoint that could not be
+	// parsed or validated (400, error code invalid_snapshot).
+	ErrInvalidSnapshot = errors.New("serve: invalid snapshot")
 	// ErrSessionFailed reports a step/watch on a session that has been
 	// quarantined after a step-path panic or a numerical-health violation
 	// (NaN/Inf state, energy drift past the limit). The session's data
@@ -103,6 +107,14 @@ type Config struct {
 	// lose inside one long step/watch request. Regardless of its value,
 	// sessions are checkpointed at every request end and janitor tick.
 	CheckpointEvery int
+	// Obs, when non-nil, is the observability seam: service counters,
+	// per-phase step-time histograms and checkpoint/store latencies are
+	// registered into Obs.Registry (scraped at GET /metrics), lifecycle
+	// events are logged through Obs.Logger with the request ID from the
+	// incoming context, and request/step/phase spans are recorded into
+	// Obs.Tracer. Nil defaults to obs.Nop(): instruments still work but
+	// nothing is exported and logs/spans are discarded.
+	Obs *obs.Observer
 	// MaxEnergyDrift, when > 0, is the numerical-health watchdog's limit
 	// on relative total-energy drift |E−E₀|/|E₀|, with E₀ pinned at
 	// session creation. A session exceeding it is halted and
@@ -141,6 +153,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Runtime == nil {
 		c.Runtime = par.Default()
+	}
+	if c.Obs == nil {
+		c.Obs = obs.Nop()
+	}
+	if c.Obs.Registry == nil {
+		return c, errors.New("serve: Obs.Registry must not be nil")
 	}
 	return c, nil
 }

@@ -244,10 +244,10 @@ type StepResult struct {
 type WatchEvent struct {
 	Step          int                `json:"step"`
 	Time          float64            `json:"time"`
-	KineticEnergy float64            `json:"kinetic"`
+	KineticEnergy float64            `json:"kinetic_energy"`
 	Potential     float64            `json:"potential"`
 	TotalEnergy   float64            `json:"total_energy"`
-	MomentumNorm  float64            `json:"momentum"`
+	MomentumNorm  float64            `json:"momentum_norm"`
 	BoundsMin     [3]float64         `json:"bounds_min"`
 	BoundsMax     [3]float64         `json:"bounds_max"`
 	PhaseSeconds  map[string]float64 `json:"phase_seconds,omitempty"`

@@ -1,0 +1,63 @@
+package store
+
+import (
+	"testing"
+
+	"nbody/internal/workload"
+)
+
+// recordingObserver captures every CommitObserved callback.
+type recordingObserver struct {
+	calls []commitCall
+}
+
+type commitCall struct {
+	file          string
+	fsync, rename float64
+	err           error
+}
+
+func (r *recordingObserver) CommitObserved(file string, fsyncSeconds, renameSeconds float64, err error) {
+	r.calls = append(r.calls, commitCall{file, fsyncSeconds, renameSeconds, err})
+}
+
+// TestObserverSeesCommits: every atomic file commit (snapshot and metadata)
+// reports its fsync and rename latency to the observer, with the file kind
+// label the serving layer uses for its histograms.
+func TestObserverSeesCommits(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &recordingObserver{}
+	st.SetObserver(obs)
+
+	if err := st.Save(testMeta("s-1", 3), workload.Plummer(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// One Save commits the snapshot file and the metadata file.
+	kinds := map[string]int{}
+	for _, c := range obs.calls {
+		if c.err != nil {
+			t.Errorf("commit error reported: %v", c.err)
+		}
+		if c.fsync < 0 || c.rename < 0 {
+			t.Errorf("negative latency in %+v", c)
+		}
+		kinds[c.file]++
+	}
+	if kinds["snapshot"] != 1 || kinds["metadata"] != 1 {
+		t.Fatalf("commit kinds %v, want one snapshot and one metadata", kinds)
+	}
+
+	// Clearing the observer stops the callbacks.
+	st.SetObserver(nil)
+	n := len(obs.calls)
+	if err := st.Save(testMeta("s-1", 4), workload.Plummer(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.calls) != n {
+		t.Errorf("observer called after being cleared")
+	}
+}

@@ -75,7 +75,27 @@ const (
 type Store struct {
 	dir string
 	fs  FS
-	mu  sync.Mutex // serializes multi-file commits
+	mu  sync.Mutex // serializes multi-file commits; also guards obs
+	obs Observer
+}
+
+// Observer receives the store's operational measurements. The store stays
+// free of any metrics dependency; the serving layer adapts these callbacks
+// into its observability registry. Implementations must be safe for
+// concurrent use.
+type Observer interface {
+	// CommitObserved reports one atomic file commit. file is "snapshot"
+	// or "metadata"; fsyncSeconds and renameSeconds are the durations of
+	// the commit's fsync and rename syscalls (zero for stages never
+	// reached); err is non-nil when the commit failed at any stage.
+	CommitObserved(file string, fsyncSeconds, renameSeconds float64, err error)
+}
+
+// SetObserver installs o (nil to remove). Call before the store is shared.
+func (st *Store) SetObserver(o Observer) {
+	st.mu.Lock()
+	st.obs = o
+	st.mu.Unlock()
 }
 
 // Recovered is one session restored by the startup scan.
@@ -162,8 +182,15 @@ func snapName(id string, step int) string { return fmt.Sprintf("%s.%d.snap", id,
 func metaName(id string) string           { return id + ".json" }
 
 // writeFileAtomic writes data through the write-to-temp + fsync + rename
-// protocol. The rename is the only visible transition.
-func (st *Store) writeFileAtomic(name string, write func(io.Writer) error) error {
+// protocol. The rename is the only visible transition. It is always called
+// under st.mu (which also guards st.obs).
+func (st *Store) writeFileAtomic(name string, write func(io.Writer) error) (err error) {
+	var fsyncD, renameD time.Duration
+	if st.obs != nil {
+		defer func() {
+			st.obs.CommitObserved(commitFileKind(name), fsyncD.Seconds(), renameD.Seconds(), err)
+		}()
+	}
 	path := filepath.Join(st.dir, name)
 	tmp := path + ".tmp"
 	f, err := st.fs.Create(tmp)
@@ -175,20 +202,33 @@ func (st *Store) writeFileAtomic(name string, write func(io.Writer) error) error
 		st.fs.Remove(tmp)
 		return err
 	}
+	start := time.Now()
 	if err := f.Sync(); err != nil {
 		f.Close()
 		st.fs.Remove(tmp)
 		return err
 	}
+	fsyncD = time.Since(start)
 	if err := f.Close(); err != nil {
 		st.fs.Remove(tmp)
 		return err
 	}
+	start = time.Now()
 	if err := st.fs.Rename(tmp, path); err != nil {
 		st.fs.Remove(tmp)
 		return err
 	}
+	renameD = time.Since(start)
 	return nil
+}
+
+// commitFileKind classifies a committed file for the observer by the
+// store's own naming scheme.
+func commitFileKind(name string) string {
+	if strings.HasSuffix(name, ".snap") {
+		return "snapshot"
+	}
+	return "metadata"
 }
 
 // Save commits one checkpoint: snapshot payload first, metadata second (the
