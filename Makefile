@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check serve obs-smoke clean
+.PHONY: all build vet test race check serve obs-smoke jobs-smoke bench-baseline clean
 
 all: check
 
@@ -29,6 +29,17 @@ serve:
 # histograms (see scripts/obs_smoke.sh).
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Boots the real binary with the batch job queue enabled, runs a job to
+# completion through /v1/jobs and asserts the artifacts, the job metrics
+# on /metrics and the durable job record (see scripts/jobs_smoke.sh).
+jobs-smoke:
+	./scripts/jobs_smoke.sh
+
+# Regenerates the committed BENCH_serve.json performance baseline on the
+# pinned small fig5 configuration (see scripts/bench_baseline.sh).
+bench-baseline:
+	./scripts/bench_baseline.sh
 
 clean:
 	$(GO) clean ./...

@@ -21,9 +21,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"nbody/internal/jobs"
 	"nbody/internal/obs"
 	"nbody/internal/par"
 	"nbody/internal/serve"
@@ -54,6 +56,10 @@ func run() error {
 		maxDrift    = flag.Float64("max-energy-drift", 0, "quarantine a session whose relative energy drift exceeds this (0 = disabled)")
 		debugAddr   = flag.String("debug-addr", "", "listen address for the debug mux (pprof + span ring); empty = disabled")
 		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+		jobWorkers  = flag.Int("job-workers", 2, "batch job worker pool size (0 = disable the /v1/jobs API)")
+		jobQueue    = flag.Int("job-queue", 64, "batch jobs allowed to wait across all priority classes")
+		jobRetries  = flag.Int("job-retries", 3, "transient-fault retries per batch job between successful chunks")
+		jobChunk    = flag.Int("job-chunk", 500, "batch job checkpoint chunk size in steps")
 	)
 	flag.Parse()
 
@@ -90,6 +96,18 @@ func run() error {
 	}
 	if *maxDrift < 0 {
 		return fmt.Errorf("-max-energy-drift must be >= 0 (got %g)", *maxDrift)
+	}
+	if *jobWorkers < 0 {
+		return fmt.Errorf("-job-workers must be >= 0 (got %d)", *jobWorkers)
+	}
+	if *jobQueue <= 0 {
+		return fmt.Errorf("-job-queue must be > 0 (got %d)", *jobQueue)
+	}
+	if *jobRetries < 0 {
+		return fmt.Errorf("-job-retries must be >= 0 (got %d)", *jobRetries)
+	}
+	if *jobChunk <= 0 || *jobChunk > *maxSteps {
+		return fmt.Errorf("-job-chunk must be in [1, -max-steps-per-request] (got %d)", *jobChunk)
 	}
 	sched, err := parseScheduler(*schedStr)
 	if err != nil {
@@ -139,9 +157,41 @@ func run() error {
 			st.Dir(), snap.RecoveredTotal, snap.QuarantinedTotal)
 	}
 
+	// The batch job queue rides on the session manager. Job records are
+	// durable only when sessions are (-state-dir), living in the jobs/
+	// subdirectory so the session recovery scan never sees them.
+	var jm *jobs.Manager
+	if *jobWorkers > 0 {
+		var js *store.JobStore
+		if *stateDir != "" {
+			if js, err = store.OpenJobs(filepath.Join(*stateDir, "jobs")); err != nil {
+				return err
+			}
+		}
+		retries := *jobRetries
+		if retries == 0 {
+			retries = -1 // the Config sentinel: 0 means default, negative disables
+		}
+		jm, err = jobs.NewManager(jobs.Config{
+			Runner:     serve.NewJobRunner(m),
+			Workers:    *jobWorkers,
+			MaxQueue:   *jobQueue,
+			MaxRetries: retries,
+			ChunkSteps: *jobChunk,
+			Store:      js,
+			Obs:        ob,
+		})
+		if err != nil {
+			return err
+		}
+		snap := jm.Snapshot()
+		log.Printf("job queue: %d worker(s), queue %d, chunk %d steps, %d record(s) recovered (%d queued)",
+			*jobWorkers, *jobQueue, *jobChunk, snap.Records, snap.Queued)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.NewHandler(m),
+		Handler:           serve.NewHandlerWithJobs(m, jm),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -182,9 +232,20 @@ func run() error {
 	log.Printf("signal received, draining (budget %v)", *drain)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	drainErr := m.Close(dctx)
-	if drainErr != nil {
-		log.Printf("drain: %v", drainErr)
+	// Order matters: drain the job pool first so running jobs checkpoint
+	// at a chunk boundary and requeue through their durable records, then
+	// drain the session manager, which commits the final checkpoints those
+	// jobs will resume from.
+	var drainErr error
+	if jm != nil {
+		if err := jm.Close(dctx); err != nil {
+			log.Printf("job drain: %v", err)
+			drainErr = err
+		}
+	}
+	if err := m.Close(dctx); err != nil {
+		log.Printf("drain: %v", err)
+		drainErr = err
 	}
 	if err := srv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

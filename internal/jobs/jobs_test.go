@@ -1,0 +1,719 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nbody/internal/store"
+)
+
+// fakeSession is one simulated session owned by fakeRunner.
+type fakeSession struct {
+	spec  SessionSpec
+	steps int
+}
+
+// fakeRunner implements Runner in memory. stepHook, when set, runs at the
+// start of every StepSession call with a 1-based global call index; a
+// non-nil error is returned to the executor with zero progress.
+type fakeRunner struct {
+	mu       sync.Mutex
+	nextID   int
+	sessions map[string]*fakeSession
+	created  []string // workloads in creation order
+	deleted  []string
+
+	validateErr error
+	createErr   error
+	stepHook    func(ctx context.Context, call int, sid string, n int) error
+	calls       atomic.Int64
+}
+
+func newFakeRunner() *fakeRunner {
+	return &fakeRunner{sessions: make(map[string]*fakeSession)}
+}
+
+func (f *fakeRunner) ValidateSession(spec SessionSpec) error { return f.validateErr }
+
+func (f *fakeRunner) CreateSession(ctx context.Context, spec SessionSpec) (string, error) {
+	if f.createErr != nil {
+		return "", f.createErr
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nextID++
+	id := fmt.Sprintf("fs-%d", f.nextID)
+	f.sessions[id] = &fakeSession{spec: spec}
+	f.created = append(f.created, spec.Workload)
+	return id, nil
+}
+
+func (f *fakeRunner) StepSession(ctx context.Context, id string, n int) (int, error) {
+	f.mu.Lock()
+	s, ok := f.sessions[id]
+	f.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("fake: no session %s", id)
+	}
+	call := int(f.calls.Add(1))
+	if f.stepHook != nil {
+		if err := f.stepHook(ctx, call, id, n); err != nil {
+			return 0, err
+		}
+	}
+	f.mu.Lock()
+	s.steps += n
+	f.mu.Unlock()
+	return n, nil
+}
+
+func (f *fakeRunner) SessionSteps(id string) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.sessions[id]
+	if !ok {
+		return 0, fmt.Errorf("fake: no session %s", id)
+	}
+	return s.steps, nil
+}
+
+func (f *fakeRunner) WriteSnapshot(id string, w io.Writer) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.sessions[id]
+	if !ok {
+		return fmt.Errorf("fake: no session %s", id)
+	}
+	fmt.Fprintf(w, "snap:%s:%d", id, s.steps)
+	return nil
+}
+
+func (f *fakeRunner) WriteTrace(id string, w io.Writer) error {
+	fmt.Fprintf(w, "trace:%s", id)
+	return nil
+}
+
+func (f *fakeRunner) DeleteSession(ctx context.Context, id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.sessions, id)
+	f.deleted = append(f.deleted, id)
+	return nil
+}
+
+func (f *fakeRunner) createdOrder() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.created...)
+}
+
+// newTestManager starts a manager over cfg (filling fast test defaults)
+// and registers a drain on test cleanup.
+func newTestManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = time.Millisecond
+	}
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	})
+	return m
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func waitState(t *testing.T, m *Manager, id string, want State) Info {
+	t.Helper()
+	var info Info
+	waitUntil(t, fmt.Sprintf("job %s to reach %s", id, want), func() bool {
+		var err error
+		info, err = m.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		return info.State == want
+	})
+	return info
+}
+
+func spec(workload string, steps int) Spec {
+	return Spec{
+		SessionSpec: SessionSpec{Workload: workload, N: 32, DT: 1e-3},
+		Steps:       steps,
+	}
+}
+
+func TestJobLifecycleSucceeds(t *testing.T) {
+	f := newFakeRunner()
+	m := newTestManager(t, Config{Runner: f, Workers: 1})
+
+	s := spec("plummer", 10)
+	s.ChunkSteps = 4
+	info, err := m.Submit(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "j-1" || info.State != StateQueued || info.Class != ClassNormal {
+		t.Fatalf("submit info %+v", info)
+	}
+
+	done := waitState(t, m, info.ID, StateSucceeded)
+	if done.StepsDone != 10 {
+		t.Errorf("steps_done = %d, want 10", done.StepsDone)
+	}
+	if done.SessionID == "" || done.Started.IsZero() || done.Finished.IsZero() {
+		t.Errorf("terminal info incomplete: %+v", done)
+	}
+	if got, _ := f.SessionSteps(done.SessionID); got != 10 {
+		t.Errorf("session stepped %d, want 10", got)
+	}
+	// Chunked: 10 steps at chunk 4 is 3 StepSession calls (4+4+2).
+	if calls := f.calls.Load(); calls != 3 {
+		t.Errorf("StepSession called %d times, want 3", calls)
+	}
+	if v := m.ins.finished.With(string(StateSucceeded)).Value(); v != 1 {
+		t.Errorf("finished{succeeded} = %v, want 1", v)
+	}
+	if m.ins.waitSeconds.With(ClassNormal).Count() != 1 || m.ins.runSeconds.With(ClassNormal).Count() != 1 {
+		t.Error("wait/run histograms not fed")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	f := newFakeRunner()
+	m := newTestManager(t, Config{Runner: f, MaxJobSteps: 100})
+
+	cases := []Spec{
+		func() Spec { s := spec("plummer", 10); s.Class = "urgent"; return s }(),
+		spec("plummer", 0),
+		spec("plummer", 101),
+		func() Spec { s := spec("plummer", 10); s.ChunkSteps = -1; return s }(),
+	}
+	for i, s := range cases {
+		if _, err := m.Submit(context.Background(), s); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("case %d: err = %v, want ErrBadRequest", i, err)
+		}
+	}
+
+	f.validateErr = errors.New("no such workload")
+	if _, err := m.Submit(context.Background(), spec("nope", 10)); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("validate err = %v, want ErrBadRequest", err)
+	}
+}
+
+// blockingRunner returns a fake whose first session ("primer" workload)
+// blocks inside StepSession until release is closed; other jobs run free.
+func primedRunner(release <-chan struct{}, started chan<- struct{}) *fakeRunner {
+	f := newFakeRunner()
+	var once sync.Once
+	f.stepHook = func(ctx context.Context, call int, sid string, n int) error {
+		f.mu.Lock()
+		w := f.sessions[sid].spec.Workload
+		f.mu.Unlock()
+		if w == "primer" {
+			once.Do(func() { close(started) })
+			<-release
+		}
+		return nil
+	}
+	return f
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	f := primedRunner(release, started)
+	m := newTestManager(t, Config{Runner: f, Workers: 1, MaxQueue: 2})
+
+	if _, err := m.Submit(context.Background(), spec("primer", 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the single worker is now occupied
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit(context.Background(), spec("free", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Submit(context.Background(), spec("free", 1)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if v := m.ins.rejected.Value(); v != 1 {
+		t.Errorf("rejected = %v, want 1", v)
+	}
+	close(release)
+}
+
+func TestWeightedFairScheduling(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	f := primedRunner(release, started)
+	m := newTestManager(t, Config{Runner: f, Workers: 1, MaxQueue: 16})
+
+	if _, err := m.Submit(context.Background(), spec("primer", 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Backlog all three classes behind the blocked worker: 4 high, 2
+	// normal, 1 low, matching one full smooth-WRR cycle at weights 4:2:1.
+	submit := func(workload, class string) {
+		s := spec(workload, 1)
+		s.Class = class
+		if _, err := m.Submit(context.Background(), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit("h1", ClassHigh)
+	submit("h2", ClassHigh)
+	submit("h3", ClassHigh)
+	submit("h4", ClassHigh)
+	submit("n1", ClassNormal)
+	submit("n2", ClassNormal)
+	submit("l1", ClassLow)
+	close(release)
+
+	waitUntil(t, "all jobs to finish", func() bool {
+		for _, info := range m.List() {
+			if !info.State.Terminal() {
+				return false
+			}
+		}
+		return true
+	})
+	got := strings.Join(f.createdOrder(), " ")
+	want := "primer h1 n1 h2 l1 h3 n2 h4"
+	if got != want {
+		t.Errorf("execution order %q, want %q", got, want)
+	}
+}
+
+func TestTransientRetrySucceeds(t *testing.T) {
+	f := newFakeRunner()
+	f.stepHook = func(ctx context.Context, call int, sid string, n int) error {
+		if call <= 2 {
+			return fmt.Errorf("%w: slot contention", ErrTransient)
+		}
+		return nil
+	}
+	m := newTestManager(t, Config{Runner: f, Workers: 1, MaxRetries: 3})
+
+	info, err := m.Submit(context.Background(), spec("plummer", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, info.ID, StateSucceeded)
+	if done.StepsDone != 5 || done.Attempts != 0 {
+		t.Errorf("final info %+v: want 5 steps, attempts reset to 0", done)
+	}
+	if v := m.ins.retries.Value(); v != 2 {
+		t.Errorf("retries = %v, want 2", v)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	f := newFakeRunner()
+	f.stepHook = func(ctx context.Context, call int, sid string, n int) error {
+		return fmt.Errorf("%w: always busy", ErrTransient)
+	}
+	m := newTestManager(t, Config{Runner: f, Workers: 1, MaxRetries: 2})
+
+	info, err := m.Submit(context.Background(), spec("plummer", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, info.ID, StateFailed)
+	if !strings.Contains(done.Error, "transient fault persisted after 2 retries") {
+		t.Errorf("error = %q", done.Error)
+	}
+	if v := m.ins.retries.Value(); v != 2 {
+		t.Errorf("retries = %v, want 2", v)
+	}
+}
+
+func TestPermanentFailure(t *testing.T) {
+	f := newFakeRunner()
+	f.stepHook = func(ctx context.Context, call int, sid string, n int) error {
+		return errors.New("non-finite position")
+	}
+	m := newTestManager(t, Config{Runner: f, Workers: 1})
+
+	info, err := m.Submit(context.Background(), spec("plummer", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, info.ID, StateFailed)
+	if done.Error != "non-finite position" {
+		t.Errorf("error = %q", done.Error)
+	}
+	if v := m.ins.retries.Value(); v != 0 {
+		t.Errorf("retries = %v, want 0 (permanent faults must not retry)", v)
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	f := primedRunner(release, started)
+	m := newTestManager(t, Config{Runner: f, Workers: 1})
+
+	if _, err := m.Submit(context.Background(), spec("primer", 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := m.Submit(context.Background(), spec("victim", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info, deleted, err := m.Cancel(context.Background(), queued.ID)
+	if err != nil || deleted {
+		t.Fatalf("Cancel: info=%+v deleted=%v err=%v", info, deleted, err)
+	}
+	if info.State != StateCancelled {
+		t.Errorf("state = %s, want cancelled", info.State)
+	}
+	close(release)
+
+	// The cancelled job must never run.
+	waitUntil(t, "primer to finish", func() bool {
+		infos := m.List()
+		return infos[0].State == StateSucceeded
+	})
+	for _, w := range f.createdOrder() {
+		if w == "victim" {
+			t.Error("cancelled job was executed")
+		}
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	f := newFakeRunner()
+	started := make(chan struct{})
+	var once sync.Once
+	f.stepHook = func(ctx context.Context, call int, sid string, n int) error {
+		if call == 1 {
+			return nil // commit one chunk of progress first
+		}
+		once.Do(func() { close(started) })
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	m := newTestManager(t, Config{Runner: f, Workers: 1})
+
+	s := spec("plummer", 100)
+	s.ChunkSteps = 10
+	info, err := m.Submit(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, _, err := m.Cancel(context.Background(), info.ID); err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, info.ID, StateCancelled)
+	if done.StepsDone != 10 {
+		t.Errorf("steps_done = %d, want the 10 committed before cancel", done.StepsDone)
+	}
+	// Partial artifacts stay downloadable.
+	var buf bytes.Buffer
+	if err := m.WriteSnapshot(info.ID, &buf); err != nil {
+		t.Fatalf("WriteSnapshot after cancel: %v", err)
+	}
+}
+
+func TestCancelTerminalDeletes(t *testing.T) {
+	f := newFakeRunner()
+	js, err := store.OpenJobs(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newTestManager(t, Config{Runner: f, Workers: 1, Store: js})
+
+	info, err := m.Submit(context.Background(), spec("plummer", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, info.ID, StateSucceeded)
+
+	_, deleted, err := m.Cancel(context.Background(), info.ID)
+	if err != nil || !deleted {
+		t.Fatalf("Cancel terminal: deleted=%v err=%v", deleted, err)
+	}
+	if _, err := m.Get(info.ID); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after delete: %v", err)
+	}
+	waitUntil(t, "session and record cleanup", func() bool {
+		f.mu.Lock()
+		gone := len(f.deleted) == 1 && f.deleted[0] == done.SessionID
+		f.mu.Unlock()
+		recs, _, err := js.Recover()
+		return gone && err == nil && len(recs) == 0
+	})
+	if _, _, err := m.Cancel(context.Background(), info.ID); !errors.Is(err, ErrNotFound) {
+		t.Errorf("second cancel: %v", err)
+	}
+}
+
+func TestArtifactErrors(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	f := primedRunner(release, started)
+	m := newTestManager(t, Config{Runner: f, Workers: 1})
+
+	if _, err := m.Submit(context.Background(), spec("primer", 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := m.Submit(context.Background(), spec("waiting", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteSnapshot(queued.ID, &buf); !errors.Is(err, ErrNotReady) {
+		t.Errorf("snapshot of queued job: %v, want ErrNotReady", err)
+	}
+	if err := m.WriteTrace("j-404", &buf); !errors.Is(err, ErrNotFound) {
+		t.Errorf("trace of unknown job: %v, want ErrNotFound", err)
+	}
+	close(release)
+
+	waitState(t, m, queued.ID, StateSucceeded)
+	buf.Reset()
+	if err := m.WriteSnapshot(queued.ID, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "snap:") {
+		t.Errorf("snapshot body %q", buf.String())
+	}
+}
+
+func TestDrainRequeuesAndRestartResumes(t *testing.T) {
+	dir := t.TempDir()
+	js, err := store.OpenJobs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFakeRunner()
+	progressed := make(chan struct{})
+	var once sync.Once
+	f.stepHook = func(ctx context.Context, call int, sid string, n int) error {
+		if call == 1 {
+			return nil // one committed chunk of progress
+		}
+		once.Do(func() { close(progressed) })
+		<-ctx.Done() // park until drain interrupts the chunk
+		return ctx.Err()
+	}
+
+	m1, err := NewManager(Config{Runner: f, Workers: 1, Store: js, ChunkSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := m1.Submit(context.Background(), spec("plummer", 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-progressed
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m1.Close(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if v := m1.ins.requeued.Value(); v != 1 {
+		t.Errorf("requeued = %v, want 1", v)
+	}
+	recs, _, err := js.Recover()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("recover: %v %+v", err, recs)
+	}
+	if recs[0].State != string(StateQueued) || recs[0].StepsDone != 10 {
+		t.Fatalf("persisted record %+v: want queued at steps_done 10", recs[0])
+	}
+
+	// Restart: same store, runner now healthy. The job must resume from
+	// the session's recovered position and finish the remaining steps.
+	f.stepHook = nil
+	m2 := newTestManager(t, Config{Runner: f, Workers: 1, Store: js, ChunkSteps: 10})
+	done := waitState(t, m2, info.ID, StateSucceeded)
+	if done.StepsDone != 30 {
+		t.Errorf("steps_done = %d, want 30", done.StepsDone)
+	}
+	if got, _ := f.SessionSteps(done.SessionID); got != 30 {
+		t.Errorf("session stepped %d total, want 30 (no re-run from zero)", got)
+	}
+	// Fresh submissions must not collide with the recovered ID space.
+	next, err := m2.Submit(context.Background(), spec("plummer", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID != "j-2" {
+		t.Errorf("next ID %s, want j-2", next.ID)
+	}
+}
+
+func TestRestartWithLostSessionStartsOver(t *testing.T) {
+	dir := t.TempDir()
+	js, err := store.OpenJobs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the store with a mid-flight record whose session no longer
+	// exists (evicted or wiped between runs).
+	rec := store.JobRecord{
+		ID: "j-1", Class: ClassNormal, State: string(StateRunning),
+		Workload: "plummer", N: 16, DT: 1e-3, Steps: 20, ChunkSteps: 10,
+		SessionID: "fs-gone", StepsDone: 10, Created: time.Now().UTC(),
+	}
+	if err := js.Save(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	f := newFakeRunner()
+	m := newTestManager(t, Config{Runner: f, Workers: 1, Store: js})
+	done := waitState(t, m, "j-1", StateSucceeded)
+	if done.StepsDone != 20 {
+		t.Errorf("steps_done = %d, want 20", done.StepsDone)
+	}
+	if got, _ := f.SessionSteps(done.SessionID); got != 20 {
+		t.Errorf("replacement session stepped %d, want the full 20", got)
+	}
+}
+
+func TestCloseDeadlineBlown(t *testing.T) {
+	f := newFakeRunner()
+	started := make(chan struct{})
+	hang := make(chan struct{})
+	var once sync.Once
+	f.stepHook = func(ctx context.Context, call int, sid string, n int) error {
+		once.Do(func() { close(started) })
+		<-hang // ignores ctx: simulates a wedged chunk
+		return nil
+	}
+	m, err := NewManager(Config{Runner: f, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(context.Background(), spec("plummer", 10)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Close(ctx); err == nil {
+		t.Fatal("Close returned nil despite a wedged worker")
+	}
+	close(hang) // let the goroutine exit
+}
+
+func TestSubmitDuringDrain(t *testing.T) {
+	f := newFakeRunner()
+	m, err := NewManager(Config{Runner: f, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(context.Background(), spec("plummer", 1)); !errors.Is(err, ErrShutdown) {
+		t.Errorf("submit during drain: %v, want ErrShutdown", err)
+	}
+}
+
+func TestRetentionPrunesTerminal(t *testing.T) {
+	f := newFakeRunner()
+	js, err := store.OpenJobs(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newTestManager(t, Config{Runner: f, Workers: 1, Store: js, MaxRecords: 3})
+
+	var last Info
+	for i := 0; i < 3; i++ {
+		info, err := m.Submit(context.Background(), spec("plummer", 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = waitState(t, m, info.ID, StateSucceeded)
+		_ = last
+	}
+	// The 4th submission must evict the oldest-finished terminal record.
+	if _, err := m.Submit(context.Background(), spec("plummer", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("j-1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("oldest record not pruned: %v", err)
+	}
+	waitUntil(t, "pruned record deleted from store", func() bool {
+		recs, _, err := js.Recover()
+		if err != nil {
+			return false
+		}
+		for _, r := range recs {
+			if r.ID == "j-1" {
+				return false
+			}
+		}
+		return true
+	})
+	if v := m.ins.pruned.Value(); v != 1 {
+		t.Errorf("pruned = %v, want 1", v)
+	}
+}
+
+func TestListOrdersNumerically(t *testing.T) {
+	f := newFakeRunner()
+	js, err := store.OpenJobs(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"j-2", "j-10", "j-1"} {
+		rec := store.JobRecord{
+			ID: id, Class: ClassNormal, State: string(StateSucceeded),
+			Workload: "plummer", N: 16, DT: 1e-3, Steps: 1, StepsDone: 1,
+			Created: time.Now().UTC(), Finished: time.Now().UTC(),
+		}
+		if err := js.Save(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := newTestManager(t, Config{Runner: f, Store: js})
+	var ids []string
+	for _, info := range m.List() {
+		ids = append(ids, info.ID)
+	}
+	if strings.Join(ids, ",") != "j-1,j-2,j-10" {
+		t.Errorf("list order %v", ids)
+	}
+	if s := m.Snapshot(); s.Records != 3 || s.Queued != 0 {
+		t.Errorf("snapshot %+v", s)
+	}
+}

@@ -1,0 +1,93 @@
+package jobs
+
+// Observability wiring for the job queue: counters and histograms are fed
+// inline on the submit/execute paths; the queue-depth gauges are refreshed
+// by the registry's collect hook at scrape time, mirroring the session
+// manager's pattern (internal/serve/obs.go).
+
+import "nbody/internal/obs"
+
+// instruments holds every obs metric the job subsystem feeds. Names are
+// stable API, documented in the README's Batch jobs section.
+type instruments struct {
+	submitted *obs.CounterVec // class
+	finished  *obs.CounterVec // state: succeeded | failed | cancelled
+	rejected  *obs.Counter
+	retries   *obs.Counter
+	requeued  *obs.Counter
+	pruned    *obs.Counter
+
+	recordErrors *obs.Counter
+
+	waitSeconds *obs.HistogramVec // class
+	runSeconds  *obs.HistogramVec // class
+
+	// Refreshed at scrape time by the collect hook.
+	queueDepth   *obs.GaugeVec // class
+	runningGauge *obs.Gauge
+}
+
+// jobTimeBuckets spans 1ms to ~1.6h: queue waits are milliseconds on an
+// idle pool, while a long batch run behind a backlog can wait and run for
+// minutes to hours.
+func jobTimeBuckets() []float64 { return obs.ExponentialBuckets(1e-3, 3, 14) }
+
+// newInstruments registers the job queue's metric families in reg.
+func newInstruments(reg *obs.Registry) *instruments {
+	b := jobTimeBuckets()
+	ins := &instruments{
+		submitted: reg.CounterVec("nbody_jobs_submitted_total",
+			"Batch jobs accepted into the queue, by priority class.", "class"),
+		finished: reg.CounterVec("nbody_jobs_finished_total",
+			"Batch jobs reaching a terminal state, by outcome.", "state"),
+		rejected: reg.Counter("nbody_jobs_rejected_total",
+			"Batch job submissions shed because the queue was full."),
+		retries: reg.Counter("nbody_job_retries_total",
+			"Chunk executions retried after a transient session-layer fault."),
+		requeued: reg.Counter("nbody_jobs_requeued_total",
+			"Running jobs checkpointed and returned to the queue by a drain or recovered mid-run after a crash."),
+		pruned: reg.Counter("nbody_jobs_pruned_total",
+			"Terminal job records removed by retention to bound memory."),
+
+		recordErrors: reg.Counter("nbody_job_record_errors_total",
+			"Durable job-record commits that failed (the job continues from memory)."),
+
+		waitSeconds: reg.HistogramVec("nbody_job_wait_seconds",
+			"Time from enqueue to dequeue, by priority class.", b, "class"),
+		runSeconds: reg.HistogramVec("nbody_job_run_seconds",
+			"Time from dequeue to terminal state, by priority class.", b, "class"),
+
+		queueDepth: reg.GaugeVec("nbody_jobs_queue_depth",
+			"Jobs waiting in the queue, by priority class.", "class"),
+		runningGauge: reg.Gauge("nbody_jobs_running",
+			"Jobs currently executing on the worker pool."),
+	}
+	// Touch the fixed label sets so every series renders from the first
+	// scrape instead of materialising on first increment.
+	for _, c := range classWeights {
+		ins.submitted.With(c.name)
+		ins.waitSeconds.With(c.name)
+		ins.runSeconds.With(c.name)
+	}
+	for _, s := range []State{StateSucceeded, StateFailed, StateCancelled} {
+		ins.finished.With(string(s))
+	}
+	return ins
+}
+
+// installCollectors registers the scrape-time refresh of the queue-depth
+// gauges against m.
+func (m *Manager) installCollectors() {
+	ins := m.ins
+	m.cfg.Obs.Registry.OnCollect(func() {
+		m.mu.Lock()
+		depths := make(map[string]int, len(classWeights))
+		for _, c := range classWeights {
+			depths[c.name] = len(m.queues[c.name])
+		}
+		m.mu.Unlock()
+		for _, c := range classWeights {
+			ins.queueDepth.With(c.name).Set(float64(depths[c.name]))
+		}
+	})
+}

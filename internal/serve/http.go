@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"nbody/internal/jobs"
 	"nbody/internal/obs"
 	"nbody/internal/snapshot"
 )
@@ -33,6 +34,8 @@ const (
 	CodeInvalidSnapshot = "invalid_snapshot"
 	CodeClientClosed    = "client_closed_request"
 	CodeInternal        = "internal"
+	CodeJobNotFound     = "job_not_found"
+	CodeJobNotReady     = "job_not_ready"
 )
 
 // ErrorDetail is the body of every 4xx/5xx response:
@@ -75,6 +78,9 @@ type listResponse struct {
 //	GET    /v1/metrics                service counters + step latency percentiles (JSON)
 //	GET    /v1/debug/trace            recent request/step/phase spans (JSON)
 //
+// When a jobs.Manager is wired in (NewHandlerWithJobs), the batch-job API
+// is mounted under /v1/jobs — see registerJobRoutes for the route table.
+//
 // Unversioned session routes (/sessions...) remain as deprecated aliases
 // of their /v1 equivalents: same handlers and payloads, plus a
 // Deprecation header and a successor-version Link. Operational endpoints
@@ -86,7 +92,11 @@ type listResponse struct {
 //
 // Every response carries X-Request-ID (honouring the client's, if sent),
 // and every 4xx/5xx body is the JSON error envelope (ErrorDetail).
-func NewHandler(m *Manager) http.Handler {
+func NewHandler(m *Manager) http.Handler { return NewHandlerWithJobs(m, nil) }
+
+// NewHandlerWithJobs is NewHandler plus the batch-job API under /v1/jobs
+// (see registerJobRoutes) when jm is non-nil.
+func NewHandlerWithJobs(m *Manager, jm *jobs.Manager) http.Handler {
 	o := m.Config().Obs
 	mux := http.NewServeMux()
 
@@ -160,6 +170,10 @@ func NewHandler(m *Manager) http.Handler {
 			}
 		}
 	})
+
+	if jm != nil {
+		registerJobRoutes(mux, record, jm)
+	}
 
 	// Versioned JSON metrics (the pre-v1 ad-hoc /metrics payload, kept as
 	// a stable JSON surface for dashboards that do not scrape Prometheus).
@@ -451,6 +465,21 @@ func errorDetailOf(err error) (int, ErrorDetail) {
 	case errors.Is(err, ErrBadRequest):
 		d.Code = CodeInvalidRequest
 		return http.StatusBadRequest, d
+	case errors.Is(err, jobs.ErrNotFound):
+		d.Code = CodeJobNotFound
+		return http.StatusNotFound, d
+	case errors.Is(err, jobs.ErrQueueFull):
+		d.Code = CodeOverloaded
+		return http.StatusTooManyRequests, d
+	case errors.Is(err, jobs.ErrNotReady):
+		d.Code = CodeJobNotReady
+		return http.StatusConflict, d
+	case errors.Is(err, jobs.ErrBadRequest):
+		d.Code = CodeInvalidRequest
+		return http.StatusBadRequest, d
+	case errors.Is(err, jobs.ErrShutdown):
+		d.Code = CodeShuttingDown
+		return http.StatusServiceUnavailable, d
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The client went away or its deadline passed mid-request.
 		d.Code = CodeClientClosed

@@ -1,0 +1,198 @@
+package serve
+
+// Wiring between the batch job queue (internal/jobs) and the session
+// layer: the Runner adapter that lets job workers drive sessions through
+// the same admission, checkpoint and quarantine machinery as interactive
+// requests, and the /v1/jobs HTTP routes.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"nbody/internal/core"
+	"nbody/internal/jobs"
+	"nbody/internal/workload"
+)
+
+// maxJobJSON bounds the JSON body of POST /v1/jobs.
+const maxJobJSON = 1 << 20
+
+// sessionRunner adapts a session Manager to the jobs.Runner seam. Faults
+// the session layer sheds under load (admission queue full, session limit,
+// a concurrent request holding the session) are wrapped with
+// jobs.ErrTransient so the executor retries them with backoff; everything
+// else (bad spec, quarantined session, shutdown) fails the job.
+type sessionRunner struct{ m *Manager }
+
+// NewJobRunner returns the jobs.Runner backed by m.
+func NewJobRunner(m *Manager) jobs.Runner { return sessionRunner{m} }
+
+// createRequestOf maps a job's session spec onto the session-create body.
+func createRequestOf(spec jobs.SessionSpec) CreateRequest {
+	return CreateRequest{
+		Workload:   spec.Workload,
+		N:          spec.N,
+		Seed:       spec.Seed,
+		Algorithm:  spec.Algorithm,
+		DT:         spec.DT,
+		Theta:      spec.Theta,
+		Eps:        spec.Eps,
+		G:          spec.G,
+		Sequential: spec.Sequential,
+	}
+}
+
+// ValidateSession vets the spec synchronously, without building the body
+// system: service limits, workload name (probed at a trivial body count)
+// and algorithm name.
+func (r sessionRunner) ValidateSession(spec jobs.SessionSpec) error {
+	req := createRequestOf(spec)
+	if err := r.m.validate(req, req.N); err != nil {
+		return err
+	}
+	name := req.Workload
+	if name == "" {
+		name = "plummer"
+	}
+	if _, err := workload.ByName(name, 2, req.Seed); err != nil {
+		return err
+	}
+	if req.Algorithm != "" {
+		if _, err := core.ParseAlgorithm(req.Algorithm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r sessionRunner) CreateSession(ctx context.Context, spec jobs.SessionSpec) (string, error) {
+	info, err := r.m.Create(ctx, createRequestOf(spec))
+	if err != nil {
+		return "", transient(err)
+	}
+	return info.ID, nil
+}
+
+// StepSession advances the job's session, clamping the chunk to the
+// per-request step budget so an oversized job chunk degrades to more
+// requests instead of a permanent ErrBadRequest failure.
+func (r sessionRunner) StepSession(ctx context.Context, id string, n int) (int, error) {
+	if max := r.m.Config().MaxStepsPerRequest; n > max {
+		n = max
+	}
+	res, err := r.m.Step(ctx, id, n)
+	if err != nil {
+		return res.Completed, transient(err)
+	}
+	return res.Completed, nil
+}
+
+func (r sessionRunner) SessionSteps(id string) (int, error) {
+	info, err := r.m.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	return info.Steps, nil
+}
+
+func (r sessionRunner) WriteSnapshot(id string, w io.Writer) error { return r.m.WriteSnapshot(id, w) }
+func (r sessionRunner) WriteTrace(id string, w io.Writer) error    { return r.m.WriteTrace(id, w) }
+
+func (r sessionRunner) DeleteSession(ctx context.Context, id string) error {
+	if err := r.m.Delete(ctx, id); err != nil && !errors.Is(err, ErrNotFound) {
+		return err
+	}
+	return nil
+}
+
+// transient wraps the session layer's load-shedding errors with
+// jobs.ErrTransient; other errors pass through for permanent
+// classification.
+func transient(err error) error {
+	if errors.Is(err, ErrBusy) || errors.Is(err, ErrTooManySessions) || errors.Is(err, ErrConflict) {
+		return fmt.Errorf("%w: %w", jobs.ErrTransient, err)
+	}
+	return err
+}
+
+// jobListResponse is the body of GET /v1/jobs.
+type jobListResponse struct {
+	Jobs []jobs.Info `json:"jobs"`
+}
+
+// registerJobRoutes mounts the batch-job API:
+//
+//	POST   /v1/jobs               submit (jobs.Spec JSON) → 202 + Location
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          job status
+//	DELETE /v1/jobs/{id}          cancel (queued/running) or delete (terminal)
+//	GET    /v1/jobs/{id}/snapshot final (or latest) snapshot artifact
+//	GET    /v1/jobs/{id}/trace    diagnostics trace artifact (CSV)
+//
+// record is NewHandler's route-pattern middleware.
+func registerJobRoutes(mux *http.ServeMux, record func(http.HandlerFunc) http.HandlerFunc, jm *jobs.Manager) {
+	mux.HandleFunc("POST /v1/jobs", record(func(w http.ResponseWriter, r *http.Request) {
+		var spec jobs.Spec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobJSON))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, fmt.Errorf("%w: body: %v", jobs.ErrBadRequest, err))
+			return
+		}
+		info, err := jm.Submit(r.Context(), spec)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+info.ID)
+		writeJSON(w, http.StatusAccepted, info)
+	}))
+	mux.HandleFunc("GET /v1/jobs", record(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, jobListResponse{Jobs: jm.List()})
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}", record(func(w http.ResponseWriter, r *http.Request) {
+		info, err := jm.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	}))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", record(func(w http.ResponseWriter, r *http.Request) {
+		info, deleted, err := jm.Cancel(r.Context(), r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if deleted {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}/snapshot", record(func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		w.Header().Set("Content-Type", snapshotContentType)
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".nbsnap"))
+		if err := jm.WriteSnapshot(id, w); err != nil {
+			// Same mid-stream rule as the session snapshot download: only
+			// pre-write failures are reportable as JSON.
+			if errors.Is(err, jobs.ErrNotFound) || errors.Is(err, jobs.ErrNotReady) || errors.Is(err, ErrNotFound) {
+				writeError(w, err)
+			}
+		}
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", record(func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		w.Header().Set("Content-Type", "text/csv")
+		if err := jm.WriteTrace(id, w); err != nil {
+			if errors.Is(err, jobs.ErrNotFound) || errors.Is(err, jobs.ErrNotReady) || errors.Is(err, ErrNotFound) {
+				writeError(w, err)
+			}
+		}
+	}))
+}

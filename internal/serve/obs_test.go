@@ -15,6 +15,7 @@ import (
 	"sync"
 	"testing"
 
+	"nbody/internal/jobs"
 	"nbody/internal/metrics"
 	"nbody/internal/obs"
 )
@@ -205,7 +206,7 @@ func TestListPagination(t *testing.T) {
 // TestErrorEnvelopeCodes pins the stable machine-readable code for each
 // failure path.
 func TestErrorEnvelopeCodes(t *testing.T) {
-	_, srv := newTestServer(t, testConfig())
+	_, _, srv := newJobServer(t, testConfig(), jobs.Config{Workers: 1})
 
 	do := func(method, path, contentType, body string) (*http.Response, errorResponse) {
 		t.Helper()
@@ -237,6 +238,16 @@ func TestErrorEnvelopeCodes(t *testing.T) {
 		{"bad json", http.MethodPost, "/v1/sessions", "application/json", `{`, 400, CodeInvalidRequest},
 		{"corrupt snapshot", http.MethodPost, "/v1/sessions?dt=0.001", snapshotContentType, "NBODYSNP garbage", 400, CodeInvalidSnapshot},
 		{"bad query", http.MethodPost, "/v1/sessions?dt=fast", snapshotContentType, "ignored", 400, CodeInvalidRequest},
+		{"job missing", http.MethodGet, "/v1/jobs/nope", "", "", 404, CodeJobNotFound},
+		{"job cancel missing", http.MethodDelete, "/v1/jobs/nope", "", "", 404, CodeJobNotFound},
+		{"job artifact missing", http.MethodGet, "/v1/jobs/nope/snapshot", "", "", 404, CodeJobNotFound},
+		{"job bad json", http.MethodPost, "/v1/jobs", "application/json", `{`, 400, CodeInvalidRequest},
+		{"job zero steps", http.MethodPost, "/v1/jobs", "application/json",
+			`{"workload":"plummer","n":32,"dt":0.001,"steps":0}`, 400, CodeInvalidRequest},
+		{"job bad class", http.MethodPost, "/v1/jobs", "application/json",
+			`{"workload":"plummer","n":32,"dt":0.001,"steps":5,"class":"urgent"}`, 400, CodeInvalidRequest},
+		{"job bad workload", http.MethodPost, "/v1/jobs", "application/json",
+			`{"workload":"blackhole","n":32,"dt":0.001,"steps":5}`, 400, CodeInvalidRequest},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

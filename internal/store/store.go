@@ -191,35 +191,45 @@ func (st *Store) writeFileAtomic(name string, write func(io.Writer) error) (err 
 			st.obs.CommitObserved(commitFileKind(name), fsyncD.Seconds(), renameD.Seconds(), err)
 		}()
 	}
-	path := filepath.Join(st.dir, name)
+	fsyncD, renameD, err = commitFile(st.fs, st.dir, name, write)
+	return err
+}
+
+// commitFile is the commit protocol shared by the session and job stores:
+// write to a .tmp sibling, fsync, close, rename into place. The rename is
+// the only visible transition, so a crash at any instant leaves either the
+// old file or the new one, never a torn mixture. It reports the fsync and
+// rename durations for the caller's observability hooks.
+func commitFile(fsys FS, dir, name string, write func(io.Writer) error) (fsyncD, renameD time.Duration, err error) {
+	path := filepath.Join(dir, name)
 	tmp := path + ".tmp"
-	f, err := st.fs.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	if err := write(f); err != nil {
 		f.Close()
-		st.fs.Remove(tmp)
-		return err
+		fsys.Remove(tmp)
+		return 0, 0, err
 	}
 	start := time.Now()
 	if err := f.Sync(); err != nil {
 		f.Close()
-		st.fs.Remove(tmp)
-		return err
+		fsys.Remove(tmp)
+		return 0, 0, err
 	}
 	fsyncD = time.Since(start)
 	if err := f.Close(); err != nil {
-		st.fs.Remove(tmp)
-		return err
+		fsys.Remove(tmp)
+		return fsyncD, 0, err
 	}
 	start = time.Now()
-	if err := st.fs.Rename(tmp, path); err != nil {
-		st.fs.Remove(tmp)
-		return err
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fsyncD, 0, err
 	}
 	renameD = time.Since(start)
-	return nil
+	return fsyncD, renameD, nil
 }
 
 // commitFileKind classifies a committed file for the observer by the

@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# bench_baseline.sh — committed performance baseline.
+#
+# Runs cmd/nbody-bench fig5 (sequential vs parallel throughput per
+# algorithm) on a pinned small configuration and rewrites BENCH_serve.json
+# at the repository root. The file is committed so a later PR can diff its
+# own numbers against the last recorded baseline on comparable hardware;
+# the config is deliberately tiny so the whole run stays under a minute on
+# a laptop.
+#
+# Usage: ./scripts/bench_baseline.sh  (or: make bench-baseline)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Pinned configuration — change it only deliberately, in its own commit,
+# because every future comparison assumes these values.
+N=2048
+STEPS=5
+REPEATS=2
+WORKERS=2
+SEED=42
+OUT=BENCH_serve.json
+
+CSV="$(mktemp)"
+trap 'rm -f "$CSV"' EXIT INT TERM
+
+go run ./cmd/nbody-bench fig5 \
+    -n "$N" -steps "$STEPS" -repeats "$REPEATS" -workers "$WORKERS" -seed "$SEED" \
+    -csv >"$CSV"
+
+# Convert the benchmark CSV (header row + data rows) into a JSON document
+# carrying the pinned config and environment alongside the measurements.
+awk -v n="$N" -v steps="$STEPS" -v repeats="$REPEATS" -v workers="$WORKERS" \
+    -v seed="$SEED" -v goversion="$(go env GOVERSION)" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { FS = "," }
+# Skip anything before the CSV header (the experiment banner line).
+!header && $1 == "algorithm" {
+    header = 1
+    for (i = 1; i <= NF; i++) keys[i] = $i
+    next
+}
+header && NF > 1 {
+    row = ""
+    for (i = 1; i <= NF; i++) {
+        k = keys[i]
+        gsub(/[^a-zA-Z0-9]+/, "_", k)  # "bodies/s" -> "bodies_s"
+        v = $i
+        if (v ~ /^-?[0-9.eE+]+$/) row = row sprintf("\"%s\":%s,", k, v)
+        else row = row sprintf("\"%s\":\"%s\",", k, v)
+    }
+    sub(/,$/, "", row)
+    rows[++nrows] = "    {" row "}"
+}
+END {
+    if (nrows == 0) { print "bench-baseline: no CSV rows parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"benchmark\": \"fig5\",\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"config\": {\"n\": %d, \"steps\": %d, \"repeats\": %d, \"workers\": %d, \"seed\": %d},\n", \
+        n, steps, repeats, workers, seed
+    printf "  \"rows\": [\n"
+    for (i = 1; i <= nrows; i++) printf "%s%s\n", rows[i], (i < nrows ? "," : "")
+    printf "  ]\n}\n"
+}' "$CSV" >"$OUT"
+
+echo "bench-baseline: wrote $OUT ($(grep -c '"algorithm"' "$OUT") rows)"
