@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check serve obs-smoke jobs-smoke bench-baseline clean
+.PHONY: all build vet test race check serve obs-smoke jobs-smoke loadgen-smoke bench-baseline clean
 
 all: check
 
@@ -35,6 +35,13 @@ obs-smoke:
 # on /metrics and the durable job record (see scripts/jobs_smoke.sh).
 jobs-smoke:
 	./scripts/jobs_smoke.sh
+
+# Boots the real binary and drives ~5 seconds of mixed session-step /
+# job-submit / watch traffic through cmd/nbody-loadgen (and so through
+# the client SDK), printing the service-level JSON report and failing on
+# any server 5xx (see scripts/loadgen_smoke.sh).
+loadgen-smoke:
+	./scripts/loadgen_smoke.sh
 
 # Regenerates the committed BENCH_serve.json performance baseline on the
 # pinned small fig5 configuration (see scripts/bench_baseline.sh).

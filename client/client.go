@@ -1,0 +1,317 @@
+// Package client is the Go SDK for the nbody-serve /v1 HTTP API: session
+// CRUD and stepping, NDJSON watch streaming with automatic reconnect,
+// snapshot upload/download, the batch-job API, and cursor-following list
+// iteration. It is dependency-free (standard library only), threads a
+// context through every call, decodes the service's stable error envelope
+// into *APIError, and automatically retries load-shedding responses
+// (429, 503) honoring the server's Retry-After with capped, fully
+// jittered exponential backoff as the fallback.
+//
+// Basic use:
+//
+//	c, err := client.New("http://127.0.0.1:8080")
+//	s, err := c.CreateSession(ctx, client.CreateSessionRequest{Workload: "plummer", N: 4096, DT: 1e-3})
+//	res, err := c.Step(ctx, s.ID, 100)
+//	for ev, err := range c.WatchEvents(ctx, s.ID, client.WatchOptions{Steps: 100}) { ... }
+//
+// The SDK is also the seam a remote job Runner would speak: anything that
+// can drive /v1 through this package can act as a shard backend.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Default retry policy: up to defaultMaxRetries re-sends of a shed
+// request, backing off exponentially from defaultRetryBase up to
+// defaultRetryCap when the server gives no Retry-After. A server-provided
+// Retry-After is honored as given, capped at maxHonoredRetryAfter so a
+// misbehaving server cannot park a client forever.
+const (
+	defaultMaxRetries    = 3
+	defaultRetryBase     = 100 * time.Millisecond
+	defaultRetryCap      = 5 * time.Second
+	maxHonoredRetryAfter = 30 * time.Second
+)
+
+// Client is a connection to one nbody-serve instance. It is safe for
+// concurrent use; the zero value is not usable — construct with New.
+type Client struct {
+	baseURL    string
+	httpc      *http.Client
+	maxRetries int
+	retryBase  time.Duration
+	retryCap   time.Duration
+
+	// rand and sleep are seams for deterministic tests.
+	rand  func() float64
+	sleep func(context.Context, time.Duration) error
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (timeouts, proxies, test
+// doubles). The default is a dedicated http.Client with no timeout —
+// bound calls with the context instead.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithRetries sets the retry policy for shed (429/503) responses:
+// maxRetries re-sends (0 disables retrying entirely), backing off from
+// base up to cap when the server provides no Retry-After. Non-positive
+// base/cap keep the defaults.
+func WithRetries(maxRetries int, base, cap time.Duration) Option {
+	return func(c *Client) {
+		c.maxRetries = maxRetries
+		if base > 0 {
+			c.retryBase = base
+		}
+		if cap > 0 {
+			c.retryCap = cap
+		}
+	}
+}
+
+// New returns a Client for the service at baseURL (e.g.
+// "http://127.0.0.1:8080"; a trailing slash is tolerated).
+func New(baseURL string, opts ...Option) (*Client, error) {
+	baseURL = strings.TrimRight(baseURL, "/")
+	if baseURL == "" {
+		return nil, errors.New("client: base URL must not be empty")
+	}
+	if _, err := url.Parse(baseURL); err != nil {
+		return nil, fmt.Errorf("client: base URL: %w", err)
+	}
+	c := &Client{
+		baseURL:    baseURL,
+		httpc:      &http.Client{},
+		maxRetries: defaultMaxRetries,
+		retryBase:  defaultRetryBase,
+		retryCap:   defaultRetryCap,
+		rand:       rand.Float64,
+		sleep:      sleepContext,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// BaseURL returns the service base URL the client was built with.
+func (c *Client) BaseURL() string { return c.baseURL }
+
+// Ready probes GET /readyz: nil when the server is accepting work, an
+// *APIError (or transport error) otherwise. Useful to gate load against a
+// server that is still booting or already draining.
+func (c *Client) Ready(ctx context.Context) error {
+	_, _, err := c.do(ctx, http.MethodGet, "/readyz", nil, "", nil)
+	return err
+}
+
+// sleepContext waits for d or the context, whichever ends first.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryable reports whether a response status is worth re-sending: the
+// server shed the request before doing any work (admission control or
+// drain), so a retry cannot double-apply it.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// backoff is the fallback delay for attempt (0-based) when the server
+// sent no Retry-After: exponential from retryBase capped at retryCap,
+// fully jittered (uniform over [0, cap]) so a fleet of clients shed
+// together does not retry together.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.retryBase << attempt
+	if d > c.retryCap || d <= 0 {
+		d = c.retryCap
+	}
+	j := time.Duration(c.rand() * float64(d))
+	if j < time.Millisecond {
+		j = time.Millisecond
+	}
+	return j
+}
+
+// retryDelay picks the wait before re-sending: the server's Retry-After
+// when present (clamped to maxHonoredRetryAfter), the jittered backoff
+// otherwise.
+func (c *Client) retryDelay(e *APIError, attempt int) time.Duration {
+	if e != nil && e.RetryAfter > 0 {
+		return min(e.RetryAfter, maxHonoredRetryAfter)
+	}
+	return c.backoff(attempt)
+}
+
+// do issues one API request with the retry policy and returns the body
+// and headers of the 2xx response. body may be nil; it is re-sent as-is
+// on each retry (retried statuses are shed before any server-side work,
+// so re-sending is safe even for POST). Transport-level errors are
+// retried only for GET — anything else may have reached the server.
+func (c *Client) do(ctx context.Context, method, path string, q url.Values, contentType string, body []byte) ([]byte, http.Header, error) {
+	u := c.baseURL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u, rd)
+		if err != nil {
+			return nil, nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			if method == http.MethodGet && attempt < c.maxRetries && ctx.Err() == nil {
+				if serr := c.sleep(ctx, c.backoff(attempt)); serr != nil {
+					return nil, nil, serr
+				}
+				continue
+			}
+			return nil, nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		rb, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 == 2 {
+			if rerr != nil {
+				return nil, nil, fmt.Errorf("client: %s %s: reading response: %w", method, path, rerr)
+			}
+			return rb, resp.Header, nil
+		}
+		apiErr := decodeAPIError(resp, rb)
+		if retryable(resp.StatusCode) && attempt < c.maxRetries {
+			if serr := c.sleep(ctx, c.retryDelay(apiErr, attempt)); serr != nil {
+				return nil, nil, serr
+			}
+			continue
+		}
+		return nil, nil, apiErr
+	}
+}
+
+// doJSON sends in (when non-nil) as a JSON body and decodes the 2xx
+// response into out (when non-nil).
+func (c *Client) doJSON(ctx context.Context, method, path string, q url.Values, in, out any) error {
+	var body []byte
+	contentType := ""
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding %s %s body: %w", method, path, err)
+		}
+		body = b
+		contentType = "application/json"
+	}
+	rb, _, err := c.do(ctx, method, path, q, contentType, body)
+	if err != nil {
+		return err
+	}
+	if out != nil && len(rb) > 0 {
+		if err := json.Unmarshal(rb, out); err != nil {
+			return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// getStream issues a streaming GET (watch, snapshot and trace downloads)
+// and returns the open response. Shed (429/503) responses are retried
+// like do; once a 2xx status arrives the stream is the caller's to drain
+// and close.
+func (c *Client) getStream(ctx context.Context, path string, q url.Values) (*http.Response, error) {
+	u := c.baseURL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, fmt.Errorf("client: GET %s: %w", path, err)
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			if attempt < c.maxRetries && ctx.Err() == nil {
+				if serr := c.sleep(ctx, c.backoff(attempt)); serr != nil {
+					return nil, serr
+				}
+				continue
+			}
+			return nil, fmt.Errorf("client: GET %s: %w", path, err)
+		}
+		if resp.StatusCode/100 == 2 {
+			return resp, nil
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		apiErr := decodeAPIError(resp, rb)
+		if retryable(resp.StatusCode) && attempt < c.maxRetries {
+			if serr := c.sleep(ctx, c.retryDelay(apiErr, attempt)); serr != nil {
+				return nil, serr
+			}
+			continue
+		}
+		return nil, apiErr
+	}
+}
+
+// decodeAPIError turns a non-2xx response into *APIError, decoding the
+// service's JSON error envelope when present and falling back to the raw
+// body otherwise.
+func decodeAPIError(resp *http.Response, body []byte) *APIError {
+	e := &APIError{
+		Status:    resp.StatusCode,
+		RequestID: resp.Header.Get("X-Request-ID"),
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if n, err := strconv.Atoi(ra); err == nil && n >= 0 {
+			e.RetryAfter = time.Duration(n) * time.Second
+		}
+	}
+	var env struct {
+		Error struct {
+			Code         string `json:"code"`
+			Message      string `json:"message"`
+			SessionState string `json:"session_state"`
+		} `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
+		e.Code = env.Error.Code
+		e.Message = env.Error.Message
+		e.SessionState = env.Error.SessionState
+		e.Partial = env.Result
+		return e
+	}
+	msg := strings.TrimSpace(string(body))
+	if len(msg) > 256 {
+		msg = msg[:256]
+	}
+	e.Message = msg
+	return e
+}

@@ -1,0 +1,88 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// The service's stable machine-readable error codes, mirrored from the
+// /v1 error envelope. Dispatch on these, never on message text.
+const (
+	CodeSessionNotFound = "session_not_found"
+	CodeSessionFailed   = "session_failed"
+	CodeSessionBusy     = "session_busy"
+	CodeOverloaded      = "overloaded"
+	CodeShuttingDown    = "shutting_down"
+	CodeInvalidRequest  = "invalid_request"
+	CodeInvalidSnapshot = "invalid_snapshot"
+	CodeClientClosed    = "client_closed_request"
+	CodeInternal        = "internal"
+	CodeJobNotFound     = "job_not_found"
+	CodeJobNotReady     = "job_not_ready"
+)
+
+// APIError is any non-2xx response from the service, carrying the decoded
+// error envelope alongside the HTTP status.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the envelope's stable machine-readable code (one of the
+	// Code* constants), or "" when the response carried no envelope.
+	Code string
+	// Message is the envelope's human-readable message.
+	Message string
+	// SessionState is set when the error implies a known session
+	// lifecycle state (e.g. "failed" for session_failed).
+	SessionState string
+	// RetryAfter is the server's parsed Retry-After header (zero when
+	// absent). The client's automatic retry honors it; it is surfaced for
+	// callers that retry themselves.
+	RetryAfter time.Duration
+	// RequestID echoes the response's X-Request-ID for log correlation.
+	RequestID string
+	// Partial carries the raw "result" member of the envelope when the
+	// request made partial progress before failing (an interrupted step);
+	// Step decodes it into the returned StepResult.
+	Partial json.RawMessage
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("client: %s (%d): %s", e.Code, e.Status, e.Message)
+	}
+	return fmt.Sprintf("client: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Overloaded reports whether the error is server backpressure (a shed
+// request that is safe and sensible to retry later).
+func (e *APIError) Overloaded() bool {
+	return e.Status == http.StatusTooManyRequests || e.Code == CodeOverloaded
+}
+
+// ErrorCode extracts the envelope code from any error returned by this
+// package ("" when err is not an *APIError or carried no envelope).
+func ErrorCode(err error) string {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Code
+	}
+	return ""
+}
+
+// IsNotFound reports whether err is a session_not_found or job_not_found
+// response.
+func IsNotFound(err error) bool {
+	c := ErrorCode(err)
+	return c == CodeSessionNotFound || c == CodeJobNotFound
+}
+
+// IsOverloaded reports whether err is server backpressure (429 or the
+// overloaded envelope code).
+func IsOverloaded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Overloaded()
+}

@@ -1,0 +1,157 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Job states, mirrored from the service.
+const (
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobSucceeded = "succeeded"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// Job priority classes.
+const (
+	JobClassHigh   = "high"
+	JobClassNormal = "normal"
+	JobClassLow    = "low"
+)
+
+// JobSpec mirrors the JSON body of POST /v1/jobs: the backing session's
+// parameters plus the batch step count, priority class and checkpoint
+// chunk size.
+type JobSpec struct {
+	Workload   string  `json:"workload,omitempty"`
+	N          int     `json:"n"`
+	Seed       uint64  `json:"seed,omitempty"`
+	Algorithm  string  `json:"algorithm,omitempty"`
+	DT         float64 `json:"dt"`
+	Theta      float64 `json:"theta,omitempty"`
+	Eps        float64 `json:"eps,omitempty"`
+	G          float64 `json:"g,omitempty"`
+	Sequential bool    `json:"sequential,omitempty"`
+	Steps      int     `json:"steps"`
+	Class      string  `json:"class,omitempty"`
+	ChunkSteps int     `json:"chunk_steps,omitempty"`
+}
+
+// Job mirrors the service's job description (jobs.Info).
+type Job struct {
+	ID        string    `json:"id"`
+	State     string    `json:"state"`
+	Class     string    `json:"class"`
+	Workload  string    `json:"workload,omitempty"`
+	Algorithm string    `json:"algorithm,omitempty"`
+	N         int       `json:"n"`
+	DT        float64   `json:"dt"`
+	Seed      uint64    `json:"seed"`
+	Steps     int       `json:"steps"`
+	StepsDone int       `json:"steps_done"`
+	SessionID string    `json:"session_id,omitempty"`
+	Attempts  int       `json:"attempts,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Created   time.Time `json:"created"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+}
+
+// Terminal reports whether the job reached a final state.
+func (j Job) Terminal() bool {
+	return j.State == JobSucceeded || j.State == JobFailed || j.State == JobCancelled
+}
+
+// SubmitJob enqueues a batch job (the server answers 202 Accepted with
+// the queued record; execution is asynchronous — poll with Job or
+// WaitJob).
+func (c *Client) SubmitJob(ctx context.Context, spec JobSpec) (Job, error) {
+	var j Job
+	err := c.doJSON(ctx, http.MethodPost, "/v1/jobs", nil, spec, &j)
+	return j, err
+}
+
+// Job returns one job's status.
+func (c *Client) Job(ctx context.Context, id string) (Job, error) {
+	var j Job
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, nil, &j)
+	return j, err
+}
+
+// Jobs lists every retained job record.
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var page struct {
+		Jobs []Job `json:"jobs"`
+	}
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs", nil, nil, &page); err != nil {
+		return nil, err
+	}
+	return page.Jobs, nil
+}
+
+// CancelJob cancels a queued or running job, or deletes a terminal one.
+// deleted reports the latter (the record is gone and job is zero);
+// otherwise job is the cancelled record.
+func (c *Client) CancelJob(ctx context.Context, id string) (job Job, deleted bool, err error) {
+	rb, _, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, "", nil)
+	if err != nil {
+		return Job{}, false, err
+	}
+	if len(rb) == 0 {
+		// 204: terminal record deleted.
+		return Job{}, true, nil
+	}
+	if err := json.Unmarshal(rb, &job); err != nil {
+		return Job{}, false, fmt.Errorf("client: decoding cancel response: %w", err)
+	}
+	return job, false, nil
+}
+
+// JobSnapshot streams a job's snapshot artifact (the final checkpoint of
+// a terminal job, the latest one otherwise). The caller must Close the
+// returned reader. Jobs that have not created a session yet answer 409
+// job_not_ready.
+func (c *Client) JobSnapshot(ctx context.Context, id string) (io.ReadCloser, error) {
+	resp, err := c.getStream(ctx, "/v1/jobs/"+url.PathEscape(id)+"/snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// JobTrace streams a job's diagnostics trace artifact (CSV). The caller
+// must Close the returned reader.
+func (c *Client) JobTrace(ctx context.Context, id string) (io.ReadCloser, error) {
+	resp, err := c.getStream(ctx, "/v1/jobs/"+url.PathEscape(id)+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// WaitJob polls a job until it reaches a terminal state, the context
+// ends, or the job record disappears. poll 0 uses 250ms.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (Job, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return Job{}, err
+		}
+		if j.Terminal() {
+			return j, nil
+		}
+		if err := c.sleep(ctx, poll); err != nil {
+			return j, err
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WatchEvent mirrors one NDJSON record of GET /v1/sessions/{id}/watch:
+// conservation diagnostics plus spatial bounds and per-phase wall time of
+// the interval since the previous event.
+type WatchEvent struct {
+	Step          int                `json:"step"`
+	Time          float64            `json:"time"`
+	KineticEnergy float64            `json:"kinetic_energy"`
+	Potential     float64            `json:"potential"`
+	TotalEnergy   float64            `json:"total_energy"`
+	MomentumNorm  float64            `json:"momentum_norm"`
+	BoundsMin     [3]float64         `json:"bounds_min"`
+	BoundsMax     [3]float64         `json:"bounds_max"`
+	PhaseSeconds  map[string]float64 `json:"phase_seconds,omitempty"`
+}
+
+// Watch reconnect/stall policy defaults.
+const (
+	defaultWatchReconnects = 5
+	defaultServerHeartbeat = 10 * time.Second
+	minWatchStall          = time.Second
+	stallHeartbeatMultiple = 3
+)
+
+// WatchOptions configures a watch stream.
+type WatchOptions struct {
+	// Steps is how many further steps to advance and watch. Required > 0.
+	Steps int
+	// Every emits an event every Every steps (0 = every step).
+	Every int
+	// Heartbeat overrides the server's idle-heartbeat interval (0 = the
+	// server default of 10s). The watcher uses it to size stall detection.
+	Heartbeat time.Duration
+	// MaxReconnects bounds how many times a broken or stalled stream is
+	// transparently re-established, resuming at the last seen step.
+	// 0 = the default (5); negative disables reconnecting.
+	MaxReconnects int
+	// StallTimeout is how long the watcher waits without any traffic —
+	// events or heartbeat comments — before declaring the stream stalled
+	// and reconnecting. 0 = 3× the heartbeat interval.
+	StallTimeout time.Duration
+}
+
+// Watcher is an open watch stream. Next returns events in order until the
+// requested steps complete (io.EOF) or a terminal error occurs; broken
+// and stalled connections are re-established transparently, resuming at
+// the step after the last event seen. Watcher is not safe for concurrent
+// use; always Close it.
+type Watcher struct {
+	c    *Client
+	ctx  context.Context
+	id   string
+	opts WatchOptions
+
+	target     int // absolute session step count to reach
+	lastStep   int // absolute step of the last event seen (-1 before any)
+	reconnects int
+	stall      time.Duration
+
+	body  io.Closer
+	lines chan watchLine
+	done  bool
+}
+
+type watchLine struct {
+	text string
+	err  error
+}
+
+// Watch opens a reconnecting event stream that advances the session by
+// opts.Steps steps. It first reads the session's current step count so a
+// reconnect can resume with exactly the remaining steps.
+func (c *Client) Watch(ctx context.Context, id string, opts WatchOptions) (*Watcher, error) {
+	if opts.Steps <= 0 {
+		return nil, fmt.Errorf("client: watch: Steps must be positive, got %d", opts.Steps)
+	}
+	info, err := c.Session(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	hb := opts.Heartbeat
+	if hb <= 0 {
+		hb = defaultServerHeartbeat
+	}
+	stall := opts.StallTimeout
+	if stall <= 0 {
+		stall = max(stallHeartbeatMultiple*hb, minWatchStall)
+	}
+	w := &Watcher{
+		c:        c,
+		ctx:      ctx,
+		id:       id,
+		opts:     opts,
+		target:   info.Steps + opts.Steps,
+		lastStep: -1,
+		stall:    stall,
+	}
+	if err := w.connect(info.Steps); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// connect opens (or re-opens) the stream asking for target−from steps and
+// starts the line reader.
+func (w *Watcher) connect(from int) error {
+	remaining := w.target - from
+	if remaining <= 0 {
+		w.done = true
+		return nil
+	}
+	q := url.Values{}
+	q.Set("steps", strconv.Itoa(remaining))
+	if w.opts.Every > 0 {
+		q.Set("every", strconv.Itoa(w.opts.Every))
+	}
+	if w.opts.Heartbeat > 0 {
+		q.Set("heartbeat", w.opts.Heartbeat.String())
+	}
+	resp, err := w.c.getStream(w.ctx, "/v1/sessions/"+url.PathEscape(w.id)+"/watch", q)
+	if err != nil {
+		return err
+	}
+	w.body = resp.Body
+	lines := make(chan watchLine, 16)
+	w.lines = lines
+	go func(body io.Reader) {
+		sc := bufio.NewScanner(body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			lines <- watchLine{text: sc.Text()}
+		}
+		err := sc.Err()
+		if err == nil {
+			err = io.EOF
+		}
+		lines <- watchLine{err: err}
+		close(lines)
+	}(resp.Body)
+	return nil
+}
+
+// closeStream tears down the current connection (the reader goroutine
+// exits once the body closes).
+func (w *Watcher) closeStream() {
+	if w.body != nil {
+		w.body.Close()
+		w.body = nil
+	}
+	w.lines = nil
+}
+
+// reconnect tears down the broken stream and re-opens it for the steps
+// still outstanding, if the budget allows. cause is what broke the stream.
+func (w *Watcher) reconnect(cause error) error {
+	w.closeStream()
+	maxR := w.opts.MaxReconnects
+	if maxR == 0 {
+		maxR = defaultWatchReconnects
+	}
+	if w.reconnects >= maxR {
+		return fmt.Errorf("client: watch %s: stream broken after %d reconnects: %w", w.id, w.reconnects, cause)
+	}
+	w.reconnects++
+	from := w.lastStep
+	if from < 0 {
+		from = w.target - w.opts.Steps
+	}
+	if err := w.connect(from); err != nil {
+		return fmt.Errorf("client: watch %s: reconnect: %w", w.id, err)
+	}
+	return nil
+}
+
+// Next returns the next event. io.EOF signals the requested steps
+// completed; any other error is terminal for the stream.
+func (w *Watcher) Next() (WatchEvent, error) {
+	timer := time.NewTimer(w.stall)
+	defer timer.Stop()
+	for {
+		if w.done || w.lines == nil {
+			w.done = true
+			return WatchEvent{}, io.EOF
+		}
+		select {
+		case <-w.ctx.Done():
+			w.closeStream()
+			return WatchEvent{}, w.ctx.Err()
+		case <-timer.C:
+			if err := w.reconnect(fmt.Errorf("no traffic for %v", w.stall)); err != nil {
+				return WatchEvent{}, err
+			}
+		case ln, ok := <-w.lines:
+			if !ok {
+				// Reader finished after delivering its final error; the
+				// error entry arrives before the close, so treat a bare
+				// close as EOF.
+				ln = watchLine{err: io.EOF}
+			}
+			if ln.err != nil {
+				if w.lastStep >= w.target {
+					w.closeStream()
+					w.done = true
+					return WatchEvent{}, io.EOF
+				}
+				if err := w.reconnect(ln.err); err != nil {
+					return WatchEvent{}, err
+				}
+				break
+			}
+			line := strings.TrimSpace(ln.text)
+			if line == "" || strings.HasPrefix(line, ":") {
+				// Heartbeat or padding: proves the server is alive.
+				break
+			}
+			ev, apiErr, perr := decodeWatchLine(line)
+			if perr != nil {
+				if err := w.reconnect(perr); err != nil {
+					return WatchEvent{}, err
+				}
+				break
+			}
+			if apiErr != nil {
+				// A mid-stream envelope is the server telling us the run
+				// is over (session failed, shutdown, …) — terminal.
+				w.closeStream()
+				w.done = true
+				return WatchEvent{}, apiErr
+			}
+			w.lastStep = ev.Step
+			return ev, nil
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(w.stall)
+	}
+}
+
+// Close tears down the stream. Safe to call multiple times.
+func (w *Watcher) Close() error {
+	w.closeStream()
+	w.done = true
+	return nil
+}
+
+// decodeWatchLine splits one NDJSON line into an event or a mid-stream
+// error envelope.
+func decodeWatchLine(line string) (WatchEvent, *APIError, error) {
+	var probe struct {
+		Error *struct {
+			Code         string `json:"code"`
+			Message      string `json:"message"`
+			SessionState string `json:"session_state"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(line), &probe); err != nil {
+		return WatchEvent{}, nil, fmt.Errorf("client: watch: malformed stream line: %w", err)
+	}
+	if probe.Error != nil {
+		return WatchEvent{}, &APIError{
+			Status:       http.StatusOK, // stream already committed 200
+			Code:         probe.Error.Code,
+			Message:      probe.Error.Message,
+			SessionState: probe.Error.SessionState,
+		}, nil
+	}
+	var ev WatchEvent
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		return WatchEvent{}, nil, fmt.Errorf("client: watch: malformed event: %w", err)
+	}
+	return ev, nil, nil
+}
+
+// WatchEvents is the range-over-func form of Watch: it yields each event,
+// then a final (zero event, error) pair only when the stream ended
+// abnormally. A clean completion just ends the loop.
+//
+//	for ev, err := range c.WatchEvents(ctx, id, client.WatchOptions{Steps: 100}) {
+//	    if err != nil { return err }
+//	    fmt.Println(ev.Step, ev.TotalEnergy)
+//	}
+func (c *Client) WatchEvents(ctx context.Context, id string, opts WatchOptions) iter.Seq2[WatchEvent, error] {
+	return func(yield func(WatchEvent, error) bool) {
+		w, err := c.Watch(ctx, id, opts)
+		if err != nil {
+			yield(WatchEvent{}, err)
+			return
+		}
+		defer w.Close()
+		for {
+			ev, err := w.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				yield(WatchEvent{}, err)
+				return
+			}
+			if !yield(ev, nil) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,397 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"nbody/client"
+)
+
+// Traffic class names.
+const (
+	classStep  = "step"
+	classJob   = "job"
+	classWatch = "watch"
+)
+
+// genConfig parameterizes one load-generation run.
+type genConfig struct {
+	RPS      float64       // target open-loop arrival rate
+	Duration time.Duration // how long to generate arrivals
+	Workers  int           // max in-flight requests; arrivals beyond it are dropped
+	Mix      map[string]int
+	Sessions int // session pool size for step/watch traffic
+
+	N         int
+	DT        float64
+	StepBatch int // steps per step request
+
+	WatchSteps int
+	WatchEvery int
+
+	JobSteps int
+	JobClass string
+
+	Seed uint64
+}
+
+// classStats accumulates one traffic class's counters and client-side
+// latencies.
+type classStats struct {
+	mu        sync.Mutex
+	sent      int
+	ok        int
+	shed      int
+	failed    int
+	latencies []float64 // milliseconds, completed ops only (ok+shed+failed)
+}
+
+// record classifies one completed operation and returns whether it was a
+// server-side 5xx.
+func (s *classStats) record(lat time.Duration, err error) (is5xx bool) {
+	ms := float64(lat) / float64(time.Millisecond)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latencies = append(s.latencies, ms)
+	switch {
+	case err == nil:
+		s.ok++
+	case client.IsOverloaded(err):
+		s.shed++
+	default:
+		s.failed++
+		var ae *client.APIError
+		if errors.As(err, &ae) && ae.Status >= 500 {
+			is5xx = true
+		}
+	}
+	return is5xx
+}
+
+// ClassReport is the per-class section of the JSON report.
+type ClassReport struct {
+	Sent     int     `json:"sent"`
+	OK       int     `json:"ok"`
+	Shed     int     `json:"shed"`
+	Failed   int     `json:"failed"`
+	Dropped  int     `json:"dropped"`
+	ShedRate float64 `json:"shed_rate"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// Report is the loadgen's JSON output: client-observed service levels per
+// traffic class plus run-wide totals.
+type Report struct {
+	TargetRPS       float64                `json:"target_rps"`
+	DurationSeconds float64                `json:"duration_seconds"`
+	Workers         int                    `json:"workers"`
+	AchievedRPS     float64                `json:"achieved_rps"`
+	Classes         map[string]ClassReport `json:"classes"`
+	Totals          struct {
+		Sent      int     `json:"sent"`
+		OK        int     `json:"ok"`
+		Shed      int     `json:"shed"`
+		Failed    int     `json:"failed"`
+		Dropped   int     `json:"dropped"`
+		ShedRate  float64 `json:"shed_rate"`
+		Server5xx int     `json:"server_5xx"`
+	} `json:"totals"`
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of sorted ms samples.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// generator drives open-loop traffic against one service through the SDK.
+type generator struct {
+	c   *client.Client
+	cfg genConfig
+
+	pool      chan string // idle session IDs for step/watch traffic
+	inflight  chan struct{}
+	stats     map[string]*classStats
+	dropped   map[string]*int
+	server5xx int
+	mu        sync.Mutex // guards server5xx and dropped
+	wg        sync.WaitGroup
+}
+
+// run executes the whole load test: build the session pool, generate
+// arrivals for cfg.Duration, wait for stragglers, report.
+func run(ctx context.Context, c *client.Client, cfg genConfig) (Report, error) {
+	g := &generator{
+		c:        c,
+		cfg:      cfg,
+		pool:     make(chan string, cfg.Sessions),
+		inflight: make(chan struct{}, cfg.Workers),
+		stats:    map[string]*classStats{},
+		dropped:  map[string]*int{},
+	}
+	classes, weights, total := mixSlices(cfg.Mix)
+	if total <= 0 {
+		return Report{}, errors.New("traffic mix has no positive weights")
+	}
+	for _, cl := range classes {
+		g.stats[cl] = &classStats{}
+		g.dropped[cl] = new(int)
+	}
+
+	created, err := g.buildPool(ctx)
+	if err != nil {
+		return Report{}, err
+	}
+	defer g.cleanup(created)
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+
+arrivals:
+	for {
+		select {
+		case <-ctx.Done():
+			break arrivals
+		case now := <-tick.C:
+			if now.After(deadline) {
+				break arrivals
+			}
+			cl := pickClass(rng, classes, weights, total)
+			g.dispatch(ctx, cl)
+		}
+	}
+	g.wg.Wait()
+	elapsed := time.Since(start)
+	return g.report(elapsed), nil
+}
+
+// mixSlices flattens the mix map into parallel class/weight slices in a
+// deterministic order.
+func mixSlices(mix map[string]int) ([]string, []int, int) {
+	order := []string{classStep, classJob, classWatch}
+	var classes []string
+	var weights []int
+	total := 0
+	for _, cl := range order {
+		w := mix[cl]
+		if w > 0 {
+			classes = append(classes, cl)
+			weights = append(weights, w)
+			total += w
+		}
+	}
+	return classes, weights, total
+}
+
+func pickClass(rng *rand.Rand, classes []string, weights []int, total int) string {
+	n := rng.IntN(total)
+	for i, w := range weights {
+		if n < w {
+			return classes[i]
+		}
+		n -= w
+	}
+	return classes[len(classes)-1]
+}
+
+// buildPool creates the session pool for step/watch traffic and returns
+// the created IDs for cleanup.
+func (g *generator) buildPool(ctx context.Context) ([]string, error) {
+	needsPool := g.cfg.Mix[classStep] > 0 || g.cfg.Mix[classWatch] > 0
+	if !needsPool {
+		return nil, nil
+	}
+	var created []string
+	for i := 0; i < g.cfg.Sessions; i++ {
+		s, err := g.c.CreateSession(ctx, client.CreateSessionRequest{
+			Workload: "plummer",
+			N:        g.cfg.N,
+			DT:       g.cfg.DT,
+			Seed:     g.cfg.Seed + uint64(i),
+		})
+		if err != nil {
+			g.cleanup(created)
+			return nil, fmt.Errorf("creating pool session %d/%d: %w", i+1, g.cfg.Sessions, err)
+		}
+		created = append(created, s.ID)
+		g.pool <- s.ID
+	}
+	return created, nil
+}
+
+func (g *generator) cleanup(ids []string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		g.c.DeleteSession(ctx, id)
+	}
+}
+
+// dispatch hands one arrival to a worker, or drops it when the in-flight
+// cap is reached (open-loop: arrivals never queue client-side).
+func (g *generator) dispatch(ctx context.Context, cl string) {
+	select {
+	case g.inflight <- struct{}{}:
+	default:
+		g.mu.Lock()
+		*g.dropped[cl]++
+		g.mu.Unlock()
+		return
+	}
+	st := g.stats[cl]
+	st.mu.Lock()
+	st.sent++
+	st.mu.Unlock()
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() { <-g.inflight }()
+		begin := time.Now()
+		err := g.execute(ctx, cl)
+		if st.record(time.Since(begin), err) {
+			g.mu.Lock()
+			g.server5xx++
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// execute performs one operation of the given class.
+func (g *generator) execute(ctx context.Context, cl string) error {
+	switch cl {
+	case classStep:
+		id, ok := g.takeSession()
+		if !ok {
+			return errPoolExhausted
+		}
+		defer func() { g.pool <- id }()
+		_, err := g.c.Step(ctx, id, g.cfg.StepBatch)
+		return err
+	case classWatch:
+		id, ok := g.takeSession()
+		if !ok {
+			return errPoolExhausted
+		}
+		defer func() { g.pool <- id }()
+		return g.watchOnce(ctx, id)
+	case classJob:
+		_, err := g.c.SubmitJob(ctx, client.JobSpec{
+			Workload: "plummer",
+			N:        g.cfg.N,
+			DT:       g.cfg.DT,
+			Seed:     g.cfg.Seed,
+			Steps:    g.cfg.JobSteps,
+			Class:    g.cfg.JobClass,
+		})
+		return err
+	}
+	return fmt.Errorf("unknown traffic class %q", cl)
+}
+
+// errPoolExhausted marks a step/watch arrival that found every pool
+// session busy — client-side contention, counted as failed (it never
+// reached the server, so it is neither ok nor shed).
+var errPoolExhausted = errors.New("session pool exhausted")
+
+func (g *generator) takeSession() (string, bool) {
+	select {
+	case id := <-g.pool:
+		return id, true
+	default:
+		return "", false
+	}
+}
+
+func (g *generator) watchOnce(ctx context.Context, id string) error {
+	w, err := g.c.Watch(ctx, id, client.WatchOptions{
+		Steps: g.cfg.WatchSteps,
+		Every: g.cfg.WatchEvery,
+	})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	for {
+		if _, err := w.Next(); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// report assembles the final JSON structure.
+func (g *generator) report(elapsed time.Duration) Report {
+	rep := Report{
+		TargetRPS:       g.cfg.RPS,
+		DurationSeconds: elapsed.Seconds(),
+		Workers:         g.cfg.Workers,
+		Classes:         map[string]ClassReport{},
+	}
+	for cl, st := range g.stats {
+		st.mu.Lock()
+		row := ClassReport{
+			Sent:    st.sent,
+			OK:      st.ok,
+			Shed:    st.shed,
+			Failed:  st.failed,
+			Dropped: *g.dropped[cl],
+		}
+		lats := append([]float64(nil), st.latencies...)
+		st.mu.Unlock()
+		if row.Sent > 0 {
+			row.ShedRate = float64(row.Shed) / float64(row.Sent)
+		}
+		if len(lats) > 0 {
+			sort.Float64s(lats)
+			row.P50Ms = percentile(lats, 0.50)
+			row.P95Ms = percentile(lats, 0.95)
+			row.P99Ms = percentile(lats, 0.99)
+			row.MaxMs = lats[len(lats)-1]
+			sum := 0.0
+			for _, v := range lats {
+				sum += v
+			}
+			row.MeanMs = sum / float64(len(lats))
+		}
+		rep.Classes[cl] = row
+		rep.Totals.Sent += row.Sent
+		rep.Totals.OK += row.OK
+		rep.Totals.Shed += row.Shed
+		rep.Totals.Failed += row.Failed
+		rep.Totals.Dropped += row.Dropped
+	}
+	if rep.Totals.Sent > 0 {
+		rep.Totals.ShedRate = float64(rep.Totals.Shed) / float64(rep.Totals.Sent)
+		rep.AchievedRPS = float64(rep.Totals.Sent) / elapsed.Seconds()
+	}
+	rep.Totals.Server5xx = g.server5xx
+	return rep
+}

@@ -1,0 +1,163 @@
+// Command nbody-loadgen is an open-loop load generator for nbody-serve,
+// driving a configurable mix of session-step, job-submit and watch
+// traffic through the client SDK and reporting client-observed service
+// levels (p50/p95/p99 latency, shed rate, error counts) as JSON.
+//
+// Open-loop means arrivals follow the target rate regardless of how fast
+// the server answers: a slow or shedding server does not slow the
+// generator down, so the numbers measure the service under the offered
+// load rather than under whatever load the service chooses to accept.
+// Arrivals beyond the -workers in-flight cap are dropped client-side and
+// reported separately.
+//
+// The SDK's automatic retry is disabled so every shed (429) surfaces in
+// the shed column instead of hiding inside a retried success.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"nbody/client"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "service base URL")
+		rps       = flag.Float64("rps", 20, "target open-loop arrival rate (requests/second)")
+		duration  = flag.Duration("duration", 10*time.Second, "how long to generate arrivals")
+		workers   = flag.Int("workers", 64, "max in-flight requests; arrivals beyond it are dropped")
+		mix       = flag.String("mix", "step=8,job=1,watch=1", "traffic mix weights, class=weight comma-separated (classes: step, job, watch)")
+		sessions  = flag.Int("sessions", 8, "session pool size for step/watch traffic")
+		n         = flag.Int("n", 256, "bodies per pooled session and job")
+		dt        = flag.Float64("dt", 1e-3, "time step")
+		stepBatch = flag.Int("step-batch", 5, "steps per step request")
+		watchSt   = flag.Int("watch-steps", 10, "steps per watch stream")
+		watchEv   = flag.Int("watch-every", 5, "event interval within a watch stream")
+		jobSteps  = flag.Int("job-steps", 50, "steps per submitted job")
+		jobClass  = flag.String("job-class", "low", "priority class of submitted jobs")
+		seed      = flag.Uint64("seed", 1, "deterministic seed for mix selection and workloads")
+		waitReady = flag.Duration("wait-ready", 0, "poll /readyz up to this long before starting (0 = don't wait)")
+		strict5xx = flag.Bool("strict-5xx", false, "exit nonzero if any server 5xx was observed")
+		out       = flag.String("out", "", "also write the JSON report to this file")
+	)
+	flag.Parse()
+
+	cfg := genConfig{
+		RPS:        *rps,
+		Duration:   *duration,
+		Workers:    *workers,
+		Sessions:   *sessions,
+		N:          *n,
+		DT:         *dt,
+		StepBatch:  *stepBatch,
+		WatchSteps: *watchSt,
+		WatchEvery: *watchEv,
+		JobSteps:   *jobSteps,
+		JobClass:   *jobClass,
+		Seed:       *seed,
+	}
+	var err error
+	cfg.Mix, err = parseMix(*mix)
+	if err != nil {
+		fatalf("parsing -mix: %v", err)
+	}
+	if cfg.RPS <= 0 || cfg.Duration <= 0 || cfg.Workers <= 0 || cfg.Sessions <= 0 {
+		fatalf("-rps, -duration, -workers and -sessions must be positive")
+	}
+
+	// Retries off: shed responses must show up in the report, not be
+	// silently absorbed.
+	c, err := client.New(*addr, client.WithRetries(0, 0, 0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *waitReady > 0 {
+		if err := waitUntilReady(ctx, c, *waitReady); err != nil {
+			fatalf("service not ready: %v", err)
+		}
+	}
+
+	rep, err := run(ctx, c, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("encoding report: %v", err)
+	}
+	fmt.Println(string(enc))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			fatalf("writing -out: %v", err)
+		}
+	}
+	if *strict5xx && rep.Totals.Server5xx > 0 {
+		fatalf("observed %d server 5xx responses", rep.Totals.Server5xx)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nbody-loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// parseMix turns "step=8,job=1,watch=1" into weight map entries.
+func parseMix(s string) (map[string]int, error) {
+	mix := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		cl, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not class=weight", part)
+		}
+		cl = strings.TrimSpace(cl)
+		switch cl {
+		case classStep, classJob, classWatch:
+		default:
+			return nil, fmt.Errorf("unknown class %q (want step, job or watch)", cl)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("weight %q must be a non-negative integer", val)
+		}
+		mix[cl] = w
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("mix %q has no entries", s)
+	}
+	return mix, nil
+}
+
+// waitUntilReady polls /readyz until it answers OK or the budget ends.
+func waitUntilReady(ctx context.Context, c *client.Client, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	var last error
+	for time.Now().Before(deadline) {
+		if last = c.Ready(ctx); last == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	return last
+}

@@ -1,0 +1,119 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayFullJitter pins the jittered retry schedule with a
+// deterministic random source: the delay must be rand × the capped
+// exponential window, floored at 1ms — not the bare exponential the
+// executor used to sleep (which made every colliding job retry in
+// lockstep).
+func TestBackoffDelayFullJitter(t *testing.T) {
+	m := newTestManager(t, Config{
+		Runner:    newFakeRunner(),
+		RetryBase: 100 * time.Millisecond,
+		RetryMax:  time.Second,
+	})
+
+	draws := []float64{0.5, 0.25, 1.0, 0.0}
+	i := 0
+	m.randFloat = func() float64 { v := draws[i%len(draws)]; i++; return v }
+
+	tests := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{1, 50 * time.Millisecond}, // 0.5 × 100ms
+		{2, 50 * time.Millisecond}, // 0.25 × 200ms
+		{5, time.Second},           // 1.0 × min(1.6s, cap 1s)
+		{3, time.Millisecond},      // 0.0 × 400ms floored at 1ms
+	}
+	for _, tc := range tests {
+		if got := m.backoffDelay(tc.attempt); got != tc.want {
+			t.Errorf("backoffDelay(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffDelayJitterVaries proves two consecutive delays for the same
+// attempt differ when the random draws differ — the property the
+// anti-lockstep fix exists for.
+func TestBackoffDelayJitterVaries(t *testing.T) {
+	m := newTestManager(t, Config{
+		Runner:    newFakeRunner(),
+		RetryBase: 100 * time.Millisecond,
+		RetryMax:  time.Second,
+	})
+	draws := []float64{0.2, 0.9}
+	i := 0
+	m.randFloat = func() float64 { v := draws[i]; i++; return v }
+	a, b := m.backoffDelay(2), m.backoffDelay(2)
+	if a == b {
+		t.Fatalf("two jittered delays were identical (%v); jitter is not applied", a)
+	}
+}
+
+// TestSubmitQueueFullRetryAfter verifies the shed submission's retry hint
+// scales with backlog × observed chunk time instead of a constant.
+func TestSubmitQueueFullRetryAfter(t *testing.T) {
+	f := newFakeRunner()
+	block := make(chan struct{})
+	f.stepHook = func(ctx context.Context, call int, sid string, n int) error {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil
+	}
+	m := newTestManager(t, Config{Runner: f, Workers: 1, MaxQueue: 2})
+	defer close(block)
+
+	// Occupy the single worker, then fill the queue.
+	if _, err := m.Submit(context.Background(), spec("plummer", 10)); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "worker to pick up the job", func() bool { return f.calls.Load() > 0 })
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit(context.Background(), spec("plummer", 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// No chunk-time samples yet: the estimate degrades to the minimum.
+	_, err := m.Submit(context.Background(), spec("plummer", 10))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit over capacity = %v, want ErrQueueFull", err)
+	}
+	var h interface{ RetryAfterSeconds() int }
+	if !errors.As(err, &h) {
+		t.Fatalf("queue-full error %v carries no RetryAfterSeconds hint", err)
+	}
+	if got := h.RetryAfterSeconds(); got != retryAfterMin {
+		t.Errorf("RetryAfterSeconds with no samples = %d, want %d", got, retryAfterMin)
+	}
+
+	// With an observed mean chunk time the hint must scale with backlog:
+	// 2 queued × 4s ≈ 8s.
+	m.observeChunk(4.0)
+	_, err = m.Submit(context.Background(), spec("plummer", 10))
+	if !errors.As(err, &h) {
+		t.Fatalf("queue-full error %v carries no RetryAfterSeconds hint", err)
+	}
+	if got := h.RetryAfterSeconds(); got != 8 {
+		t.Errorf("RetryAfterSeconds with 2 queued × 4s chunks = %d, want 8", got)
+	}
+
+	// And it must clamp at the maximum rather than grow without bound.
+	m.observeChunk(1000)
+	_, err = m.Submit(context.Background(), spec("plummer", 10))
+	if !errors.As(err, &h) {
+		t.Fatalf("queue-full error %v carries no RetryAfterSeconds hint", err)
+	}
+	if got := h.RetryAfterSeconds(); got != retryAfterMax {
+		t.Errorf("RetryAfterSeconds with huge chunk mean = %d, want clamp %d", got, retryAfterMax)
+	}
+}

@@ -57,6 +57,26 @@ var (
 	errCancelled = errors.New("jobs: job cancelled")
 )
 
+// Queue-full Retry-After estimates are clamped to [retryAfterMin,
+// retryAfterMax] seconds; chunkEWMAAlpha weighs the newest chunk-time
+// sample in the moving average behind them (see queueRetryAfterLocked).
+const (
+	retryAfterMin  = 1
+	retryAfterMax  = 30
+	chunkEWMAAlpha = 0.2
+)
+
+// retryHint wraps ErrQueueFull with a computed client backoff in seconds.
+// The serve layer discovers it through errors.As against any error with a
+// RetryAfterSeconds method and surfaces it as the 429's Retry-After.
+type retryHint struct {
+	error
+	seconds int
+}
+
+func (h retryHint) Unwrap() error          { return h.error }
+func (h retryHint) RetryAfterSeconds() int { return h.seconds }
+
 // State is a job's position in the lifecycle
 // queued → running → succeeded | failed | cancelled, with a
 // running → queued backward edge on drain/restart re-enqueue.

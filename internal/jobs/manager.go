@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"math/rand/v2"
 	"sort"
 	"strconv"
 	"strings"
@@ -134,6 +136,15 @@ type Manager struct {
 
 	wg sync.WaitGroup // worker goroutines
 
+	// chunkMeanSec (guarded by mu) is the EWMA of one chunk execution's
+	// wall time, the basis of the Retry-After estimate on queue-full
+	// rejections.
+	chunkMeanSec float64
+
+	// randFloat feeds the retry backoff's full jitter; overridable in
+	// tests for determinism. Defaults to math/rand/v2.
+	randFloat func() float64
+
 	ins *instruments
 	log *obs.Logger
 }
@@ -149,14 +160,15 @@ func NewManager(cfg Config) (*Manager, error) {
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	m := &Manager{
-		cfg:    cfg,
-		ctx:    ctx,
-		cancel: cancel,
-		jobs:   make(map[string]*job),
-		queues: make(map[string][]*job),
-		wrr:    make(map[string]int),
-		ins:    newInstruments(cfg.Obs.Registry),
-		log:    cfg.Obs.Logger,
+		cfg:       cfg,
+		ctx:       ctx,
+		cancel:    cancel,
+		jobs:      make(map[string]*job),
+		queues:    make(map[string][]*job),
+		wrr:       make(map[string]int),
+		randFloat: rand.Float64,
+		ins:       newInstruments(cfg.Obs.Registry),
+		log:       cfg.Obs.Logger,
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.installCollectors()
@@ -273,9 +285,10 @@ func (m *Manager) Submit(ctx context.Context, spec Spec) (Info, error) {
 		return Info{}, ErrShutdown
 	}
 	if m.queuedN >= m.cfg.MaxQueue {
+		hint := m.queueRetryAfterLocked()
 		m.mu.Unlock()
 		m.ins.rejected.Inc()
-		return Info{}, fmt.Errorf("%w (%d queued, limit %d)", ErrQueueFull, m.cfg.MaxQueue, m.cfg.MaxQueue)
+		return Info{}, retryHint{fmt.Errorf("%w (%d queued, limit %d)", ErrQueueFull, m.cfg.MaxQueue, m.cfg.MaxQueue), hint}
 	}
 	m.pruneLocked()
 	m.nextID++
@@ -668,11 +681,17 @@ func (m *Manager) ensureSession(j *job) (string, error) {
 }
 
 // stepChunk advances the session by one chunk under a context that both
-// job cancellation and pool drain interrupt at a step boundary.
+// job cancellation and pool drain interrupt at a step boundary. Each
+// chunk's wall time feeds the queue-full Retry-After estimate.
 func (m *Manager) stepChunk(j *job, sid string, n int) (int, error) {
 	ctx, cancel := m.chunkContext(j)
 	defer cancel()
-	return m.cfg.Runner.StepSession(ctx, sid, n)
+	start := time.Now()
+	completed, err := m.cfg.Runner.StepSession(ctx, sid, n)
+	if completed > 0 {
+		m.observeChunk(time.Since(start).Seconds())
+	}
+	return completed, err
 }
 
 // chunkContext derives a context cancelled by either the job's own
@@ -683,14 +702,30 @@ func (m *Manager) chunkContext(j *job) (context.Context, context.CancelFunc) {
 	return ctx, func() { stop(); cancel() }
 }
 
-// backoff sleeps the exponential retry delay, interruptible by job cancel
-// and drain. It reports whether the full delay elapsed.
-func (m *Manager) backoff(j *job, attempt int) bool {
+// backoffDelay computes attempt's retry delay: exponential growth from
+// RetryBase capped at RetryMax, then full jitter (a uniform draw over
+// [0, cap]). Transient faults here are usually contention — the session
+// layer shedding load — and several jobs tend to trip on the same fault
+// at once; without jitter they would all retry in lockstep and collide
+// again, so the delay is randomized over the whole window (the "full
+// jitter" scheme) rather than merely perturbed. Floored at 1ms so a
+// near-zero draw cannot turn the retry loop hot.
+func (m *Manager) backoffDelay(attempt int) time.Duration {
 	d := m.cfg.RetryBase << (attempt - 1)
 	if d > m.cfg.RetryMax || d <= 0 {
 		d = m.cfg.RetryMax
 	}
-	t := time.NewTimer(d)
+	j := time.Duration(m.randFloat() * float64(d))
+	if j < time.Millisecond {
+		j = time.Millisecond
+	}
+	return j
+}
+
+// backoff sleeps the jittered retry delay, interruptible by job cancel
+// and drain. It reports whether the full delay elapsed.
+func (m *Manager) backoff(j *job, attempt int) bool {
+	t := time.NewTimer(m.backoffDelay(attempt))
 	defer t.Stop()
 	select {
 	case <-t.C:
@@ -700,6 +735,41 @@ func (m *Manager) backoff(j *job, attempt int) bool {
 	case <-m.ctx.Done():
 		return false
 	}
+}
+
+// observeChunk feeds one chunk execution's wall time into the EWMA behind
+// queueRetryAfterLocked.
+func (m *Manager) observeChunk(sec float64) {
+	m.mu.Lock()
+	if m.chunkMeanSec == 0 {
+		m.chunkMeanSec = sec
+	} else {
+		m.chunkMeanSec = (1-chunkEWMAAlpha)*m.chunkMeanSec + chunkEWMAAlpha*sec
+	}
+	m.mu.Unlock()
+}
+
+// queueRetryAfterLocked estimates how long a shed submission should wait
+// before retrying: the current backlog times the recent mean chunk wall
+// time, clamped to [1, 30] seconds. Call with m.mu held.
+func (m *Manager) queueRetryAfterLocked() int {
+	if m.chunkMeanSec <= 0 {
+		return retryAfterMin
+	}
+	return clampRetrySeconds(float64(m.queuedN) * m.chunkMeanSec)
+}
+
+// clampRetrySeconds rounds an estimate in seconds up to a whole second
+// inside [retryAfterMin, retryAfterMax].
+func clampRetrySeconds(s float64) int {
+	n := int(math.Ceil(s))
+	if n < retryAfterMin {
+		return retryAfterMin
+	}
+	if n > retryAfterMax {
+		return retryAfterMax
+	}
+	return n
 }
 
 // finish moves j to a terminal state and commits the record.

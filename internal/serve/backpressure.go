@@ -1,0 +1,96 @@
+package serve
+
+// Backpressure hints: when admission control sheds work with a 429, the
+// response's Retry-After header should tell a well-behaved client how long
+// the current load actually warrants, not a hard-coded constant. The
+// shedding paths wrap their errors with retryHint carrying a
+// load-derived estimate; writeError surfaces it as the header. The
+// estimates are deliberately coarse — their job is to spread retries
+// proportionally to load, not to predict the queue exactly.
+
+import (
+	"math"
+	"time"
+)
+
+// Retry-After estimates are clamped to [retryAfterMin, retryAfterMax]
+// seconds: never "0" (clients would hammer), never unbounded (clients
+// would give up).
+const (
+	retryAfterMin = 1
+	retryAfterMax = 30
+)
+
+// holdEWMAAlpha weighs the newest slot-hold sample in the exponentially
+// weighted moving average backing the step-shed estimate.
+const holdEWMAAlpha = 0.2
+
+// retryHint wraps a load-shedding error with a computed client backoff in
+// seconds. writeError discovers it with errors.As through any interface
+// with a RetryAfterSeconds method, so internal/jobs can carry its own
+// equivalent without a shared type.
+type retryHint struct {
+	error
+	seconds int
+}
+
+func (h retryHint) Unwrap() error          { return h.error }
+func (h retryHint) RetryAfterSeconds() int { return h.seconds }
+
+// clampRetrySeconds rounds an estimate in seconds up to a whole second
+// inside [retryAfterMin, retryAfterMax].
+func clampRetrySeconds(s float64) int {
+	n := int(math.Ceil(s))
+	if n < retryAfterMin {
+		return retryAfterMin
+	}
+	if n > retryAfterMax {
+		return retryAfterMax
+	}
+	return n
+}
+
+// observeSlotHold feeds one step/watch request's slot-hold time into the
+// EWMA behind stepRetryAfter.
+func (m *Manager) observeSlotHold(sec float64) {
+	m.latMu.Lock()
+	if m.slotHoldMean == 0 {
+		m.slotHoldMean = sec
+	} else {
+		m.slotHoldMean = (1-holdEWMAAlpha)*m.slotHoldMean + holdEWMAAlpha*sec
+	}
+	m.latMu.Unlock()
+}
+
+// stepRetryAfter estimates how long a shed step/watch request should wait
+// before retrying: every request already queued (plus the shed one) must
+// drain through StepSlots slots, each held for roughly the recent mean
+// hold time. With no samples yet the estimate degrades to the minimum.
+func (m *Manager) stepRetryAfter() int {
+	m.latMu.Lock()
+	hold := m.slotHoldMean
+	m.latMu.Unlock()
+	if hold <= 0 {
+		return retryAfterMin
+	}
+	queued := float64(m.waiting.Load()) + 1
+	return clampRetrySeconds(hold * queued / float64(m.cfg.StepSlots))
+}
+
+// sessionRetryAfter estimates how long a shed session create should wait:
+// the remaining idle TTL of the least-recently-used evictable session —
+// the earliest moment admission can make room. With every session busy
+// there is no eviction horizon, so the estimate saturates at the maximum.
+func (m *Manager) sessionRetryAfter() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for e := m.lru.Front(); e != nil; e = e.Next() {
+		s := e.Value.(*Session)
+		if s.busy.Load() || s.State() == StateRunning {
+			continue
+		}
+		remain := m.cfg.IdleTTL - time.Since(s.LastUsed())
+		return clampRetrySeconds(remain.Seconds())
+	}
+	return retryAfterMax
+}

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"nbody/internal/jobs"
@@ -376,6 +378,37 @@ func handleStep(m *Manager, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// Watch heartbeats: when no event has been written for a full interval
+// (slow steps, a coarse ?every=), the stream carries a ": heartbeat"
+// comment line so watchers can distinguish a stalled server from a slow
+// one. NDJSON consumers must skip blank lines and lines starting with ':'
+// (the SDK does). The heartbeat query parameter overrides the interval.
+const (
+	watchHeartbeatDefault = 10 * time.Second
+	watchHeartbeatMin     = 50 * time.Millisecond
+)
+
+// errNoFlusher reports a watch request over a transport whose
+// ResponseWriter chain exposes no http.Flusher: rather than streaming
+// into a buffer that may never drain, the request fails up front with a
+// 500 envelope.
+var errNoFlusher = errors.New("serve: watch streaming unsupported: response writer exposes no http.Flusher")
+
+// canFlush walks the ResponseWriter chain (via the ResponseController
+// Unwrap protocol) looking for a real http.Flusher.
+func canFlush(w http.ResponseWriter) bool {
+	for {
+		switch v := w.(type) {
+		case http.Flusher:
+			return true
+		case interface{ Unwrap() http.ResponseWriter }:
+			w = v.Unwrap()
+		default:
+			return false
+		}
+	}
+}
+
 func handleWatch(m *Manager, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	steps, err := queryInt(r, "steps", 100)
@@ -388,11 +421,32 @@ func handleWatch(m *Manager, w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	heartbeat := watchHeartbeatDefault
+	if v := r.URL.Query().Get("heartbeat"); v != "" {
+		d, perr := time.ParseDuration(v)
+		if perr != nil || d <= 0 {
+			writeError(w, fmt.Errorf("%w: query heartbeat=%q is not a positive duration", ErrBadRequest, v))
+			return
+		}
+		heartbeat = max(d, watchHeartbeatMin)
+	}
+	if !canFlush(w) {
+		// A watch without flushing would sit in buffers indefinitely while
+		// the simulation burns its step budget; fail loudly instead.
+		writeError(w, errNoFlusher)
+		return
+	}
+	rc := http.NewResponseController(w)
 
-	flusher, _ := w.(http.Flusher)
+	// wmu guards the response writer between the emit path and the
+	// heartbeat goroutine.
+	var wmu sync.Mutex
 	wrote := false
+	lastWrite := time.Now()
 	enc := json.NewEncoder(w)
 	emit := func(ev WatchEvent) error {
+		wmu.Lock()
+		defer wmu.Unlock()
 		if !wrote {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			w.Header().Set("X-Accel-Buffering", "no")
@@ -402,13 +456,47 @@ func handleWatch(m *Manager, w http.ResponseWriter, r *http.Request) {
 		if err := enc.Encode(ev); err != nil {
 			return err
 		}
-		if flusher != nil {
-			flusher.Flush()
+		if err := rc.Flush(); err != nil {
+			return err
 		}
+		lastWrite = time.Now()
 		return nil
 	}
 
-	if err := m.Watch(r.Context(), id, steps, every, emit); err != nil {
+	// Heartbeats start after the first event (the status line must stay
+	// available for pre-stream errors) and stop before the handler
+	// returns — writing from a goroutine after that would race the
+	// server's response teardown.
+	stopHB := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopHB:
+				return
+			case <-r.Context().Done():
+				return
+			case <-t.C:
+				wmu.Lock()
+				if wrote && time.Since(lastWrite) >= heartbeat {
+					if _, werr := io.WriteString(w, ": heartbeat\n"); werr == nil {
+						rc.Flush()
+						lastWrite = time.Now()
+					}
+				}
+				wmu.Unlock()
+			}
+		}
+	}()
+
+	err = m.Watch(r.Context(), id, steps, every, emit)
+	close(stopHB)
+	hbWG.Wait()
+	if err != nil {
 		if !wrote {
 			writeError(w, err)
 			return
@@ -418,6 +506,7 @@ func handleWatch(m *Manager, w http.ResponseWriter, r *http.Request) {
 		// completion.
 		_, detail := errorDetailOf(err)
 		enc.Encode(errorResponse{Error: detail})
+		rc.Flush()
 	}
 }
 
@@ -496,11 +585,19 @@ func statusOf(err error) int {
 }
 
 // writeError renders err as the JSON error envelope with its mapped
-// status.
+// status. 429 responses carry a Retry-After derived from the shedding
+// layer's load estimate (errors wrapped with a RetryAfterSeconds hint —
+// see backpressure.go and internal/jobs); absent a hint the header
+// degrades to the minimum rather than disappearing.
 func writeError(w http.ResponseWriter, err error) {
 	status, detail := errorDetailOf(err)
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		secs := retryAfterMin
+		var h interface{ RetryAfterSeconds() int }
+		if errors.As(err, &h) {
+			secs = h.RetryAfterSeconds()
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	writeJSONStatus(w, status, errorResponse{Error: detail})
 }
@@ -526,10 +623,9 @@ func (s *statusWriter) WriteHeader(code int) {
 	s.ResponseWriter.WriteHeader(code)
 }
 
-// Flush forwards http.Flusher so the watch stream works through the
-// middleware.
-func (s *statusWriter) Flush() {
-	if f, ok := s.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
+// Unwrap exposes the underlying writer to http.ResponseController so the
+// watch stream's flushes reach the real connection. Deliberately no Flush
+// method: implementing http.Flusher here would make every wrapped writer
+// look flushable even when the transport is not, silently swallowing
+// flushes — the bug handleWatch now guards against via canFlush.
+func (s *statusWriter) Unwrap() http.ResponseWriter { return s.ResponseWriter }

@@ -86,6 +86,11 @@ type Manager struct {
 	lat    [latencyRing]float64 // seconds
 	latIdx int
 	latN   int
+
+	// slotHoldMean (guarded by latMu) is the EWMA of how long one
+	// step/watch request holds its stepping slot, the basis of the
+	// Retry-After estimate on shed step requests (see backpressure.go).
+	slotHoldMean float64
 }
 
 // NewManager validates cfg, recovers any sessions the configured store
@@ -301,7 +306,7 @@ func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName strin
 		cancel(ErrTooManySessions)
 		m.rejectedSessions.Add(1)
 		m.ins.admissionRejected.With("session").Inc()
-		return nil, fmt.Errorf("%w (max %d)", ErrTooManySessions, m.cfg.MaxSessions)
+		return nil, retryHint{fmt.Errorf("%w (max %d)", ErrTooManySessions, m.cfg.MaxSessions), m.sessionRetryAfter()}
 	}
 	s.ID = fmt.Sprintf("s-%d", m.nextID.Add(1))
 	m.sessions[s.ID] = s
@@ -472,7 +477,7 @@ func (m *Manager) admit(ctx context.Context, s *Session) (release func(), err er
 			undo()
 			m.rejectedSteps.Add(1)
 			m.ins.admissionRejected.With("step").Inc()
-			return nil, fmt.Errorf("%w (%d queued, limit %d)", ErrBusy, w-1, m.cfg.MaxQueue)
+			return nil, retryHint{fmt.Errorf("%w (%d queued, limit %d)", ErrBusy, w-1, m.cfg.MaxQueue), m.stepRetryAfter()}
 		}
 		select {
 		case m.slots <- struct{}{}:
@@ -490,8 +495,10 @@ func (m *Manager) admit(ctx context.Context, s *Session) (release func(), err er
 
 	s.setState(StateRunning)
 	m.wg.Add(1)
+	acquired := time.Now()
 	return func() {
 		<-m.slots
+		m.observeSlotHold(time.Since(acquired).Seconds())
 		if s.State() == StateRunning {
 			s.setState(StateIdle)
 		}

@@ -66,4 +66,40 @@ END {
     printf "  ]\n}\n"
 }' "$CSV" >"$OUT"
 
-echo "bench-baseline: wrote $OUT ($(grep -c '"algorithm"' "$OUT") rows)"
+# Service-level rows: boot the real server and drive a short mixed load
+# through cmd/nbody-loadgen (via the client SDK), then splice the report
+# into the baseline as a "service" section so the committed file also
+# tracks client-observed latency quantiles and shed rate per traffic
+# class. The loadgen config is pinned for the same reason the fig5 one is.
+PORT="${NBODY_BENCH_PORT:-18083}"
+WORK="$(mktemp -d)"
+trap 'rm -f "$CSV"; [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null; rm -rf "$WORK"' EXIT INT TERM
+
+go build -o "$WORK/nbody-serve" ./cmd/nbody-serve
+go build -o "$WORK/nbody-loadgen" ./cmd/nbody-loadgen
+
+"$WORK/nbody-serve" -addr "127.0.0.1:$PORT" -log-format=json \
+    -state-dir "$WORK/state" -job-workers 2 >"$WORK/serve.log" 2>&1 &
+SRV_PID=$!
+
+"$WORK/nbody-loadgen" -addr "http://127.0.0.1:$PORT" -wait-ready 10s \
+    -rps 40 -duration 5s -workers 32 -sessions 6 \
+    -mix 'step=8,job=1,watch=1' \
+    -n "$N" -dt 0.001 -step-batch "$STEPS" -watch-steps 10 -watch-every 5 \
+    -job-steps 50 -job-class low -seed "$SEED" \
+    -out "$WORK/service.json" >/dev/null || {
+    echo "bench-baseline: loadgen failed; server log:" >&2
+    tail -20 "$WORK/serve.log" >&2
+    exit 1
+}
+
+# Splice: drop the document's closing brace, append the service section.
+sed '$d' "$OUT" >"$WORK/bench.tmp"
+{
+    cat "$WORK/bench.tmp"
+    printf '  ,"service":\n'
+    sed 's/^/  /' "$WORK/service.json"
+    printf '}\n'
+} >"$OUT"
+
+echo "bench-baseline: wrote $OUT ($(grep -c '"algorithm"' "$OUT") fig5 rows + service section)"
