@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check serve obs-smoke jobs-smoke loadgen-smoke bench-baseline clean
+.PHONY: all build vet test race check serve obs-smoke jobs-smoke loadgen-smoke router-smoke bench-baseline clean
 
 all: check
 
@@ -42,6 +42,13 @@ jobs-smoke:
 # any server 5xx (see scripts/loadgen_smoke.sh).
 loadgen-smoke:
 	./scripts/loadgen_smoke.sh
+
+# Boots two nbody-serve replicas behind nbody-router, places sessions on
+# both shards through the router, drains one shard and asserts its queued
+# job hands off to the survivor with the routing metrics populated (see
+# scripts/router_smoke.sh).
+router-smoke:
+	./scripts/router_smoke.sh
 
 # Regenerates the committed BENCH_serve.json performance baseline on the
 # pinned small fig5 configuration (see scripts/bench_baseline.sh).

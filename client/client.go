@@ -132,10 +132,21 @@ func sleepContext(ctx context.Context, d time.Duration) error {
 }
 
 // retryable reports whether a response status is worth re-sending: the
-// server shed the request before doing any work (admission control or
-// drain), so a retry cannot double-apply it.
+// server shed the request before doing any work (admission control,
+// drain, or a router with no healthy shard to place it on), so a retry
+// cannot double-apply it. 502/504 come from a routing tier whose backend
+// refused or timed out the connection — the same shed-before-work
+// semantics as 503, so they retry the same way, honoring Retry-After
+// when present.
 func retryable(status int) bool {
-	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusServiceUnavailable,
+		http.StatusBadGateway,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
 }
 
 // backoff is the fallback delay for attempt (0-based) when the server
@@ -298,6 +309,7 @@ func decodeAPIError(resp *http.Response, body []byte) *APIError {
 			Code         string `json:"code"`
 			Message      string `json:"message"`
 			SessionState string `json:"session_state"`
+			Shard        string `json:"shard"`
 		} `json:"error"`
 		Result json.RawMessage `json:"result"`
 	}
@@ -305,13 +317,41 @@ func decodeAPIError(resp *http.Response, body []byte) *APIError {
 		e.Code = env.Error.Code
 		e.Message = env.Error.Message
 		e.SessionState = env.Error.SessionState
+		e.Shard = env.Error.Shard
+		if e.Shard == "" {
+			e.Shard = resp.Header.Get("X-NBody-Shard")
+		}
 		e.Partial = env.Result
 		return e
 	}
+	e.Shard = resp.Header.Get("X-NBody-Shard")
 	msg := strings.TrimSpace(string(body))
 	if len(msg) > 256 {
 		msg = msg[:256]
 	}
 	e.Message = msg
 	return e
+}
+
+// RawRequest issues one request verbatim and returns the raw response,
+// whatever its status — no retry, no envelope decoding, no body
+// buffering. It exists for proxies (nbody-router) that forward /v1
+// traffic byte-for-byte and must stream bodies (watch NDJSON, snapshot
+// downloads) and relay error envelopes untouched; SDK users should
+// prefer the typed methods. pathAndQuery is appended to the base URL
+// as-is; header entries (may be nil) are copied onto the request. The
+// response body is the caller's to drain and close.
+func (c *Client) RawRequest(ctx context.Context, method, pathAndQuery string, header http.Header, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+pathAndQuery, body)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s %s: %w", method, pathAndQuery, err)
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s %s: %w", method, pathAndQuery, err)
+	}
+	return resp, nil
 }

@@ -531,3 +531,94 @@ func TestBaseURLValidation(t *testing.T) {
 		t.Errorf("BaseURL = %q", c.BaseURL())
 	}
 }
+
+// TestRetryGatewayErrors: 502 and 504 — what a sharded deployment's
+// router emits when a hop to a shard breaks — are transient and must be
+// retried like 503, honoring Retry-After when present.
+func TestRetryGatewayErrors(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "2")
+			writeEnvelope(w, http.StatusBadGateway, CodeBadGateway, "shard hop broke")
+		case 2:
+			writeEnvelope(w, http.StatusGatewayTimeout, "gateway_timeout", "shard slow")
+		default:
+			json.NewEncoder(w).Encode(Session{ID: "s-1", Steps: 3})
+		}
+	}))
+	defer srv.Close()
+
+	c, sleeps := newTestClient(t, srv)
+	s, err := c.Session(context.Background(), "s-1")
+	if err != nil {
+		t.Fatalf("Session after gateway-error retries: %v", err)
+	}
+	if s.ID != "s-1" {
+		t.Errorf("decoded session = %+v", s)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3", calls.Load())
+	}
+	if len(*sleeps) != 2 || (*sleeps)[0] != 2*time.Second {
+		t.Errorf("sleeps = %v, want [2s, <backoff>]", *sleeps)
+	}
+}
+
+// TestAPIErrorShard: the shard that produced an error is decoded from the
+// envelope, falling back to the X-NBody-Shard header when the envelope
+// omits it.
+func TestAPIErrorShard(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-NBody-Shard", "b")
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/v1/sessions/envelope":
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":{"code":"shard_unavailable","message":"down","shard":"a"}}`)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":{"code":"session_not_found","message":"nope"}}`)
+		}
+	}))
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv, WithRetries(0, 0, 0))
+	_, err := c.Session(context.Background(), "envelope")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Shard != "a" {
+		t.Fatalf("envelope shard: err %v, want APIError with Shard a", err)
+	}
+	_, err = c.Session(context.Background(), "header-only")
+	if !errors.As(err, &apiErr) || apiErr.Shard != "b" {
+		t.Fatalf("header-fallback shard: err %v, want APIError with Shard b", err)
+	}
+}
+
+// TestReprioritizeJob: the SDK PATCHes the job with the new class and
+// decodes the updated record.
+func TestReprioritizeJob(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPatch || r.URL.Path != "/v1/jobs/j-1" {
+			t.Errorf("server saw %s %s, want PATCH /v1/jobs/j-1", r.Method, r.URL.Path)
+		}
+		var req struct {
+			Class string `json:"class"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Class != "high" {
+			t.Errorf("reprioritize body class %q (err %v), want high", req.Class, err)
+		}
+		json.NewEncoder(w).Encode(Job{ID: "j-1", State: JobQueued, Class: "high"})
+	}))
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv, WithRetries(0, 0, 0))
+	j, err := c.ReprioritizeJob(context.Background(), "j-1", "high")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Class != "high" || j.State != JobQueued {
+		t.Fatalf("reprioritized job = %+v", j)
+	}
+}

@@ -22,6 +22,20 @@ const (
 	CodeInternal        = "internal"
 	CodeJobNotFound     = "job_not_found"
 	CodeJobNotReady     = "job_not_ready"
+	CodeJobNotQueued    = "job_not_queued"
+)
+
+// Router-tier error codes: set by nbody-router when it cannot complete a
+// proxied request, never by a shard itself.
+const (
+	// CodeShardUnavailable: the shard owning the requested ID is down and
+	// the operation is a write that must not silently run elsewhere (503).
+	CodeShardUnavailable = "shard_unavailable"
+	// CodeNoHealthyShards: no shard is accepting new placements (503).
+	CodeNoHealthyShards = "no_healthy_shards"
+	// CodeBadGateway: the proxied request failed at the transport level
+	// after reaching the shard, so it may or may not have applied (502).
+	CodeBadGateway = "bad_gateway"
 )
 
 // APIError is any non-2xx response from the service, carrying the decoded
@@ -37,6 +51,10 @@ type APIError struct {
 	// SessionState is set when the error implies a known session
 	// lifecycle state (e.g. "failed" for session_failed).
 	SessionState string
+	// Shard names the replica that produced the error in a sharded
+	// deployment (from the envelope, falling back to the X-NBody-Shard
+	// header); "" when the server runs unsharded.
+	Shard string
 	// RetryAfter is the server's parsed Retry-After header (zero when
 	// absent). The client's automatic retry honors it; it is surfaced for
 	// callers that retry themselves.

@@ -30,6 +30,11 @@ const (
 // parameters plus the batch step count, priority class and checkpoint
 // chunk size.
 type JobSpec struct {
+	// ID, when non-empty, requests the job be created under this ID
+	// instead of a server-minted one (must be unique and well-formed).
+	// The router tier relies on this to pin a job to the shard its ID
+	// hashes to.
+	ID         string  `json:"id,omitempty"`
 	Workload   string  `json:"workload,omitempty"`
 	N          int     `json:"n"`
 	Seed       uint64  `json:"seed,omitempty"`
@@ -46,22 +51,50 @@ type JobSpec struct {
 
 // Job mirrors the service's job description (jobs.Info).
 type Job struct {
-	ID        string    `json:"id"`
-	State     string    `json:"state"`
-	Class     string    `json:"class"`
-	Workload  string    `json:"workload,omitempty"`
-	Algorithm string    `json:"algorithm,omitempty"`
-	N         int       `json:"n"`
-	DT        float64   `json:"dt"`
-	Seed      uint64    `json:"seed"`
-	Steps     int       `json:"steps"`
-	StepsDone int       `json:"steps_done"`
-	SessionID string    `json:"session_id,omitempty"`
-	Attempts  int       `json:"attempts,omitempty"`
-	Error     string    `json:"error,omitempty"`
-	Created   time.Time `json:"created"`
-	Started   time.Time `json:"started"`
-	Finished  time.Time `json:"finished"`
+	ID        string  `json:"id"`
+	State     string  `json:"state"`
+	Class     string  `json:"class"`
+	Workload  string  `json:"workload,omitempty"`
+	Algorithm string  `json:"algorithm,omitempty"`
+	N         int     `json:"n"`
+	DT        float64 `json:"dt"`
+	Seed      uint64  `json:"seed"`
+	// Theta/Eps/G/Sequential/ChunkSteps echo the submitted spec, so a
+	// record fetched from one shard can be resubmitted verbatim on
+	// another (the router's drain handoff).
+	Theta      float64   `json:"theta,omitempty"`
+	Eps        float64   `json:"eps,omitempty"`
+	G          float64   `json:"g,omitempty"`
+	Sequential bool      `json:"sequential,omitempty"`
+	ChunkSteps int       `json:"chunk_steps,omitempty"`
+	Steps      int       `json:"steps"`
+	StepsDone  int       `json:"steps_done"`
+	SessionID  string    `json:"session_id,omitempty"`
+	Attempts   int       `json:"attempts,omitempty"`
+	Error      string    `json:"error,omitempty"`
+	Created    time.Time `json:"created"`
+	Started    time.Time `json:"started"`
+	Finished   time.Time `json:"finished"`
+}
+
+// Spec reconstructs the submission spec from a job record, the input a
+// drain handoff needs to resubmit the job elsewhere under the same ID.
+func (j Job) Spec() JobSpec {
+	return JobSpec{
+		ID:         j.ID,
+		Workload:   j.Workload,
+		N:          j.N,
+		Seed:       j.Seed,
+		Algorithm:  j.Algorithm,
+		DT:         j.DT,
+		Theta:      j.Theta,
+		Eps:        j.Eps,
+		G:          j.G,
+		Sequential: j.Sequential,
+		Steps:      j.Steps,
+		Class:      j.Class,
+		ChunkSteps: j.ChunkSteps,
+	}
 }
 
 // Terminal reports whether the job reached a final state.
@@ -94,6 +127,18 @@ func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
 		return nil, err
 	}
 	return page.Jobs, nil
+}
+
+// ReprioritizeJob moves a queued job to another priority class. Only
+// queued jobs can move; running or terminal jobs answer 409
+// job_not_queued.
+func (c *Client) ReprioritizeJob(ctx context.Context, id, class string) (Job, error) {
+	var j Job
+	in := struct {
+		Class string `json:"class"`
+	}{Class: class}
+	err := c.doJSON(ctx, http.MethodPatch, "/v1/jobs/"+url.PathEscape(id), nil, in, &j)
+	return j, err
 }
 
 // CancelJob cancels a queued or running job, or deletes a terminal one.

@@ -60,6 +60,7 @@ func run() error {
 		jobQueue    = flag.Int("job-queue", 64, "batch jobs allowed to wait across all priority classes")
 		jobRetries  = flag.Int("job-retries", 3, "transient-fault retries per batch job between successful chunks")
 		jobChunk    = flag.Int("job-chunk", 500, "batch job checkpoint chunk size in steps")
+		shardID     = flag.String("shard-id", "", "replica name in a sharded deployment (echoed as X-NBody-Shard, prefixes minted IDs)")
 	)
 	flag.Parse()
 
@@ -147,6 +148,7 @@ func run() error {
 		CheckpointEvery:    *ckptEvery,
 		MaxEnergyDrift:     *maxDrift,
 		Obs:                ob,
+		ShardID:            *shardID,
 	})
 	if err != nil {
 		return err
@@ -180,6 +182,7 @@ func run() error {
 			ChunkSteps: *jobChunk,
 			Store:      js,
 			Obs:        ob,
+			ShardID:    *shardID,
 		})
 		if err != nil {
 			return err

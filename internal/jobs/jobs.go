@@ -29,6 +29,7 @@ package jobs
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"nbody/internal/obs"
@@ -49,6 +50,10 @@ var (
 	ErrNotReady = errors.New("jobs: artifact not available yet")
 	// ErrShutdown reports a submission while the pool is draining (503).
 	ErrShutdown = errors.New("jobs: job queue shutting down")
+	// ErrNotQueued reports a reprioritization of a job that is no longer
+	// (or never was) waiting in a queue — running and terminal jobs keep
+	// their class (409, error code job_not_queued).
+	ErrNotQueued = errors.New("jobs: job is not queued")
 	// ErrTransient marks a Runner error as retryable: the executor backs
 	// off and retries the chunk instead of failing the job. The serve
 	// adapter wraps admission shedding and slot contention with it.
@@ -152,6 +157,13 @@ type SessionSpec struct {
 // parameters.
 type Spec struct {
 	SessionSpec
+	// ID, when non-empty, is the job ID to create under instead of a
+	// manager-minted one. It must satisfy store.ValidID and must not be
+	// taken. The router tier uses this (via the X-NBody-ID header) so the
+	// ID a job lives under is the key its shard was picked by, and so a
+	// drain handoff can resubmit a queued job on another shard without
+	// changing its identity.
+	ID string `json:"id,omitempty"`
 	// Steps is the total leapfrog steps the job integrates. Required,
 	// bounded by Config.MaxJobSteps.
 	Steps int `json:"steps"`
@@ -165,16 +177,24 @@ type Spec struct {
 
 // Info is the JSON description of a job.
 type Info struct {
-	ID        string    `json:"id"`
-	State     State     `json:"state"`
-	Class     string    `json:"class"`
-	Workload  string    `json:"workload,omitempty"`
-	Algorithm string    `json:"algorithm,omitempty"`
-	N         int       `json:"n"`
-	DT        float64   `json:"dt"`
-	Seed      uint64    `json:"seed"`
-	Steps     int       `json:"steps"`
-	StepsDone int       `json:"steps_done"`
+	ID        string  `json:"id"`
+	State     State   `json:"state"`
+	Class     string  `json:"class"`
+	Workload  string  `json:"workload,omitempty"`
+	Algorithm string  `json:"algorithm,omitempty"`
+	N         int     `json:"n"`
+	DT        float64 `json:"dt"`
+	Seed      uint64  `json:"seed"`
+	// Theta/Eps/G/Sequential/ChunkSteps echo the submitted spec so a
+	// router drain handoff can resubmit a queued job elsewhere without
+	// losing physics parameters.
+	Theta      float64   `json:"theta,omitempty"`
+	Eps        float64   `json:"eps,omitempty"`
+	G          float64   `json:"g,omitempty"`
+	Sequential bool      `json:"sequential,omitempty"`
+	ChunkSteps int       `json:"chunk_steps,omitempty"`
+	Steps      int       `json:"steps"`
+	StepsDone  int       `json:"steps_done"`
 	SessionID string    `json:"session_id,omitempty"`
 	Attempts  int       `json:"attempts,omitempty"`
 	Error     string    `json:"error,omitempty"`
@@ -219,6 +239,10 @@ type Config struct {
 	// (queue-depth gauges, per-class wait/run histograms, retry/requeue
 	// counters, job spans). Nil defaults to obs.Nop().
 	Obs *obs.Observer
+	// ShardID, when non-empty, prefixes manager-minted job IDs
+	// ("<shard>-j-<n>") so IDs stay globally unique across replicas behind
+	// a router. Must satisfy store.ValidID.
+	ShardID string
 }
 
 // withDefaults validates cfg and fills defaults.
@@ -258,6 +282,11 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Obs.Registry == nil {
 		return c, errors.New("jobs: Obs.Registry must not be nil")
+	}
+	if c.ShardID != "" {
+		if err := store.ValidID(c.ShardID); err != nil {
+			return c, fmt.Errorf("jobs: ShardID: %w", err)
+		}
 	}
 	return c, nil
 }

@@ -717,3 +717,102 @@ func TestListOrdersNumerically(t *testing.T) {
 		t.Errorf("snapshot %+v", s)
 	}
 }
+
+// TestReprioritize covers the PATCH surface's manager half: a queued job
+// moves class (and runs ahead of lower-priority work), a running job
+// refuses with ErrNotQueued, and bad inputs map onto the typed errors.
+func TestReprioritize(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	f := primedRunner(release, started)
+	m := newTestManager(t, Config{Runner: f, Workers: 1})
+	ctx := context.Background()
+
+	primer, err := m.Submit(ctx, spec("primer", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the single worker is pinned; everything below stays queued
+
+	low := spec("stays-low", 1)
+	low.Class = ClassLow
+	qLow, err := m.Submit(ctx, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promo := spec("promoted", 1)
+	promo.Class = ClassLow
+	qPromo, err := m.Submit(ctx, promo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := m.Reprioritize(ctx, qPromo.ID, ClassHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Class != ClassHigh || info.State != StateQueued {
+		t.Fatalf("reprioritized info %+v, want queued high", info)
+	}
+	// Same-class change is a no-op, not an error.
+	if _, err := m.Reprioritize(ctx, qPromo.ID, ClassHigh); err != nil {
+		t.Fatalf("same-class reprioritize: %v", err)
+	}
+
+	if _, err := m.Reprioritize(ctx, qPromo.ID, "urgent"); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("unknown class: err %v, want ErrBadRequest", err)
+	}
+	if _, err := m.Reprioritize(ctx, "j-999", ClassHigh); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown job: err %v, want ErrNotFound", err)
+	}
+	if _, err := m.Reprioritize(ctx, primer.ID, ClassHigh); !errors.Is(err, ErrNotQueued) {
+		t.Fatalf("running job: err %v, want ErrNotQueued", err)
+	}
+
+	close(release)
+	waitState(t, m, qPromo.ID, StateSucceeded)
+	waitState(t, m, qLow.ID, StateSucceeded)
+	// The promotion was real: the high job's session was created (job
+	// started) before the one that stayed low.
+	order := f.createdOrder()
+	if len(order) != 3 || order[1] != "promoted" || order[2] != "stays-low" {
+		t.Fatalf("start order %v, want [primer promoted stays-low]", order)
+	}
+}
+
+// TestSubmitRequestedID: a submitter (the router tier) may pin the job ID;
+// collisions and malformed IDs are rejected synchronously, and a sharded
+// manager prefixes its own minted IDs.
+func TestSubmitRequestedID(t *testing.T) {
+	f := newFakeRunner()
+	m := newTestManager(t, Config{Runner: f, Workers: 1, ShardID: "a"})
+	ctx := context.Background()
+
+	s := spec("plummer", 1)
+	s.ID = "rj-0123456789abcdef"
+	info, err := m.Submit(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != s.ID {
+		t.Fatalf("submitted under %q, requested %q", info.ID, s.ID)
+	}
+	waitState(t, m, s.ID, StateSucceeded)
+
+	if _, err := m.Submit(ctx, s); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("duplicate requested ID: err %v, want ErrBadRequest", err)
+	}
+	bad := spec("plummer", 1)
+	bad.ID = "no/slashes allowed"
+	if _, err := m.Submit(ctx, bad); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("malformed requested ID: err %v, want ErrBadRequest", err)
+	}
+
+	minted, err := m.Submit(ctx, spec("plummer", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(minted.ID, "a-j-") {
+		t.Fatalf("sharded manager minted %q, want a-j-<n>", minted.ID)
+	}
+}

@@ -69,22 +69,27 @@ type job struct {
 
 func (j *job) infoLocked() Info {
 	return Info{
-		ID:        j.id,
-		State:     j.state,
-		Class:     j.spec.Class,
-		Workload:  j.spec.Workload,
-		Algorithm: j.spec.Algorithm,
-		N:         j.spec.N,
-		DT:        j.spec.DT,
-		Seed:      j.spec.Seed,
-		Steps:     j.spec.Steps,
-		StepsDone: j.stepsDone,
-		SessionID: j.sessionID,
-		Attempts:  j.attempts,
-		Error:     j.errMsg,
-		Created:   j.created,
-		Started:   j.started,
-		Finished:  j.finished,
+		ID:         j.id,
+		State:      j.state,
+		Class:      j.spec.Class,
+		Workload:   j.spec.Workload,
+		Algorithm:  j.spec.Algorithm,
+		N:          j.spec.N,
+		DT:         j.spec.DT,
+		Seed:       j.spec.Seed,
+		Theta:      j.spec.Theta,
+		Eps:        j.spec.Eps,
+		G:          j.spec.G,
+		Sequential: j.spec.Sequential,
+		ChunkSteps: j.spec.ChunkSteps,
+		Steps:      j.spec.Steps,
+		StepsDone:  j.stepsDone,
+		SessionID:  j.sessionID,
+		Attempts:   j.attempts,
+		Error:      j.errMsg,
+		Created:    j.created,
+		Started:    j.started,
+		Finished:   j.finished,
 	}
 }
 
@@ -242,13 +247,37 @@ func (m *Manager) recover() error {
 			m.log.Log(context.Background(), "job re-enqueued", "job", j.id,
 				"class", j.spec.Class, "steps_done", j.stepsDone)
 		}
-		if suffix, ok := strings.CutPrefix(j.id, "j-"); ok {
-			if n, err := strconv.ParseUint(suffix, 10, 64); err == nil && n > m.nextID {
-				m.nextID = n
-			}
+		if n, ok := m.mintedSeq(j.id); ok && n > m.nextID {
+			m.nextID = n
 		}
 	}
 	return nil
+}
+
+// mintedID formats the n-th manager-minted job ID, shard-prefixed when the
+// manager runs as a named replica so IDs stay globally unique behind a
+// router.
+func (m *Manager) mintedID(n uint64) string {
+	if m.cfg.ShardID != "" {
+		return fmt.Sprintf("%s-j-%d", m.cfg.ShardID, n)
+	}
+	return fmt.Sprintf("j-%d", n)
+}
+
+// mintedSeq reports the sequence number of an ID this manager minted;
+// requested IDs (router-minted or from another shard) don't parse and never
+// advance the counter.
+func (m *Manager) mintedSeq(id string) (uint64, bool) {
+	prefix := "j-"
+	if m.cfg.ShardID != "" {
+		prefix = m.cfg.ShardID + "-j-"
+	}
+	suffix, ok := strings.CutPrefix(id, prefix)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(suffix, 10, 64)
+	return n, err == nil
 }
 
 // Submit validates spec, enqueues a new job and returns its description.
@@ -258,6 +287,11 @@ func (m *Manager) recover() error {
 func (m *Manager) Submit(ctx context.Context, spec Spec) (Info, error) {
 	if spec.Class == "" {
 		spec.Class = ClassNormal
+	}
+	if spec.ID != "" {
+		if err := store.ValidID(spec.ID); err != nil {
+			return Info{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
 	}
 	if !validClass(spec.Class) {
 		return Info{}, fmt.Errorf("%w: unknown priority class %q (want one of %s)",
@@ -291,10 +325,23 @@ func (m *Manager) Submit(ctx context.Context, spec Spec) (Info, error) {
 		return Info{}, retryHint{fmt.Errorf("%w (%d queued, limit %d)", ErrQueueFull, m.cfg.MaxQueue, m.cfg.MaxQueue), hint}
 	}
 	m.pruneLocked()
-	m.nextID++
+	id := spec.ID
+	if id != "" {
+		if _, taken := m.jobs[id]; taken {
+			m.mu.Unlock()
+			return Info{}, fmt.Errorf("%w: job id %q already exists", ErrBadRequest, id)
+		}
+	} else {
+		for id == "" {
+			m.nextID++
+			if _, taken := m.jobs[m.mintedID(m.nextID)]; !taken {
+				id = m.mintedID(m.nextID)
+			}
+		}
+	}
 	now := time.Now()
 	j := &job{
-		id:       fmt.Sprintf("j-%d", m.nextID),
+		id:       id,
 		spec:     spec,
 		state:    StateQueued,
 		created:  now,
@@ -442,6 +489,50 @@ func (m *Manager) Cancel(ctx context.Context, id string) (info Info, deleted boo
 		m.log.Log(ctx, "job deleted", "job", id)
 		return info, true, nil
 	}
+}
+
+// Reprioritize moves a queued job to another priority class: it leaves its
+// current class queue and joins the tail of the new one (changing class
+// does not jump ahead of work already waiting there). Only queued jobs can
+// move — a running or terminal job keeps its class and the call fails with
+// ErrNotQueued. A no-op class change (same class) succeeds without moving
+// the job.
+func (m *Manager) Reprioritize(ctx context.Context, id, class string) (Info, error) {
+	if !validClass(class) {
+		return Info{}, fmt.Errorf("%w: unknown priority class %q (want one of %s)",
+			ErrBadRequest, class, strings.Join(Classes(), ", "))
+	}
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if j.state != StateQueued {
+		m.mu.Unlock()
+		return Info{}, fmt.Errorf("%w: job %s is %s", ErrNotQueued, id, j.state)
+	}
+	old := j.spec.Class
+	if old != class {
+		q := m.queues[old]
+		for i, qj := range q {
+			if qj == j {
+				m.queues[old] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+		j.spec.Class = class
+		m.queues[class] = append(m.queues[class], j)
+	}
+	info := j.infoLocked()
+	m.mu.Unlock()
+	if old != class {
+		m.ins.reprioritized.Inc()
+		m.persist(j)
+		m.log.Log(ctx, "job reprioritized", "job", id, "from", old, "to", class)
+		m.cond.Signal()
+	}
+	return info, nil
 }
 
 // WriteSnapshot streams job id's current simulation state in the

@@ -17,6 +17,8 @@ type instruments struct {
 	requeued  *obs.Counter
 	pruned    *obs.Counter
 
+	reprioritized *obs.Counter
+
 	recordErrors *obs.Counter
 
 	waitSeconds *obs.HistogramVec // class
@@ -48,6 +50,9 @@ func newInstruments(reg *obs.Registry) *instruments {
 			"Running jobs checkpointed and returned to the queue by a drain or recovered mid-run after a crash."),
 		pruned: reg.Counter("nbody_jobs_pruned_total",
 			"Terminal job records removed by retention to bound memory."),
+
+		reprioritized: reg.Counter("nbody_jobs_reprioritized_total",
+			"Queued jobs moved to another priority class via PATCH /v1/jobs/{id}."),
 
 		recordErrors: reg.Counter("nbody_job_record_errors_total",
 			"Durable job-record commits that failed (the job continues from memory)."),

@@ -1,0 +1,68 @@
+package router
+
+import "nbody/internal/obs"
+
+// instruments holds every obs metric the router feeds. Names are stable
+// API, documented in the README's Sharding & routing section.
+type instruments struct {
+	requests     *obs.CounterVec   // shard, code: proxied requests by upstream status class
+	proxySeconds *obs.HistogramVec // shard: proxy round-trip latency
+	placements   *obs.CounterVec   // shard: new session/job IDs placed
+	readRetries  *obs.Counter      // idempotent GETs retried on another shard
+	handoffs     *obs.CounterVec   // result: ok | failed | skipped
+	probeFails   *obs.CounterVec   // shard: failed health probes
+
+	// Refreshed at scrape time by the collect hook.
+	shardUp       *obs.GaugeVec // shard
+	shardDraining *obs.GaugeVec // shard
+}
+
+// newInstruments registers the router's metric families in reg.
+func newInstruments(reg *obs.Registry) *instruments {
+	return &instruments{
+		requests: reg.CounterVec("nbody_router_requests_total",
+			"Requests proxied to a shard, by shard and upstream status code.", "shard", "code"),
+		proxySeconds: reg.HistogramVec("nbody_router_proxy_seconds",
+			"Proxy latency from request send to upstream response headers, by shard.",
+			obs.TimeBuckets(), "shard"),
+		placements: reg.CounterVec("nbody_router_placements_total",
+			"New session/job IDs placed on a shard by the ring.", "shard"),
+		readRetries: reg.Counter("nbody_router_read_retries_total",
+			"Idempotent GETs retried on another shard after the first choice failed."),
+		handoffs: reg.CounterVec("nbody_router_handoffs_total",
+			"Queued jobs handed off during a shard drain, by result.", "result"),
+		probeFails: reg.CounterVec("nbody_router_probe_failures_total",
+			"Failed /readyz health probes, by shard.", "shard"),
+
+		shardUp: reg.GaugeVec("nbody_router_shard_up",
+			"1 when the shard is passing health probes, 0 when it is down.", "shard"),
+		shardDraining: reg.GaugeVec("nbody_router_shard_draining",
+			"1 when the shard is draining (no new placements), 0 otherwise.", "shard"),
+	}
+}
+
+// install pre-touches the per-shard label sets so every shard exports a
+// series from boot, and hooks the health gauges to refresh at scrape time.
+func (ins *instruments) install(reg *obs.Registry, rt *Router) {
+	for _, name := range rt.ring.Shards() {
+		ins.requests.With(name, "2xx")
+		ins.placements.With(name)
+		ins.probeFails.With(name)
+	}
+	for _, result := range []string{"ok", "failed", "skipped"} {
+		ins.handoffs.With(result)
+	}
+	reg.OnCollect(func() {
+		for name, s := range rt.shards {
+			up, draining := 0.0, 0.0
+			if s.up.Load() {
+				up = 1
+			}
+			if s.draining.Load() {
+				draining = 1
+			}
+			ins.shardUp.With(name).Set(up)
+			ins.shardDraining.With(name).Set(draining)
+		}
+	})
+}

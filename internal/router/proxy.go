@@ -1,0 +1,589 @@
+package router
+
+// The router's HTTP front end: the /v1 proxy surface plus the router's
+// own admin and health endpoints. Requests are forwarded byte-for-byte
+// through the client SDK's RawRequest (one hop, no SDK-level retries —
+// the router is its own retry policy), with the owning shard's name
+// stamped on every response as X-NBody-Shard.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"nbody/internal/obs"
+)
+
+const (
+	// shardHeader / idHeader mirror serve.ShardHeader / serve.IDHeader
+	// (not imported: the router depends only on the client SDK and the
+	// wire contract).
+	shardHeader = "X-NBody-Shard"
+	idHeader    = "X-NBody-ID"
+
+	// maxBufferedBody bounds the write bodies the router holds in memory
+	// to make them replayable for 404 relocation. Larger bodies (snapshot
+	// uploads) stream through to a single target instead.
+	maxBufferedBody = 4 << 20
+
+	// maxBufferedError bounds a buffered upstream error body (404s held
+	// for replay while the discovery walk continues).
+	maxBufferedError = 64 << 10
+)
+
+// Handler returns the router's HTTP surface:
+//
+//	POST /v1/sessions, /v1/jobs        place on a shard (router-minted ID)
+//	GET  /v1/sessions, /v1/jobs        scatter-gather across shards
+//	*    /v1/sessions/{id}[/...]       route by ID
+//	*    /v1/jobs/{id}[/...]           route by ID
+//	GET  /v1/shards                    shard health listing
+//	POST /v1/shards/{name}/drain       drain + queued-job handoff
+//	POST /v1/shards/{name}/undrain     re-enable placements
+//	GET  /healthz, /readyz, /metrics   the router's own probes + metrics
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyCreate(w, r, "s", "rs")
+	})
+	mux.HandleFunc("GET /v1/sessions", rt.listSessions)
+	mux.HandleFunc("/v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyByID(w, r, "s", r.PathValue("id"), "")
+	})
+	mux.HandleFunc("/v1/sessions/{id}/{sub...}", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyByID(w, r, "s", r.PathValue("id"), r.PathValue("sub"))
+	})
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyCreate(w, r, "j", "rj")
+	})
+	mux.HandleFunc("GET /v1/jobs", rt.listJobs)
+	mux.HandleFunc("/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyByID(w, r, "j", r.PathValue("id"), "")
+	})
+	mux.HandleFunc("/v1/jobs/{id}/{sub...}", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxyByID(w, r, "j", r.PathValue("id"), r.PathValue("sub"))
+	})
+
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"shards": rt.Status()})
+	})
+	mux.HandleFunc("POST /v1/shards/{name}/drain", func(w http.ResponseWriter, r *http.Request) {
+		res, err := rt.Drain(r.Context(), r.PathValue("name"))
+		if err != nil {
+			status := http.StatusBadGateway
+			if strings.Contains(err.Error(), "unknown shard") {
+				status = http.StatusNotFound
+			}
+			writeRouterError(w, status, "invalid_request", err.Error(), "")
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/shards/{name}/undrain", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if err := rt.Undrain(r.Context(), name); err != nil {
+			writeRouterError(w, http.StatusNotFound, "invalid_request", err.Error(), "")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"shard": name, "draining": false})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		for _, name := range rt.ring.Shards() {
+			if rt.placeable(name) {
+				writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+				return
+			}
+		}
+		writeRouterError(w, http.StatusServiceUnavailable, "no_healthy_shards",
+			"router: no shard is accepting placements", "")
+	})
+	mux.Handle("GET /metrics", rt.cfg.Obs.Registry.Handler())
+
+	return rt.instrument(mux)
+}
+
+// instrument assigns/echoes X-Request-ID and logs every router request.
+func (rt *Router) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		w.Header().Set("X-Request-ID", reqID)
+		sw := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		rt.log.Log(ctx, "router request", "method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "shard", sw.Header().Get(shardHeader),
+			"duration_ms", time.Since(start).Seconds()*1e3)
+	})
+}
+
+// statusRecorder captures the status for the request log. Unwrap lets
+// http.ResponseController reach the real writer's Flush for streams.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Unwrap() http.ResponseWriter { return s.ResponseWriter }
+
+// forward sends one request to a shard and returns the raw response. The
+// proxy latency histogram observes time to response headers (streams keep
+// flowing long after), and the per-shard request counter buckets by
+// status class.
+func (rt *Router) forward(r *http.Request, name, method, uri string, header http.Header, body io.Reader) (*http.Response, error) {
+	s := rt.shards[name]
+	start := time.Now()
+	resp, err := s.c.RawRequest(r.Context(), method, uri, header, body)
+	rt.ins.proxySeconds.With(name).Observe(time.Since(start).Seconds())
+	if err != nil {
+		rt.ins.requests.With(name, "error").Inc()
+		return nil, err
+	}
+	rt.ins.requests.With(name, statusClass(resp.StatusCode)).Inc()
+	return resp, nil
+}
+
+func statusClass(code int) string {
+	return strconv.Itoa(code/100) + "xx"
+}
+
+// proxyHeader copies the request headers worth forwarding: everything but
+// the hop-by-hop set (RFC 9110 §7.6.1).
+func proxyHeader(r *http.Request) http.Header {
+	h := make(http.Header, len(r.Header))
+	for k, vs := range r.Header {
+		if isHopByHop(k) {
+			continue
+		}
+		h[k] = vs
+	}
+	return h
+}
+
+func isHopByHop(key string) bool {
+	switch http.CanonicalHeaderKey(key) {
+	case "Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+		"Proxy-Connection", "Te", "Trailer", "Transfer-Encoding", "Upgrade":
+		return true
+	}
+	return false
+}
+
+// copyResponse relays an upstream response to the client, overwriting the
+// shard identity header with the shard actually hit and flushing after
+// every chunk so NDJSON watch streams and heartbeats pass through
+// unbuffered.
+func copyResponse(w http.ResponseWriter, resp *http.Response, shardName string) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		if isHopByHop(k) {
+			continue
+		}
+		w.Header()[k] = vs
+	}
+	w.Header().Set(shardHeader, shardName)
+	w.WriteHeader(resp.StatusCode)
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			rc.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// bufferedResponse holds a small upstream response (a 404 during the
+// discovery walk) for possible replay after the walk exhausts.
+type bufferedResponse struct {
+	status int
+	header http.Header
+	body   []byte
+	shard  string
+}
+
+// bufferResponse drains and closes resp into a replayable copy.
+func bufferResponse(resp *http.Response, shardName string) *bufferedResponse {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, maxBufferedError))
+	resp.Body.Close()
+	return &bufferedResponse{status: resp.StatusCode, header: resp.Header, body: body, shard: shardName}
+}
+
+func (b *bufferedResponse) replay(w http.ResponseWriter) {
+	for k, vs := range b.header {
+		if isHopByHop(k) {
+			continue
+		}
+		w.Header()[k] = vs
+	}
+	w.Header().Set(shardHeader, b.shard)
+	w.Header().Del("Content-Length")
+	w.WriteHeader(b.status)
+	w.Write(b.body)
+}
+
+// proxyCreate places a fresh resource: mint the ID, pick the first
+// placeable shard in ring order from it, and forward with the minted ID
+// in X-NBody-ID so the shard stores the resource under the routing key.
+// The body streams straight through (snapshot uploads can be tens of MB),
+// so there is no retry — a placeable shard that fails the request
+// surfaces as 502.
+func (rt *Router) proxyCreate(w http.ResponseWriter, r *http.Request, ns, prefix string) {
+	id := mintID(prefix)
+	target := rt.place(id)
+	if target == "" {
+		writeRouterError(w, http.StatusServiceUnavailable, "no_healthy_shards",
+			"router: no shard is accepting placements", "")
+		return
+	}
+	header := proxyHeader(r)
+	header.Set(idHeader, id)
+	resp, err := rt.forward(r, target, r.Method, r.URL.RequestURI(), header, r.Body)
+	if err != nil {
+		writeRouterError(w, http.StatusBadGateway, "bad_gateway",
+			fmt.Sprintf("router: shard %s: %v", target, err), target)
+		return
+	}
+	if resp.StatusCode/100 == 2 {
+		rt.cache.put(ns, id, target)
+		rt.ins.placements.With(target).Inc()
+	}
+	copyResponse(w, resp, target)
+}
+
+// proxyByID routes a request addressed to one resource. Idempotent reads
+// walk the alive shards in cache-then-ring order, treating both transport
+// errors and 404s as "try the next" (the latter is how off-owner
+// resources — handed-off jobs, shard-minted backing sessions — are
+// discovered). Everything else is a write: it goes to exactly one shard,
+// and when that shard is down the request fails shard_unavailable rather
+// than risk applying elsewhere. A 404 from the target is the one safe
+// relocation signal for a write (the shard did no work), so small-bodied
+// writes then retry across the remaining alive shards.
+func (rt *Router) proxyByID(w http.ResponseWriter, r *http.Request, ns, id, sub string) {
+	// GET /watch advances the simulation and GET on artifacts of a
+	// stepping session still never mutates; the one non-idempotent GET is
+	// watch, and step/delete/patch are writes outright.
+	isRead := r.Method == http.MethodGet && sub != "watch"
+	if isRead {
+		rt.proxyRead(w, r, ns, id)
+		return
+	}
+	rt.proxyWrite(w, r, ns, id)
+}
+
+func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, ns, id string) {
+	candidates := rt.readCandidates(ns, id)
+	if len(candidates) == 0 {
+		writeRouterError(w, http.StatusServiceUnavailable, "no_healthy_shards",
+			"router: no shard is reachable", "")
+		return
+	}
+	uri := r.URL.RequestURI()
+	var last404 *bufferedResponse
+	failures := 0
+	for i, name := range candidates {
+		if i > 0 {
+			rt.ins.readRetries.Inc()
+		}
+		resp, err := rt.forward(r, name, r.Method, uri, proxyHeader(r), nil)
+		if err != nil {
+			failures++
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			last404 = bufferResponse(resp, name)
+			continue
+		}
+		if resp.StatusCode/100 == 2 {
+			rt.cache.put(ns, id, name)
+		}
+		copyResponse(w, resp, name)
+		return
+	}
+	if last404 != nil {
+		// Every reachable shard denied knowing the ID: genuinely gone.
+		rt.cache.drop(ns, id)
+		last404.replay(w)
+		return
+	}
+	writeRouterError(w, http.StatusBadGateway, "bad_gateway",
+		fmt.Sprintf("router: all %d candidate shard(s) failed", failures), "")
+}
+
+func (rt *Router) proxyWrite(w http.ResponseWriter, r *http.Request, ns, id string) {
+	target, ok := rt.writeTarget(ns, id)
+	if !ok {
+		writeRouterError(w, http.StatusServiceUnavailable, "shard_unavailable",
+			fmt.Sprintf("router: shard %s owning %s is unavailable", target, id), target)
+		return
+	}
+	uri := r.URL.RequestURI()
+	header := proxyHeader(r)
+
+	// Bodies up to maxBufferedBody are held for replay so a 404 can
+	// relocate the write; larger ones stream to the single target.
+	var body []byte
+	buffered := false
+	if r.ContentLength >= 0 && r.ContentLength <= maxBufferedBody {
+		b, err := io.ReadAll(io.LimitReader(r.Body, maxBufferedBody+1))
+		if err != nil {
+			writeRouterError(w, http.StatusBadGateway, "bad_gateway",
+				fmt.Sprintf("router: reading request body: %v", err), "")
+			return
+		}
+		body, buffered = b, true
+	}
+
+	send := func(name string) (*http.Response, error) {
+		if buffered {
+			return rt.forward(r, name, r.Method, uri, header, bytes.NewReader(body))
+		}
+		return rt.forward(r, name, r.Method, uri, header, r.Body)
+	}
+	resp, err := send(target)
+	if err != nil {
+		// The request may have reached the shard: report, don't retry.
+		writeRouterError(w, http.StatusBadGateway, "bad_gateway",
+			fmt.Sprintf("router: shard %s: %v", target, err), target)
+		return
+	}
+	if resp.StatusCode == http.StatusNotFound && buffered {
+		last404 := bufferResponse(resp, target)
+		for _, name := range rt.relocateCandidates(id, target) {
+			resp2, err2 := send(name)
+			if err2 != nil {
+				continue
+			}
+			if resp2.StatusCode == http.StatusNotFound {
+				last404 = bufferResponse(resp2, name)
+				continue
+			}
+			if resp2.StatusCode/100 == 2 {
+				rt.cache.put(ns, id, name)
+			}
+			copyResponse(w, resp2, name)
+			return
+		}
+		rt.cache.drop(ns, id)
+		last404.replay(w)
+		return
+	}
+	if resp.StatusCode/100 == 2 {
+		rt.cache.put(ns, id, target)
+	}
+	copyResponse(w, resp, target)
+}
+
+// listSessions scatter-gathers GET /v1/sessions across the alive shards,
+// preserving serve's cursor contract: each shard filters and orders by
+// the same ID comparator, so a k-way merge of the per-shard pages is the
+// global page, and the cursor (last ID of the previous page) means the
+// same thing against every shard.
+func (rt *Router) listSessions(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeRouterError(w, http.StatusBadRequest, "invalid_request",
+				fmt.Sprintf("router: limit %q must be a non-negative integer", v), "")
+			return
+		}
+		if n > 0 {
+			limit = min(n, 1000)
+		}
+	}
+
+	type page struct {
+		Sessions   []json.RawMessage `json:"sessions"`
+		NextCursor string            `json:"next_cursor"`
+	}
+	type entry struct {
+		id  string
+		raw json.RawMessage
+	}
+	var merged []entry
+	sawMore := false
+	uri := r.URL.RequestURI()
+	for _, name := range rt.ring.Shards() {
+		if !rt.alive(name) {
+			continue
+		}
+		var p page
+		if err := rt.fetchJSON(r, name, uri, &p); err != nil {
+			writeRouterError(w, http.StatusBadGateway, "bad_gateway",
+				fmt.Sprintf("router: listing sessions on shard %s: %v", name, err), name)
+			return
+		}
+		if p.NextCursor != "" {
+			sawMore = true
+		}
+		for _, raw := range p.Sessions {
+			var meta struct {
+				ID string `json:"id"`
+			}
+			json.Unmarshal(raw, &meta)
+			merged = append(merged, entry{id: meta.ID, raw: raw})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return serveIDLess(merged[i].id, merged[j].id, "s-") })
+	next := ""
+	if len(merged) > limit {
+		merged = merged[:limit]
+		sawMore = true
+	}
+	if sawMore && len(merged) > 0 {
+		next = merged[len(merged)-1].id
+	}
+	out := make([]json.RawMessage, len(merged))
+	for i, e := range merged {
+		out[i] = e.raw
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out, "next_cursor": omitEmpty(next)})
+}
+
+// listJobs scatter-gathers GET /v1/jobs (unpaginated) across the alive
+// shards, deduplicating by job ID: a drain handoff that failed to clean
+// the origin's cancelled record would otherwise show the job twice, so
+// the non-cancelled copy wins.
+func (rt *Router) listJobs(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		id, state string
+		raw       json.RawMessage
+	}
+	byID := make(map[string]entry)
+	uri := r.URL.RequestURI()
+	for _, name := range rt.ring.Shards() {
+		if !rt.alive(name) {
+			continue
+		}
+		var p struct {
+			Jobs []json.RawMessage `json:"jobs"`
+		}
+		if err := rt.fetchJSON(r, name, uri, &p); err != nil {
+			writeRouterError(w, http.StatusBadGateway, "bad_gateway",
+				fmt.Sprintf("router: listing jobs on shard %s: %v", name, err), name)
+			return
+		}
+		for _, raw := range p.Jobs {
+			var meta struct {
+				ID    string `json:"id"`
+				State string `json:"state"`
+			}
+			json.Unmarshal(raw, &meta)
+			e := entry{id: meta.ID, state: meta.State, raw: raw}
+			if prev, dup := byID[meta.ID]; !dup || (prev.state == "cancelled" && e.state != "cancelled") {
+				byID[meta.ID] = e
+			}
+		}
+	}
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return serveIDLess(ids[i], ids[j], "j-") })
+	out := make([]json.RawMessage, len(ids))
+	for i, id := range ids {
+		out[i] = byID[id].raw
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// fetchJSON forwards a GET to one shard and decodes the 2xx JSON body.
+func (rt *Router) fetchJSON(r *http.Request, name, uri string, out any) error {
+	resp, err := rt.forward(r, name, http.MethodGet, uri, proxyHeader(r), nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body[:min(len(body), 256)])))
+	}
+	return json.Unmarshal(body, out)
+}
+
+// serveIDLess replicates the shards' ID ordering (serve's idLess /
+// internal/jobs' idLess): IDs minted by an unsharded server
+// ("s-<n>"/"j-<n>") sort numerically, everything else (router-minted,
+// shard-prefixed) lexicographically after them. The router must order
+// merged pages exactly as each shard orders its own, or cursors would
+// skip or repeat entries across shards.
+func serveIDLess(a, b, prefix string) bool {
+	an, as := serveIDKey(a, prefix)
+	bn, bs := serveIDKey(b, prefix)
+	if an != bn {
+		return an < bn
+	}
+	return as < bs
+}
+
+func serveIDKey(id, prefix string) (uint64, string) {
+	if suffix, ok := strings.CutPrefix(id, prefix); ok {
+		if n, err := strconv.ParseUint(suffix, 10, 64); err == nil {
+			return n, ""
+		}
+	}
+	return ^uint64(0), id
+}
+
+func omitEmpty(s string) any {
+	if s == "" {
+		return nil
+	}
+	return s
+}
+
+// writeRouterError renders a router-generated error in the same envelope
+// shape the shards use, so SDK clients decode both identically. 503s
+// carry Retry-After: the condition is health-probe-scale transient.
+func writeRouterError(w http.ResponseWriter, status int, code, msg, shardName string) {
+	w.Header().Set("Content-Type", "application/json")
+	if shardName != "" {
+		w.Header().Set(shardHeader, shardName)
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	detail := map[string]string{"code": code, "message": msg}
+	if shardName != "" {
+		detail["shard"] = shardName
+	}
+	json.NewEncoder(w).Encode(map[string]any{"error": detail})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,189 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys returns n deterministic test keys shaped like router-minted IDs.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("rs-%016x", uint64(i)*0x9e3779b97f4a7c15)
+	}
+	return out
+}
+
+func owners(r *Ring, ks []string) map[string]string {
+	m := make(map[string]string, len(ks))
+	for _, k := range ks {
+		m[k] = r.Owner(k)
+	}
+	return m
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(8, nil); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	if _, err := NewRing(8, []string{"a", ""}); err == nil {
+		t.Fatal("empty shard name accepted")
+	}
+	if _, err := NewRing(8, []string{"a", "a"}); err == nil {
+		t.Fatal("duplicate shard name accepted")
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(64, []string{"s1", "s2", "s3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Construction order must not matter: every router instance computes
+	// the same placement.
+	b, err := NewRing(64, []string{"s3", "s1", "s2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %s differs across construction orders: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingSequence(t *testing.T) {
+	r, err := NewRing(64, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(100) {
+		seq := r.Sequence(k)
+		if len(seq) != 3 {
+			t.Fatalf("sequence of %s has %d entries, want 3", k, len(seq))
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("sequence of %s starts with %s, owner is %s", k, seq[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, s := range seq {
+			if seen[s] {
+				t.Fatalf("sequence of %s repeats %s", k, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestRingBalance checks the virtual nodes smooth the split: no shard of
+// 4 owns less than half or more than double its fair share of a large
+// key population.
+func TestRingBalance(t *testing.T) {
+	shards := []string{"a", "b", "c", "d"}
+	r, err := NewRing(0, shards) // default virtual nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	ks := keys(20_000)
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	fair := len(ks) / len(shards)
+	for _, s := range shards {
+		if counts[s] < fair/2 || counts[s] > fair*2 {
+			t.Errorf("shard %s owns %d keys, fair share %d (counts %v)", s, counts[s], fair, counts)
+		}
+	}
+}
+
+// TestRingRebalanceAdd is the satellite's rebalance bound: adding a shard
+// to N moves only ~1/(N+1) of a fixed key population, and — the defining
+// consistent-hashing property — every key that moves, moves TO the new
+// shard. The fraction check is statistical (generous 2x bounds around
+// the expectation); the direction check is exact.
+func TestRingRebalanceAdd(t *testing.T) {
+	ks := keys(20_000)
+	before, err := NewRing(0, []string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(0, []string{"a", "b", "c", "d", "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, oa := owners(before, ks), owners(after, ks)
+	moved := 0
+	for _, k := range ks {
+		if ob[k] == oa[k] {
+			continue
+		}
+		moved++
+		if oa[k] != "e" {
+			t.Fatalf("key %s moved %s → %s; adding a shard may only move keys to it", k, ob[k], oa[k])
+		}
+	}
+	expect := len(ks) / 5
+	if moved < expect/2 || moved > expect*2 {
+		t.Errorf("adding 1 shard to 4 moved %d of %d keys, want ~%d (1/5)", moved, len(ks), expect)
+	}
+}
+
+// TestRingRebalanceRemove: removing a shard moves exactly its own keys
+// (~1/N of the population) and touches nothing else.
+func TestRingRebalanceRemove(t *testing.T) {
+	ks := keys(20_000)
+	before, err := NewRing(0, []string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing(0, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, oa := owners(before, ks), owners(after, ks)
+	moved := 0
+	for _, k := range ks {
+		if ob[k] == "d" {
+			moved++
+			if oa[k] == "d" {
+				t.Fatalf("key %s still owned by removed shard", k)
+			}
+			continue
+		}
+		if ob[k] != oa[k] {
+			t.Fatalf("key %s moved %s → %s though its shard was not removed", k, ob[k], oa[k])
+		}
+	}
+	expect := len(ks) / 4
+	if moved < expect/2 || moved > expect*2 {
+		t.Errorf("removing 1 shard of 4 moved %d of %d keys, want ~%d (1/4)", moved, len(ks), expect)
+	}
+}
+
+func TestLocationCache(t *testing.T) {
+	c := newLocationCache(2)
+	c.put("s", "id1", "a")
+	c.put("j", "id1", "b") // same ID, different namespace: distinct entries... evicts nothing yet
+	if v, ok := c.get("s", "id1"); !ok || v != "a" {
+		t.Fatalf("s/id1 = %q, %v; want a, true", v, ok)
+	}
+	if v, ok := c.get("j", "id1"); !ok || v != "b" {
+		t.Fatalf("j/id1 = %q, %v; want b, true", v, ok)
+	}
+	c.put("s", "id2", "c") // over capacity: evicts the oldest (s/id1)
+	if _, ok := c.get("s", "id1"); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if v, ok := c.get("s", "id2"); !ok || v != "c" {
+		t.Fatalf("s/id2 = %q, %v; want c, true", v, ok)
+	}
+	c.put("s", "id2", "d") // update in place, no new fifo entry
+	if v, _ := c.get("s", "id2"); v != "d" {
+		t.Fatalf("s/id2 = %q after update, want d", v)
+	}
+	c.drop("s", "id2")
+	if _, ok := c.get("s", "id2"); ok {
+		t.Fatal("dropped entry still present")
+	}
+}

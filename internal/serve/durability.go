@@ -9,8 +9,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"strconv"
-	"strings"
 	"time"
 
 	"nbody/internal/body"
@@ -269,10 +267,8 @@ func (m *Manager) recoverSessions() error {
 		m.recoveredTotal.Add(1)
 		m.ins.sessionsRecovered.Inc()
 		m.log.Log(context.Background(), "session recovered", "session", r.Meta.ID, "step", r.Meta.Step)
-		if suffix, ok := strings.CutPrefix(r.Meta.ID, "s-"); ok {
-			if n, err := strconv.ParseUint(suffix, 10, 64); err == nil && n > maxID {
-				maxID = n
-			}
+		if n, ok := m.mintedSeq(r.Meta.ID); ok && n > maxID {
+			maxID = n
 		}
 	}
 	// New sessions must never collide with recovered IDs.

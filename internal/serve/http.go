@@ -38,6 +38,7 @@ const (
 	CodeInternal        = "internal"
 	CodeJobNotFound     = "job_not_found"
 	CodeJobNotReady     = "job_not_ready"
+	CodeJobNotQueued    = "job_not_queued"
 )
 
 // ErrorDetail is the body of every 4xx/5xx response:
@@ -50,7 +51,20 @@ type ErrorDetail struct {
 	Code         string `json:"code"`
 	Message      string `json:"message"`
 	SessionState string `json:"session_state,omitempty"`
+	// Shard names the replica that produced the error in a sharded
+	// deployment (mirrors the X-NBody-Shard response header); empty when
+	// the server runs unsharded.
+	Shard string `json:"shard,omitempty"`
 }
+
+// Sharding headers: ShardHeader carries the replica name on every response
+// of a shard (and of the router, which overwrites it with the shard it
+// proxied to); IDHeader lets a caller — in practice the router, which picks
+// shards by ID — request the ID a created session or job should live under.
+const (
+	ShardHeader = "X-NBody-Shard"
+	IDHeader    = "X-NBody-ID"
+)
 
 // errorResponse is the error envelope, optionally carrying the partial
 // result of an interrupted step request.
@@ -227,6 +241,9 @@ func instrument(next http.Handler, m *Manager) http.Handler {
 		ctx := obs.WithRequestID(r.Context(), reqID)
 		ctx = context.WithValue(ctx, routeKey, holder)
 		w.Header().Set("X-Request-ID", reqID)
+		if shard := m.Config().ShardID; shard != "" {
+			w.Header().Set(ShardHeader, shard)
+		}
 
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
@@ -269,6 +286,7 @@ func handleCreate(m *Manager, w http.ResponseWriter, r *http.Request) {
 			writeError(w, qerr)
 			return
 		}
+		req.ID = r.Header.Get(IDHeader)
 		// Cap the upload at the exact encoded size of MaxBodies bodies;
 		// anything larger necessarily declares a body count the manager
 		// rejects anyway.
@@ -285,6 +303,9 @@ func handleCreate(m *Manager, w http.ResponseWriter, r *http.Request) {
 		if dec.More() {
 			writeError(w, fmt.Errorf("%w: trailing data after JSON body", ErrBadRequest))
 			return
+		}
+		if id := r.Header.Get(IDHeader); id != "" {
+			req.ID = id
 		}
 		info, err = m.Create(r.Context(), req)
 	}
@@ -563,6 +584,9 @@ func errorDetailOf(err error) (int, ErrorDetail) {
 	case errors.Is(err, jobs.ErrNotReady):
 		d.Code = CodeJobNotReady
 		return http.StatusConflict, d
+	case errors.Is(err, jobs.ErrNotQueued):
+		d.Code = CodeJobNotQueued
+		return http.StatusConflict, d
 	case errors.Is(err, jobs.ErrBadRequest):
 		d.Code = CodeInvalidRequest
 		return http.StatusBadRequest, d
@@ -591,6 +615,7 @@ func statusOf(err error) int {
 // degrades to the minimum rather than disappearing.
 func writeError(w http.ResponseWriter, err error) {
 	status, detail := errorDetailOf(err)
+	detail.Shard = w.Header().Get(ShardHeader)
 	if status == http.StatusTooManyRequests {
 		secs := retryAfterMin
 		var h interface{ RetryAfterSeconds() int }

@@ -609,3 +609,81 @@ func TestHandlerOverload429(t *testing.T) {
 		t.Fatalf("queued request finished with %d", code)
 	}
 }
+
+// TestShardIdentityAndRequestedID covers the serve-side half of the
+// routing contract: a configured shard stamps X-NBody-Shard on every
+// response and inside error envelopes, honors router-requested session
+// IDs from X-NBody-ID, rejects duplicates, and prefixes its own minted
+// IDs with the shard name.
+func TestShardIdentityAndRequestedID(t *testing.T) {
+	cfg := testConfig()
+	cfg.ShardID = "a"
+	_, srv := newTestServer(t, cfg)
+
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/sessions",
+		strings.NewReader(`{"workload":"plummer","n":64,"dt":0.001}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(IDHeader, "rs-0123456789abcdef")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create with requested ID: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(ShardHeader); got != "a" {
+		t.Fatalf("create response shard header %q, want a", got)
+	}
+	info := decodeBody[Info](t, resp)
+	if info.ID != "rs-0123456789abcdef" {
+		t.Fatalf("created session %q, requested rs-0123456789abcdef", info.ID)
+	}
+
+	// The same requested ID again is a 400 whose envelope names the shard.
+	req2, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/sessions",
+		strings.NewReader(`{"workload":"plummer","n":64,"dt":0.001}`))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set(IDHeader, "rs-0123456789abcdef")
+	resp, err = http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate requested ID: status %d, want 400", resp.StatusCode)
+	}
+	dup := decodeBody[struct {
+		Error ErrorDetail `json:"error"`
+	}](t, resp)
+	if dup.Error.Shard != "a" {
+		t.Fatalf("duplicate-ID envelope shard %q, want a", dup.Error.Shard)
+	}
+
+	// Without X-NBody-ID the shard mints its own, shard-prefixed so IDs
+	// stay globally unique across replicas.
+	resp = postJSON(t, srv.URL+"/v1/sessions", `{"workload":"plummer","n":64,"dt":0.001}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("minted create: status %d", resp.StatusCode)
+	}
+	minted := decodeBody[Info](t, resp)
+	if !strings.HasPrefix(minted.ID, "a-s-") {
+		t.Fatalf("sharded server minted %q, want a-s-<n>", minted.ID)
+	}
+
+	// Errors carry the shard too: a 404's envelope and header both say a.
+	resp, err = http.Get(srv.URL + "/v1/sessions/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound || resp.Header.Get(ShardHeader) != "a" {
+		t.Fatalf("404: status %d shard header %q, want 404 from a", resp.StatusCode, resp.Header.Get(ShardHeader))
+	}
+	nf := decodeBody[struct {
+		Error ErrorDetail `json:"error"`
+	}](t, resp)
+	if nf.Error.Code != CodeSessionNotFound || nf.Error.Shard != "a" {
+		t.Fatalf("404 envelope %+v, want session_not_found from shard a", nf.Error)
+	}
+}

@@ -129,6 +129,7 @@ type jobListResponse struct {
 //	POST   /v1/jobs               submit (jobs.Spec JSON) → 202 + Location
 //	GET    /v1/jobs               list jobs
 //	GET    /v1/jobs/{id}          job status
+//	PATCH  /v1/jobs/{id}          reprioritize a queued job ({"class": ...})
 //	DELETE /v1/jobs/{id}          cancel (queued/running) or delete (terminal)
 //	GET    /v1/jobs/{id}/snapshot final (or latest) snapshot artifact
 //	GET    /v1/jobs/{id}/trace    diagnostics trace artifact (CSV)
@@ -143,6 +144,9 @@ func registerJobRoutes(mux *http.ServeMux, record func(http.HandlerFunc) http.Ha
 			writeError(w, fmt.Errorf("%w: body: %v", jobs.ErrBadRequest, err))
 			return
 		}
+		if id := r.Header.Get(IDHeader); id != "" {
+			spec.ID = id
+		}
 		info, err := jm.Submit(r.Context(), spec)
 		if err != nil {
 			writeError(w, err)
@@ -156,6 +160,27 @@ func registerJobRoutes(mux *http.ServeMux, record func(http.HandlerFunc) http.Ha
 	}))
 	mux.HandleFunc("GET /v1/jobs/{id}", record(func(w http.ResponseWriter, r *http.Request) {
 		info, err := jm.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	}))
+	mux.HandleFunc("PATCH /v1/jobs/{id}", record(func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Class string `json:"class"`
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobJSON))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&body); err != nil {
+			writeError(w, fmt.Errorf("%w: body: %v", jobs.ErrBadRequest, err))
+			return
+		}
+		if body.Class == "" {
+			writeError(w, fmt.Errorf("%w: class is required", jobs.ErrBadRequest))
+			return
+		}
+		info, err := jm.Reprioritize(r.Context(), r.PathValue("id"), body.Class)
 		if err != nil {
 			writeError(w, err)
 			return

@@ -465,3 +465,80 @@ func TestJobRunnerTransientClassification(t *testing.T) {
 		}
 	}
 }
+
+// patchJSON sends a PATCH with a JSON body.
+func patchJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPatch, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestJobReprioritizeHTTP drives PATCH /v1/jobs/{id}: a queued job moves
+// class, a running one answers 409 job_not_queued, and bad inputs map to
+// 400/404. A single worker pinned on a long job keeps the second one
+// deterministically queued.
+func TestJobReprioritizeHTTP(t *testing.T) {
+	_, _, srv := newJobServer(t, testConfig(), jobs.Config{Workers: 1})
+
+	long := postJSON(t, srv.URL+"/v1/jobs", `{"workload":"plummer","n":64,"dt":0.001,"steps":50000}`)
+	if long.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit long job: status %d", long.StatusCode)
+	}
+	longID := decodeBody[jobs.Info](t, long).ID
+	waitJobState(t, srv, longID, jobs.StateRunning)
+
+	queued := postJSON(t, srv.URL+"/v1/jobs", `{"workload":"plummer","n":32,"dt":0.001,"steps":4,"class":"low"}`)
+	if queued.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit queued job: status %d", queued.StatusCode)
+	}
+	queuedID := decodeBody[jobs.Info](t, queued).ID
+
+	resp := patchJSON(t, srv.URL+"/v1/jobs/"+queuedID, `{"class":"high"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reprioritize queued job: status %d", resp.StatusCode)
+	}
+	if info := decodeBody[jobs.Info](t, resp); info.Class != "high" || info.State != jobs.StateQueued {
+		t.Fatalf("reprioritized info %+v, want queued high", info)
+	}
+
+	resp = patchJSON(t, srv.URL+"/v1/jobs/"+longID, `{"class":"high"}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("reprioritize running job: status %d, want 409", resp.StatusCode)
+	}
+	if e := decodeBody[struct {
+		Error ErrorDetail `json:"error"`
+	}](t, resp); e.Error.Code != CodeJobNotQueued {
+		t.Fatalf("running-job envelope code %q, want %s", e.Error.Code, CodeJobNotQueued)
+	}
+
+	for _, tc := range []struct {
+		name, url, body string
+		status          int
+	}{
+		{"unknown class", srv.URL + "/v1/jobs/" + queuedID, `{"class":"urgent"}`, http.StatusBadRequest},
+		{"missing class", srv.URL + "/v1/jobs/" + queuedID, `{}`, http.StatusBadRequest},
+		{"unknown field", srv.URL + "/v1/jobs/" + queuedID, `{"class":"high","x":1}`, http.StatusBadRequest},
+		{"unknown job", srv.URL + "/v1/jobs/j-999", `{"class":"high"}`, http.StatusNotFound},
+	} {
+		if resp := patchJSON(t, tc.url, tc.body); resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		} else {
+			resp.Body.Close()
+		}
+	}
+
+	// Unpin the worker by cancelling the long job; the promoted one runs.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+longID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel long job: %v status %v", err, resp.Status)
+	}
+	waitJobState(t, srv, queuedID, jobs.StateSucceeded)
+}

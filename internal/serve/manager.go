@@ -20,6 +20,7 @@ import (
 	"nbody/internal/obs"
 	"nbody/internal/par"
 	"nbody/internal/snapshot"
+	"nbody/internal/store"
 	"nbody/internal/trace"
 	"nbody/internal/workload"
 )
@@ -246,8 +247,39 @@ func (m *Manager) validate(req CreateRequest, n int) error {
 	return nil
 }
 
+// mintedID is the manager-assigned session ID for sequence number n:
+// "s-<n>", prefixed with the shard ID ("<shard>-s-<n>") in a sharded
+// deployment so IDs minted by different replicas never collide.
+func (m *Manager) mintedID(n uint64) string {
+	if m.cfg.ShardID != "" {
+		return fmt.Sprintf("%s-s-%d", m.cfg.ShardID, n)
+	}
+	return fmt.Sprintf("s-%d", n)
+}
+
+// mintedSeq is the inverse of mintedID: it extracts the sequence number of
+// a manager-assigned ID (false for foreign IDs), used at recovery to
+// advance the counter past everything recovered.
+func (m *Manager) mintedSeq(id string) (uint64, bool) {
+	prefix := "s-"
+	if m.cfg.ShardID != "" {
+		prefix = m.cfg.ShardID + "-s-"
+	}
+	suffix, ok := strings.CutPrefix(id, prefix)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(suffix, 10, 64)
+	return n, err == nil
+}
+
 // insert constructs the core.Sim and admits the session.
 func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName string, baseStep int, baseTime float64) (*Session, error) {
+	if req.ID != "" {
+		if err := store.ValidID(req.ID); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
 	algName := req.Algorithm
 	if algName == "" {
 		algName = "octree"
@@ -308,7 +340,23 @@ func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName strin
 		m.ins.admissionRejected.With("session").Inc()
 		return nil, retryHint{fmt.Errorf("%w (max %d)", ErrTooManySessions, m.cfg.MaxSessions), m.sessionRetryAfter()}
 	}
-	s.ID = fmt.Sprintf("s-%d", m.nextID.Add(1))
+	if req.ID != "" {
+		if _, taken := m.sessions[req.ID]; taken {
+			m.mu.Unlock()
+			cancel(ErrBadRequest)
+			return nil, fmt.Errorf("%w: session id %q already exists", ErrBadRequest, req.ID)
+		}
+		s.ID = req.ID
+	} else {
+		// Minted IDs loop past any collision with a recovered or
+		// client-requested ID instead of failing the create.
+		for s.ID == "" {
+			id := m.mintedID(m.nextID.Add(1))
+			if _, taken := m.sessions[id]; !taken {
+				s.ID = id
+			}
+		}
+	}
 	m.sessions[s.ID] = s
 	s.elem = m.lru.PushBack(s)
 	m.mu.Unlock()

@@ -33,6 +33,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"nbody/internal/obs"
@@ -115,6 +116,12 @@ type Config struct {
 	// Obs.Tracer. Nil defaults to obs.Nop(): instruments still work but
 	// nothing is exported and logs/spans are discarded.
 	Obs *obs.Observer
+	// ShardID, when non-empty, names this replica in a sharded deployment:
+	// every HTTP response carries it in the X-NBody-Shard header, the error
+	// envelope surfaces it as "shard", and manager-minted session IDs are
+	// prefixed with it ("<shard>-s-<n>") so IDs stay globally unique across
+	// replicas behind a router. Must satisfy store.ValidID.
+	ShardID string
 	// MaxEnergyDrift, when > 0, is the numerical-health watchdog's limit
 	// on relative total-energy drift |E−E₀|/|E₀|, with E₀ pinned at
 	// session creation. A session exceeding it is halted and
@@ -150,6 +157,11 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MaxEnergyDrift < 0 || c.MaxEnergyDrift != c.MaxEnergyDrift {
 		return c, errors.New("serve: MaxEnergyDrift must be >= 0")
+	}
+	if c.ShardID != "" {
+		if err := store.ValidID(c.ShardID); err != nil {
+			return c, fmt.Errorf("serve: ShardID: %w", err)
+		}
 	}
 	if c.Runtime == nil {
 		c.Runtime = par.Default()

@@ -194,6 +194,11 @@ func (s *Session) Info() Info {
 // inherit grav.DefaultParams() field-wise; zero workload/algorithm inherit
 // "plummer"/"octree".
 type CreateRequest struct {
+	// ID, when non-empty, is the session ID to create under instead of a
+	// manager-minted one. It must satisfy store.ValidID and must not be
+	// taken. The router tier uses this (via the X-NBody-ID header) so the
+	// ID a session lives under is the key its shard was picked by.
+	ID           string  `json:"id"`
 	Workload     string  `json:"workload"`
 	N            int     `json:"n"`
 	Seed         uint64  `json:"seed"`

@@ -132,21 +132,35 @@ func OpenFS(dir string, fsys FS) (*Store, error) {
 // Dir returns the store's root directory.
 func (st *Store) Dir() string { return st.dir }
 
-// validID rejects session IDs that could escape the state directory or
-// collide with the store's own file naming.
-func validID(id string) error {
+// maxIDLen bounds session and job IDs; IDs become file names, and path
+// components have platform limits well above this.
+const maxIDLen = 128
+
+// ValidID rejects session and job IDs that could escape the state
+// directory or collide with the store's own file naming: only ASCII
+// letters, digits, '-' and '_' are allowed, at most 128 characters. It is
+// exported because the serving layer accepts client-requested IDs (the
+// router tier mints them) and must vet them with exactly the rules the
+// store enforces before they ever reach a file name.
+func ValidID(id string) error {
 	if id == "" {
-		return errors.New("store: empty session id")
+		return errors.New("store: empty id")
+	}
+	if len(id) > maxIDLen {
+		return fmt.Errorf("store: id %q exceeds %d characters", id[:16]+"…", maxIDLen)
 	}
 	for _, r := range id {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
 		default:
-			return fmt.Errorf("store: session id %q contains %q", id, r)
+			return fmt.Errorf("store: id %q contains %q", id, r)
 		}
 	}
 	return nil
 }
+
+// validID is the historical internal name of ValidID.
+func validID(id string) error { return ValidID(id) }
 
 // validateMeta checks a metadata document against id and the service's body
 // limit before any payload is trusted.
