@@ -4,8 +4,9 @@
 // iteration. It is dependency-free (standard library only), threads a
 // context through every call, decodes the service's stable error envelope
 // into *APIError, and automatically retries load-shedding responses
-// (429, 503) honoring the server's Retry-After with capped, fully
-// jittered exponential backoff as the fallback.
+// (429, 503; plus gateway failures 502/504 on idempotent GETs) honoring
+// the server's Retry-After with capped, fully jittered exponential
+// backoff as the fallback.
 //
 // Basic use:
 //
@@ -67,10 +68,10 @@ type Option func(*Client)
 // bound calls with the context instead.
 func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
 
-// WithRetries sets the retry policy for shed (429/503) responses:
-// maxRetries re-sends (0 disables retrying entirely), backing off from
-// base up to cap when the server provides no Retry-After. Non-positive
-// base/cap keep the defaults.
+// WithRetries sets the retry policy for retryable responses (429/503,
+// plus 502/504 on idempotent GETs): maxRetries re-sends (0 disables
+// retrying entirely), backing off from base up to cap when the server
+// provides no Retry-After. Non-positive base/cap keep the defaults.
 func WithRetries(maxRetries int, base, cap time.Duration) Option {
 	return func(c *Client) {
 		c.maxRetries = maxRetries
@@ -131,20 +132,22 @@ func sleepContext(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// retryable reports whether a response status is worth re-sending: the
-// server shed the request before doing any work (admission control,
-// drain, or a router with no healthy shard to place it on), so a retry
-// cannot double-apply it. 502/504 come from a routing tier whose backend
-// refused or timed out the connection — the same shed-before-work
-// semantics as 503, so they retry the same way, honoring Retry-After
-// when present.
-func retryable(status int) bool {
+// retryable reports whether a response status is worth re-sending.
+// 429/503 mean the server shed the request before doing any work
+// (admission control, drain, or a router refusing to place on an
+// unhealthy shard), so any method retries them — a retry cannot
+// double-apply. 502/504 come from a routing tier whose hop to the shard
+// broke mid-request, and the router emits them precisely when the
+// request MAY have reached the shard; only idempotent GETs retry those
+// (honoring Retry-After when present) — re-sending a POST/PATCH/DELETE
+// on 502 could double-apply a write (advance a simulation twice,
+// duplicate a job submit).
+func retryable(method string, status int) bool {
 	switch status {
-	case http.StatusTooManyRequests,
-		http.StatusServiceUnavailable,
-		http.StatusBadGateway,
-		http.StatusGatewayTimeout:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		return true
+	case http.StatusBadGateway, http.StatusGatewayTimeout:
+		return method == http.MethodGet
 	}
 	return false
 }
@@ -177,9 +180,11 @@ func (c *Client) retryDelay(e *APIError, attempt int) time.Duration {
 
 // do issues one API request with the retry policy and returns the body
 // and headers of the 2xx response. body may be nil; it is re-sent as-is
-// on each retry (retried statuses are shed before any server-side work,
-// so re-sending is safe even for POST). Transport-level errors are
-// retried only for GET — anything else may have reached the server.
+// on each retry (retried statuses are either shed before any
+// server-side work, so re-sending is safe even for POST, or gateway
+// failures retried only for idempotent GETs). Transport-level errors
+// are likewise retried only for GET — anything else may have reached
+// the server.
 func (c *Client) do(ctx context.Context, method, path string, q url.Values, contentType string, body []byte) ([]byte, http.Header, error) {
 	u := c.baseURL + path
 	if len(q) > 0 {
@@ -216,7 +221,7 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, cont
 			return rb, resp.Header, nil
 		}
 		apiErr := decodeAPIError(resp, rb)
-		if retryable(resp.StatusCode) && attempt < c.maxRetries {
+		if retryable(method, resp.StatusCode) && attempt < c.maxRetries {
 			if serr := c.sleep(ctx, c.retryDelay(apiErr, attempt)); serr != nil {
 				return nil, nil, serr
 			}
@@ -281,7 +286,7 @@ func (c *Client) getStream(ctx context.Context, path string, q url.Values) (*htt
 		rb, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		apiErr := decodeAPIError(resp, rb)
-		if retryable(resp.StatusCode) && attempt < c.maxRetries {
+		if retryable(http.MethodGet, resp.StatusCode) && attempt < c.maxRetries {
 			if serr := c.sleep(ctx, c.retryDelay(apiErr, attempt)); serr != nil {
 				return nil, serr
 			}

@@ -534,7 +534,8 @@ func TestBaseURLValidation(t *testing.T) {
 
 // TestRetryGatewayErrors: 502 and 504 — what a sharded deployment's
 // router emits when a hop to a shard breaks — are transient and must be
-// retried like 503, honoring Retry-After when present.
+// retried like 503 on idempotent GETs, honoring Retry-After when
+// present.
 func TestRetryGatewayErrors(t *testing.T) {
 	var calls atomic.Int32
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -563,6 +564,33 @@ func TestRetryGatewayErrors(t *testing.T) {
 	}
 	if len(*sleeps) != 2 || (*sleeps)[0] != 2*time.Second {
 		t.Errorf("sleeps = %v, want [2s, <backoff>]", *sleeps)
+	}
+}
+
+// TestGatewayErrorsNotRetriedOnWrite: a 502 on a non-idempotent request
+// surfaces immediately — the router emits 502 exactly when a write may
+// have reached the shard, so re-sending could double-apply it (step the
+// simulation twice, duplicate a job submit). 503 stays retryable for
+// writes: the router sheds those before forwarding anything.
+func TestGatewayErrorsNotRetriedOnWrite(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeEnvelope(w, http.StatusBadGateway, CodeBadGateway, "shard hop broke")
+	}))
+	defer srv.Close()
+
+	c, sleeps := newTestClient(t, srv)
+	_, err := c.Step(context.Background(), "s-1", 1)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadGateway || ae.Code != CodeBadGateway {
+		t.Fatalf("step through broken gateway: %v, want 502 bad_gateway APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d calls, want 1 (a write must not be re-sent on 502)", calls.Load())
+	}
+	if len(*sleeps) != 0 {
+		t.Errorf("client slept %v before surfacing a non-retryable 502", *sleeps)
 	}
 }
 

@@ -27,13 +27,18 @@ const (
 	shardHeader = "X-NBody-Shard"
 	idHeader    = "X-NBody-ID"
 
+	// skippedShardsHeader names the down shards a scatter-gather listing
+	// had to skip; paired with "incomplete": true in the body.
+	skippedShardsHeader = "X-NBody-Skipped-Shards"
+
 	// maxBufferedBody bounds the write bodies the router holds in memory
 	// to make them replayable for 404 relocation. Larger bodies (snapshot
 	// uploads) stream through to a single target instead.
 	maxBufferedBody = 4 << 20
 
-	// maxBufferedError bounds a buffered upstream error body (404s held
-	// for replay while the discovery walk continues).
+	// maxBufferedError bounds a buffered upstream body held for replay
+	// while a discovery walk continues (404s, and 2xx job records sniffed
+	// for the cancelled state — both far smaller than this).
 	maxBufferedError = 64 << 10
 )
 
@@ -292,21 +297,30 @@ func (rt *Router) proxyByID(w http.ResponseWriter, r *http.Request, ns, id, sub 
 	// watch, and step/delete/patch are writes outright.
 	isRead := r.Method == http.MethodGet && sub != "watch"
 	if isRead {
-		rt.proxyRead(w, r, ns, id)
+		rt.proxyRead(w, r, ns, id, sub)
 		return
 	}
 	rt.proxyWrite(w, r, ns, id)
 }
 
-func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, ns, id string) {
+func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, ns, id, sub string) {
 	candidates := rt.readCandidates(ns, id)
 	if len(candidates) == 0 {
 		writeRouterError(w, http.StatusServiceUnavailable, "no_healthy_shards",
 			"router: no shard is reachable", "")
 		return
 	}
+	// A cancelled job record can be the stale leftover of a drain handoff
+	// whose origin cleanup failed — with the location cache lost (restart,
+	// eviction) the walk hits the ring owner's leftover before the live
+	// copy on the successor. Treat it as a soft miss: keep walking,
+	// preferring any non-cancelled copy, and only answer with the
+	// cancelled record when no shard holds a live one (genuinely
+	// cancelled). Job records are small, so buffering them for possible
+	// replay is cheap.
+	jobRecordGet := ns == "j" && sub == ""
 	uri := r.URL.RequestURI()
-	var last404 *bufferedResponse
+	var last404, cancelledHit *bufferedResponse
 	failures := 0
 	for i, name := range candidates {
 		if i > 0 {
@@ -322,9 +336,25 @@ func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, ns, id strin
 			continue
 		}
 		if resp.StatusCode/100 == 2 {
+			if jobRecordGet {
+				buf := bufferResponse(resp, name)
+				if cancelledHit == nil && i < len(candidates)-1 && jobState(buf.body) == "cancelled" {
+					cancelledHit = buf
+					continue
+				}
+				rt.cache.put(ns, id, name)
+				buf.replay(w)
+				return
+			}
 			rt.cache.put(ns, id, name)
 		}
 		copyResponse(w, resp, name)
+		return
+	}
+	if cancelledHit != nil {
+		// No live copy anywhere: the cancelled record is the real one.
+		rt.cache.put(ns, id, cancelledHit.shard)
+		cancelledHit.replay(w)
 		return
 	}
 	if last404 != nil {
@@ -430,9 +460,11 @@ func (rt *Router) listSessions(w http.ResponseWriter, r *http.Request) {
 	}
 	var merged []entry
 	sawMore := false
+	var skipped []string
 	uri := r.URL.RequestURI()
 	for _, name := range rt.ring.Shards() {
 		if !rt.alive(name) {
+			skipped = append(skipped, name)
 			continue
 		}
 		var p page
@@ -465,7 +497,9 @@ func (rt *Router) listSessions(w http.ResponseWriter, r *http.Request) {
 	for i, e := range merged {
 		out[i] = e.raw
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sessions": out, "next_cursor": omitEmpty(next)})
+	res := map[string]any{"sessions": out, "next_cursor": omitEmpty(next)}
+	markSkipped(w, res, skipped)
+	writeJSON(w, http.StatusOK, res)
 }
 
 // listJobs scatter-gathers GET /v1/jobs (unpaginated) across the alive
@@ -478,9 +512,11 @@ func (rt *Router) listJobs(w http.ResponseWriter, r *http.Request) {
 		raw       json.RawMessage
 	}
 	byID := make(map[string]entry)
+	var skipped []string
 	uri := r.URL.RequestURI()
 	for _, name := range rt.ring.Shards() {
 		if !rt.alive(name) {
+			skipped = append(skipped, name)
 			continue
 		}
 		var p struct {
@@ -512,7 +548,31 @@ func (rt *Router) listJobs(w http.ResponseWriter, r *http.Request) {
 	for i, id := range ids {
 		out[i] = byID[id].raw
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	res := map[string]any{"jobs": out}
+	markSkipped(w, res, skipped)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// markSkipped flags a scatter-gather listing that could not reach every
+// shard: down shards are skipped rather than failing the whole request,
+// but the caller must be able to tell "unreachable" from "deleted" — a
+// partial 200 with no marker would read as resources having vanished.
+func markSkipped(w http.ResponseWriter, res map[string]any, skipped []string) {
+	if len(skipped) == 0 {
+		return
+	}
+	res["incomplete"] = true
+	w.Header().Set(skippedShardsHeader, strings.Join(skipped, ","))
+}
+
+// jobState sniffs the "state" member of a buffered job record ("" when
+// the body is not a job record).
+func jobState(body []byte) string {
+	var j struct {
+		State string `json:"state"`
+	}
+	json.Unmarshal(body, &j)
+	return j.State
 }
 
 // fetchJSON forwards a GET to one shard and decodes the 2xx JSON body.

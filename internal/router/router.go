@@ -464,9 +464,11 @@ func (rt *Router) handoff(ctx context.Context, origin *shard, j client.Job) hand
 	}
 	rt.cache.put("j", j.ID, succ)
 	if _, _, err := origin.c.CancelJob(ctx, j.ID); err != nil {
-		// The successor owns the job; a leftover cancelled record on the
-		// origin is shadowed for reads (the cache points at the
-		// successor) and harmless, but log it for the operator.
+		// The successor owns the job. A leftover cancelled record on the
+		// origin cannot shadow it: the cache points at the successor, and
+		// even after the cache forgets (restart, eviction) reads treat a
+		// cancelled record as a soft miss and prefer the live copy. Still
+		// log it for the operator — it is garbage until deleted.
 		rt.log.Log(ctx, "job handoff: origin record cleanup failed", "job", j.ID,
 			"shard", origin.name, "error", err.Error())
 	}
@@ -526,6 +528,19 @@ func (c *locationCache) drop(ns, id string) {
 	k := c.key(ns, id)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.m[k]; !ok {
+		return
+	}
 	delete(c.m, k)
-	// The fifo entry stays; eviction tolerates already-deleted keys.
+	// Drop the fifo slot too (linear, but drops only happen when a
+	// resource is confirmed gone). A leftover slot would shrink the
+	// effective capacity, and once a re-put of the same key appended a
+	// second slot, evicting the stale one would delete the live entry
+	// while the cache is under capacity.
+	for i, f := range c.fifo {
+		if f == k {
+			c.fifo = append(c.fifo[:i], c.fifo[i+1:]...)
+			break
+		}
+	}
 }

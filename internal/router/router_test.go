@@ -431,6 +431,25 @@ func TestRouterHealthShardDown(t *testing.T) {
 		t.Fatalf("router readyz with one live shard: status %d", resp.StatusCode)
 	}
 
+	// Listings during the outage serve the survivor's resources but are
+	// flagged incomplete, so a client can tell "unreachable" from
+	// "deleted".
+	for _, path := range []string{"/v1/sessions", "/v1/jobs"} {
+		resp, body = doReq(t, http.MethodGet, front.URL+path, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s during outage: status %d body %s", path, resp.StatusCode, body)
+		}
+		var listing struct {
+			Incomplete bool `json:"incomplete"`
+		}
+		if err := json.Unmarshal(body, &listing); err != nil || !listing.Incomplete {
+			t.Fatalf("GET %s during outage not flagged incomplete (err %v): %s", path, err, body)
+		}
+		if got := resp.Header.Get("X-NBody-Skipped-Shards"); got != "a" {
+			t.Fatalf("GET %s during outage: X-NBody-Skipped-Shards = %q, want a", path, got)
+		}
+	}
+
 	// Kill the survivor: the router is no longer ready and refuses both
 	// placements and reads.
 	b.srv.Close()
@@ -454,6 +473,138 @@ func TestRouterHealthShardDown(t *testing.T) {
 	if resp, body := doReq(t, http.MethodGet, front.URL+"/v1/sessions/"+sA, nil); resp.StatusCode != http.StatusServiceUnavailable ||
 		envelopeCode(t, body) != "no_healthy_shards" {
 		t.Fatalf("read with all shards down: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+// TestRouterStaleCancelledRecord reproduces the aftermath of a drain
+// handoff whose origin cleanup failed, after the router's location cache
+// has been lost (restart, eviction): the ring owner holds a cancelled
+// leftover under the job's ID while the live copy sits on the successor.
+// A per-ID GET must treat the cancelled record as a soft miss, answer
+// with the live copy, and re-learn the location so follow-up requests
+// route to the live job. A job whose only copy is cancelled still
+// answers that record.
+func TestRouterStaleCancelledRecord(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	openGate := func() { once.Do(func() { close(gate) }) }
+	t.Cleanup(openGate)
+
+	a := newTestShard(t, "a", gate)
+	b := newTestShard(t, "b", nil)
+	rt, front := newTestRouter(t, Config{ProbeInterval: time.Hour}, a, b)
+
+	// Pin shard a's two workers with gated blockers so later submissions
+	// to a stay queued (and cancel cleanly, never having started).
+	blockers := make([]string, 2)
+	for i := range blockers {
+		resp, body := doReq(t, http.MethodPost, a.srv.URL+"/v1/jobs",
+			map[string]any{"workload": "plummer", "n": 64, "dt": 1e-3, "steps": 50})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("blocker submit: status %d body %s", resp.StatusCode, body)
+		}
+		var j jobInfo
+		if err := json.Unmarshal(body, &j); err != nil {
+			t.Fatal(err)
+		}
+		blockers[i] = j.ID
+	}
+	for _, id := range blockers {
+		id := id
+		waitFor(t, 5*time.Second, "blocker "+id+" running", func() bool {
+			j, _ := getJobVia(t, a.srv.URL, id)
+			return j.State == "running"
+		})
+	}
+
+	// mintOwnedByA draws job IDs until one's ring owner is shard a, so
+	// the discovery walk hits the stale copy before the live one.
+	mintOwnedByA := func() string {
+		for i := 0; i < 256; i++ {
+			if id := mintID("rj"); rt.ring.Owner(id) == "a" {
+				return id
+			}
+		}
+		t.Fatal("no minted job ID ring-owned by a in 256 draws")
+		return ""
+	}
+	makeStaleRecord := func(id string) {
+		spec := map[string]any{"id": id, "workload": "plummer", "n": 64, "dt": 1e-3, "steps": 2}
+		if resp, body := doReq(t, http.MethodPost, a.srv.URL+"/v1/jobs", spec); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s on a: status %d body %s", id, resp.StatusCode, body)
+		}
+		if resp, body := doReq(t, http.MethodDelete, a.srv.URL+"/v1/jobs/"+id, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("cancel %s on a: status %d body %s", id, resp.StatusCode, body)
+		}
+	}
+
+	// The shadowed job: cancelled leftover on a, live copy on b. Both
+	// submits bypass the router, so its cache knows nothing about the ID
+	// — exactly the post-restart state.
+	shadowed := mintOwnedByA()
+	makeStaleRecord(shadowed)
+	if resp, body := doReq(t, http.MethodPost, b.srv.URL+"/v1/jobs",
+		map[string]any{"id": shadowed, "workload": "plummer", "n": 64, "dt": 1e-3, "steps": 2}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit live copy on b: status %d body %s", resp.StatusCode, body)
+	}
+	j, resp := getJobVia(t, front.URL, shadowed)
+	if j.State == "cancelled" {
+		t.Fatalf("GET answered the stale cancelled record: %+v", j)
+	}
+	if got := resp.Header.Get("X-NBody-Shard"); got != "b" {
+		t.Fatalf("GET answered by shard %q, live copy lives on b", got)
+	}
+	if loc, ok := rt.cache.get("j", shadowed); !ok || loc != "b" {
+		t.Fatalf("cache after discovery = %q, %v; want b, true", loc, ok)
+	}
+
+	// A genuinely cancelled job (no live copy anywhere) still answers its
+	// cancelled record rather than walking into a 404.
+	lone := mintOwnedByA()
+	makeStaleRecord(lone)
+	j, resp = getJobVia(t, front.URL, lone)
+	if j.State != "cancelled" || resp.Header.Get("X-NBody-Shard") != "a" {
+		t.Fatalf("GET lone cancelled job: state %q from shard %q, want cancelled from a",
+			j.State, resp.Header.Get("X-NBody-Shard"))
+	}
+
+	openGate()
+}
+
+// TestLocationCacheDropPutChurn: drop must release the key's fifo slot,
+// or a drop/put cycle duplicates slots — shrinking effective capacity
+// and, once the stale slot's turn comes, evicting the live entry while
+// the cache is under capacity.
+func TestLocationCacheDropPutChurn(t *testing.T) {
+	c := newLocationCache(4)
+	for i := 0; i < 10; i++ {
+		c.put("s", "a", "sh1")
+		c.drop("s", "a")
+	}
+	c.put("s", "a", "sh1")
+	for _, id := range []string{"b", "c", "d"} {
+		c.put("s", id, "sh1")
+	}
+	if len(c.m) != 4 || len(c.fifo) != 4 {
+		t.Fatalf("cache holds %d entries / %d fifo slots after churn, want 4/4", len(c.m), len(c.fifo))
+	}
+	if v, ok := c.get("s", "a"); !ok || v != "sh1" {
+		t.Fatalf("churned entry = %q, %v; want sh1, true while under capacity", v, ok)
+	}
+	// One past capacity evicts the oldest live entry ("a"), nothing else.
+	c.put("s", "e", "sh2")
+	if _, ok := c.get("s", "a"); ok {
+		t.Fatal("oldest entry survived eviction past capacity")
+	}
+	for _, id := range []string{"b", "c", "d", "e"} {
+		if _, ok := c.get("s", id); !ok {
+			t.Fatalf("entry %q lost by eviction of a churned slot", id)
+		}
+	}
+	// Dropping a missing key is a no-op, not a fifo mutation.
+	c.drop("s", "never-stored")
+	if len(c.fifo) != 4 {
+		t.Fatalf("fifo length %d after no-op drop, want 4", len(c.fifo))
 	}
 }
 
