@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check serve obs-smoke jobs-smoke loadgen-smoke router-smoke bench-baseline clean
+.PHONY: all build vet test race check serve obs-smoke jobs-smoke loadgen-smoke router-smoke chaos-smoke bench-baseline clean
 
 all: check
 
@@ -49,6 +49,14 @@ loadgen-smoke:
 # scripts/router_smoke.sh).
 router-smoke:
 	./scripts/router_smoke.sh
+
+# Boots two replicas behind the router with one shard fronted by the
+# nbody-chaos fault injector, then scripts latency, error and partition
+# faults and asserts deadlines cut requests loose, the circuit breaker
+# opens and recovers, writes apply exactly once and listings degrade to
+# "incomplete" (see scripts/chaos_smoke.sh).
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 # Regenerates the committed BENCH_serve.json performance baseline on the
 # pinned small fig5 configuration (see scripts/bench_baseline.sh).

@@ -120,6 +120,21 @@ func (c *Client) Ready(ctx context.Context) error {
 	return err
 }
 
+// deadlineHeader mirrors serve.DeadlineHeader: the caller's REMAINING
+// time budget as a Go duration string, stamped on every request whose
+// context carries a deadline so router and shard can abandon work the
+// caller has already given up on.
+const deadlineHeader = "X-NBody-Deadline"
+
+// stampDeadline advertises the context's remaining budget upstream.
+func stampDeadline(req *http.Request) {
+	if dl, ok := req.Context().Deadline(); ok {
+		if remain := time.Until(dl); remain > 0 {
+			req.Header.Set(deadlineHeader, remain.String())
+		}
+	}
+}
+
 // sleepContext waits for d or the context, whichever ends first.
 func sleepContext(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
@@ -191,6 +206,11 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, cont
 		u += "?" + q.Encode()
 	}
 	for attempt := 0; ; attempt++ {
+		// A context that died during the previous backoff (or before the
+		// first send) must not open a connection at all.
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -202,6 +222,7 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, cont
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
 		}
+		stampDeadline(req)
 		resp, err := c.httpc.Do(req)
 		if err != nil {
 			if method == http.MethodGet && attempt < c.maxRetries && ctx.Err() == nil {
@@ -266,10 +287,14 @@ func (c *Client) getStream(ctx context.Context, path string, q url.Values) (*htt
 		u += "?" + q.Encode()
 	}
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("client: GET %s: %w", path, err)
+		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 		if err != nil {
 			return nil, fmt.Errorf("client: GET %s: %w", path, err)
 		}
+		stampDeadline(req)
 		resp, err := c.httpc.Do(req)
 		if err != nil {
 			if attempt < c.maxRetries && ctx.Err() == nil {

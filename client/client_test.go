@@ -650,3 +650,108 @@ func TestReprioritizeJob(t *testing.T) {
 		t.Fatalf("reprioritized job = %+v", j)
 	}
 }
+
+// TestRetrySleepAbortsOnCancel pins the resilience contract of the real
+// sleepContext seam: a shed response advertising a long Retry-After must
+// not park a cancelled caller — the backoff aborts as soon as the
+// context dies, and no further attempt is sent.
+func TestRetrySleepAbortsOnCancel(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "30")
+		writeEnvelope(w, http.StatusServiceUnavailable, CodeShuttingDown, "draining")
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL, WithRetries(5, time.Millisecond, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, gerr := c.Session(ctx, "s-1")
+	if gerr == nil || !errors.Is(gerr, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", gerr)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("cancelled retry slept %v — backoff ignored the context", elapsed)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d calls after cancel, want 1", calls.Load())
+	}
+}
+
+// TestWaitJobAbortsOnCancel: the poll sleep between job fetches must
+// abort promptly when the context dies, even with a long poll interval.
+func TestWaitJobAbortsOnCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(Job{ID: "j-1", State: "running"})
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, werr := c.WaitJob(ctx, "j-1", time.Hour); !errors.Is(werr, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", werr)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("cancelled WaitJob blocked %v", elapsed)
+	}
+}
+
+// TestDeadlineHeaderStamped: a context deadline travels upstream as the
+// X-NBody-Deadline remaining-budget header on both the buffered and the
+// streaming request paths; without a deadline the header is absent.
+func TestDeadlineHeaderStamped(t *testing.T) {
+	var mu sync.Mutex
+	headers := map[string]string{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		headers[r.URL.Path] = r.Header.Get("X-NBody-Deadline")
+		mu.Unlock()
+		if r.URL.Path == "/v1/sessions/s-1/trace" {
+			io.WriteString(w, "step,energy\n")
+			return
+		}
+		json.NewEncoder(w).Encode(Session{ID: "s-1"})
+	}))
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Session(ctx, "s-1"); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := c.SessionTrace(ctx, "s-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+	if _, err := c.Session(context.Background(), "s-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	d, perr := time.ParseDuration(headers["/v1/sessions/s-1/trace"])
+	if perr != nil || d <= 0 || d > 5*time.Second {
+		t.Errorf("trace deadline header = %q, want a duration in (0, 5s]", headers["/v1/sessions/s-1/trace"])
+	}
+	if got := headers["/v1/sessions/s-1"]; got != "" {
+		t.Errorf("deadline header without a context deadline = %q, want empty", got)
+	}
+}

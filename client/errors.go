@@ -19,10 +19,15 @@ const (
 	CodeInvalidRequest  = "invalid_request"
 	CodeInvalidSnapshot = "invalid_snapshot"
 	CodeClientClosed    = "client_closed_request"
-	CodeInternal        = "internal"
-	CodeJobNotFound     = "job_not_found"
-	CodeJobNotReady     = "job_not_ready"
-	CodeJobNotQueued    = "job_not_queued"
+	// CodeDeadlineExceeded: the request's propagated time budget
+	// (X-NBody-Deadline, or the router's per-request cap) ran out before
+	// the work finished; server-side work was abandoned at the next
+	// checkpoint. Carried on 504 responses.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeInternal         = "internal"
+	CodeJobNotFound      = "job_not_found"
+	CodeJobNotReady      = "job_not_ready"
+	CodeJobNotQueued     = "job_not_queued"
 )
 
 // Router-tier error codes: set by nbody-router when it cannot complete a

@@ -1,0 +1,67 @@
+// Command nbody-chaos runs a fault-injecting reverse proxy in front of
+// one nbody-serve replica, for resilience testing: drop it between the
+// router and a shard, then script network faults against the pair
+// through its /_chaos/ control API while the stack serves real traffic.
+//
+//	nbody-serve -addr :8081 -shard-id a &
+//	nbody-chaos -addr :9081 -target http://127.0.0.1:8081 &
+//	nbody-router -addr :8080 -shard a=http://127.0.0.1:9081 ...
+//
+//	curl -X POST 'localhost:9081/_chaos/set?latency=2s'         # slow shard
+//	curl -X POST 'localhost:9081/_chaos/set?error_rate=1&error_code=500'
+//	curl -X POST 'localhost:9081/_chaos/set?blackhole_rate=1'   # partition
+//	curl -X POST 'localhost:9081/_chaos/off'                    # heal
+//	curl 'localhost:9081/_chaos/stats'
+//
+// Faults apply only to proxied requests (the nbody API under /v1 and the
+// probe endpoints), never to the /_chaos/ control plane itself. The
+// injector is seeded, so a scripted fault sequence replays identically
+// run over run. See DESIGN.md §12 and scripts/chaos_smoke.sh.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"nbody/internal/chaos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nbody-chaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr   = flag.String("addr", ":9081", "listen address")
+		target = flag.String("target", "", "upstream base URL to proxy to (required)")
+		seed   = flag.Uint64("seed", 1, "deterministic seed for fault sampling")
+	)
+	flag.Parse()
+
+	if *target == "" {
+		return fmt.Errorf("-target is required")
+	}
+	u, err := url.Parse(*target)
+	if err != nil {
+		return fmt.Errorf("parsing -target: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return fmt.Errorf("-target %q must be an absolute URL (http://host:port)", *target)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           chaos.NewProxy(u, chaos.New(*seed)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("injecting faults for %s on %s (seed %d, no rules yet — control via POST /_chaos/set)", u, *addr, *seed)
+	return srv.ListenAndServe()
+}

@@ -72,6 +72,11 @@ func run() error {
 		cacheSize     = flag.Int("cache-size", 8192, "ID-to-shard location cache entries")
 		drain         = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
 		logFormat     = flag.String("log-format", "text", "structured log format: text or json")
+		proxyTimeout  = flag.Duration("proxy-timeout", 15*time.Second, "per-request budget for proxied non-streaming requests, propagated to shards as X-NBody-Deadline (0 = unlimited)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "hedge an idempotent read to the next candidate shard when the first has not answered within this delay (0 = no hedging)")
+		brkFailures   = flag.Int("breaker-failures", 5, "consecutive forwarding failures that open a shard's circuit breaker")
+		brkCooldown   = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker sheds before admitting a half-open trial request")
+		brkLatency    = flag.Duration("breaker-latency", 0, "treat a forwarded response slower than this as a breaker failure (0 = status/transport errors only)")
 	)
 	flag.Var(&shards, "shard", "shard as name=url (repeatable, at least one)")
 	flag.Parse()
@@ -91,15 +96,26 @@ func run() error {
 		return err
 	}
 
+	// The flag's 0 means "no cap"; the Config's 0 means "default 15s", so
+	// translate to the Config's negative-disables convention.
+	proxyBudget := *proxyTimeout
+	if proxyBudget == 0 {
+		proxyBudget = -1
+	}
 	rt, err := router.New(router.Config{
-		Shards:        shards,
-		VirtualNodes:  *vnodes,
-		ProbeInterval: *probeInterval,
-		ProbeTimeout:  *probeTimeout,
-		FailAfter:     *failAfter,
-		PassAfter:     *passAfter,
-		CacheSize:     *cacheSize,
-		Obs:           ob,
+		Shards:          shards,
+		VirtualNodes:    *vnodes,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		FailAfter:       *failAfter,
+		PassAfter:       *passAfter,
+		CacheSize:       *cacheSize,
+		ProxyTimeout:    proxyBudget,
+		HedgeAfter:      *hedgeAfter,
+		BreakerFailures: *brkFailures,
+		BreakerCooldown: *brkCooldown,
+		BreakerLatency:  *brkLatency,
+		Obs:             ob,
 	})
 	if err != nil {
 		return err

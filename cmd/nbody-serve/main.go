@@ -60,6 +60,7 @@ func run() error {
 		jobQueue    = flag.Int("job-queue", 64, "batch jobs allowed to wait across all priority classes")
 		jobRetries  = flag.Int("job-retries", 3, "transient-fault retries per batch job between successful chunks")
 		jobChunk    = flag.Int("job-chunk", 500, "batch job checkpoint chunk size in steps")
+		jobChunkTO  = flag.Duration("job-chunk-timeout", 0, "watchdog: a single batch-job chunk exceeding this is aborted and retried as a transient fault (0 = disabled)")
 		shardID     = flag.String("shard-id", "", "replica name in a sharded deployment (echoed as X-NBody-Shard, prefixes minted IDs)")
 	)
 	flag.Parse()
@@ -175,14 +176,15 @@ func run() error {
 			retries = -1 // the Config sentinel: 0 means default, negative disables
 		}
 		jm, err = jobs.NewManager(jobs.Config{
-			Runner:     serve.NewJobRunner(m),
-			Workers:    *jobWorkers,
-			MaxQueue:   *jobQueue,
-			MaxRetries: retries,
-			ChunkSteps: *jobChunk,
-			Store:      js,
-			Obs:        ob,
-			ShardID:    *shardID,
+			Runner:       serve.NewJobRunner(m),
+			Workers:      *jobWorkers,
+			MaxQueue:     *jobQueue,
+			MaxRetries:   retries,
+			ChunkSteps:   *jobChunk,
+			ChunkTimeout: *jobChunkTO,
+			Store:        js,
+			Obs:          ob,
+			ShardID:      *shardID,
 		})
 		if err != nil {
 			return err

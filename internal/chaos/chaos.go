@@ -1,0 +1,304 @@
+// Package chaos is the fault-injection harness behind the resilience
+// test suite and scripts/chaos_smoke.sh: a deterministic, rule-driven
+// injector that interposes between an HTTP client and a real upstream —
+// either as an http.RoundTripper wrapped around a transport, or as a
+// standalone reverse proxy (cmd/nbody-chaos) dropped between the router
+// and a shard.
+//
+// Faults model the ways a shard hop actually breaks in production:
+// added latency (slow shard), synthetic error statuses (crashing
+// handler), connection resets (dying process, flaky network), truncated
+// response bodies (mid-transfer disconnect) and blackholes (partitioned
+// host: the request neither completes nor fails until the caller's
+// deadline does). Rules select requests by method and path prefix, can
+// skip a warm-up count, and draw from a seeded PRNG so a test's fault
+// pattern is reproducible run to run.
+//
+// The injector mirrors the seam internal/store already uses for disk
+// faults (FaultFS): the system under test runs unmodified, the fault
+// lives in the boundary.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault kinds, as reported by Stats.
+const (
+	FaultLatency   = "latency"
+	FaultError     = "error"
+	FaultDrop      = "drop"
+	FaultBlackhole = "blackhole"
+	FaultTruncate  = "truncate"
+	// StatPassed counts matched requests that were let through unharmed.
+	StatPassed = "passed"
+)
+
+// Rule decides which requests a fault applies to and what the fault is.
+// The zero value matches nothing harmful: every rate is 0 and no latency
+// is added. Rates are probabilities in [0, 1]; when several rates are
+// set, each request draws them in a fixed order (blackhole, drop, error,
+// truncate) and the first hit wins, so a request suffers at most one
+// terminal fault (latency composes with any of them).
+type Rule struct {
+	// PathPrefix selects request paths ("" matches all).
+	PathPrefix string
+	// Method selects the request method ("" matches all).
+	Method string
+	// After skips the first After matched requests before injecting
+	// anything — for faults that must start mid-sequence (e.g. "the shard
+	// died after the first DELETE succeeded").
+	After int
+
+	// Latency is added before the request proceeds (plus a uniform draw
+	// over [0, Jitter)). The wait respects the request context, so a
+	// caller deadline still bounds the exchange.
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// ErrorRate synthesizes an HTTP error response with ErrorCode
+	// (default 500) without reaching the upstream.
+	ErrorRate float64
+	ErrorCode int
+	// DropRate kills the exchange with a transport-level error
+	// (connection reset): the caller cannot tell whether the upstream saw
+	// the request.
+	DropRate float64
+	// BlackholeRate parks the request until its context is done — the
+	// partitioned-host case that only deadlines can unwedge.
+	BlackholeRate float64
+	// TruncateRate forwards the request but cuts the response body after
+	// TruncateBytes bytes, mid-transfer.
+	TruncateRate  float64
+	TruncateBytes int
+}
+
+// matches reports whether the rule selects the request.
+func (r Rule) matches(method, path string) bool {
+	if r.Method != "" && r.Method != method {
+		return false
+	}
+	return r.PathPrefix == "" || strings.HasPrefix(path, r.PathPrefix)
+}
+
+// action is one request's drawn fate.
+type action struct {
+	delay    time.Duration
+	kind     string // "" = pass through
+	code     int    // FaultError status
+	truncate int    // FaultTruncate byte budget
+}
+
+// ruleState pairs a rule with its matched-request count (for After).
+type ruleState struct {
+	rule    Rule
+	matched int
+}
+
+// Injector owns the rule set, the seeded PRNG and the fault counters.
+// Safe for concurrent use; note that under concurrent requests the draw
+// ORDER depends on goroutine scheduling, so strict run-to-run
+// reproducibility holds for serialized request sequences.
+type Injector struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rules   []*ruleState
+	enabled bool
+	stats   map[string]uint64
+}
+
+// New returns an Injector drawing from seed with the given rules active.
+func New(seed uint64, rules ...Rule) *Injector {
+	in := &Injector{
+		rng:     rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		enabled: true,
+		stats:   make(map[string]uint64),
+	}
+	in.SetRules(rules...)
+	return in
+}
+
+// SetRules replaces the active rule set (first matching rule wins) and
+// resets the per-rule After counters.
+func (in *Injector) SetRules(rules ...Rule) {
+	rs := make([]*ruleState, len(rules))
+	for i, r := range rules {
+		rs[i] = &ruleState{rule: r}
+	}
+	in.mu.Lock()
+	in.rules = rs
+	in.mu.Unlock()
+}
+
+// SetEnabled toggles all injection without touching the rule set.
+func (in *Injector) SetEnabled(v bool) {
+	in.mu.Lock()
+	in.enabled = v
+	in.mu.Unlock()
+}
+
+// Stats returns a copy of the fault counters, keyed by fault kind.
+func (in *Injector) Stats() map[string]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, len(in.stats))
+	for k, v := range in.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// plan draws one request's fate from the first matching rule.
+func (in *Injector) plan(method, path string) action {
+	if path == "" {
+		// A bare origin URL ("http://host") parses to an empty path; it
+		// means "/" on the wire and must match a "/" prefix rule.
+		path = "/"
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.enabled {
+		return action{}
+	}
+	for _, rs := range in.rules {
+		if !rs.rule.matches(method, path) {
+			continue
+		}
+		rs.matched++
+		if rs.matched <= rs.rule.After {
+			return action{}
+		}
+		r := rs.rule
+		var a action
+		a.delay = r.Latency
+		if r.Jitter > 0 {
+			a.delay += time.Duration(in.rng.Float64() * float64(r.Jitter))
+		}
+		if a.delay > 0 {
+			in.stats[FaultLatency]++
+		}
+		switch {
+		case r.BlackholeRate > 0 && in.rng.Float64() < r.BlackholeRate:
+			a.kind = FaultBlackhole
+		case r.DropRate > 0 && in.rng.Float64() < r.DropRate:
+			a.kind = FaultDrop
+		case r.ErrorRate > 0 && in.rng.Float64() < r.ErrorRate:
+			a.kind = FaultError
+			a.code = r.ErrorCode
+			if a.code == 0 {
+				a.code = http.StatusInternalServerError
+			}
+		case r.TruncateRate > 0 && in.rng.Float64() < r.TruncateRate:
+			a.kind = FaultTruncate
+			a.truncate = r.TruncateBytes
+		}
+		if a.kind == "" && a.delay == 0 {
+			in.stats[StatPassed]++
+		} else if a.kind != "" {
+			in.stats[a.kind]++
+		}
+		return a
+	}
+	return action{}
+}
+
+// errInjected marks every transport-level fault the injector produces,
+// so tests can tell an injected failure from a real one.
+var errInjected = errors.New("chaos: injected fault")
+
+// IsInjected reports whether err came from the injector.
+func IsInjected(err error) bool { return errors.Is(err, errInjected) }
+
+// Transport wraps next with the injector: matched requests suffer their
+// drawn fault before (or instead of) reaching next. A nil next uses
+// http.DefaultTransport.
+func (in *Injector) Transport(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &transport{in: in, next: next}
+}
+
+type transport struct {
+	in   *Injector
+	next http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	a := t.in.plan(req.Method, req.URL.Path)
+	if a.delay > 0 {
+		tm := time.NewTimer(a.delay)
+		select {
+		case <-tm.C:
+		case <-req.Context().Done():
+			tm.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	switch a.kind {
+	case FaultBlackhole:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case FaultDrop:
+		return nil, fmt.Errorf("%w: connection reset (%s %s)", errInjected, req.Method, req.URL.Path)
+	case FaultError:
+		return syntheticError(req, a.code), nil
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err != nil || a.kind != FaultTruncate {
+		return resp, err
+	}
+	resp.Body = &truncatedBody{rc: resp.Body, remaining: int64(a.truncate)}
+	return resp, nil
+}
+
+// syntheticError builds the injected HTTP error response, shaped like
+// the service's error envelope so SDK clients decode it normally.
+func syntheticError(req *http.Request, code int) *http.Response {
+	body := fmt.Sprintf(`{"error":{"code":"chaos_injected","message":"chaos: injected HTTP %d"}}`, code)
+	h := make(http.Header)
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Chaos-Injected", "1")
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncatedBody lets remaining bytes through, then fails the read — the
+// reader sees a mid-transfer disconnect, not a clean EOF.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, fmt.Errorf("%w: body truncated", errInjected)
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == nil && b.remaining <= 0 {
+		err = fmt.Errorf("%w: body truncated", errInjected)
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

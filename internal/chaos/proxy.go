@@ -1,0 +1,218 @@
+package chaos
+
+// The reverse-proxy form of the injector: a standalone hop dropped
+// between the router and a shard (cmd/nbody-chaos, the e2e suite).
+// Unlike the RoundTripper form, terminal faults here act on the
+// DOWNSTREAM connection — a "drop" resets the router's own connection
+// mid-exchange, a blackhole holds it open — because the proxy stands in
+// for the network between the two processes, not for the upstream's
+// transport.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a fault-injecting reverse proxy in front of one upstream.
+// Besides forwarding, it serves a small control API under /_chaos/ —
+// safe because the nbody API lives entirely under /v1 and the probe
+// paths:
+//
+//	POST /_chaos/set?latency=2s&error_rate=1&...   replace the rule set
+//	POST /_chaos/off                               clear all rules
+//	GET  /_chaos/stats                             fault counters (JSON)
+//
+// /_chaos/set accepts one rule per call with query parameters named
+// after the Rule fields (path, method, after, latency, jitter,
+// error_rate, error_code, drop_rate, blackhole_rate, truncate_rate,
+// truncate_bytes).
+type Proxy struct {
+	in     *Injector
+	target atomic.Pointer[url.URL]
+	rp     *httputil.ReverseProxy
+}
+
+// NewProxy builds a Proxy over in (its faults apply to proxied requests
+// only, never to the control API).
+func NewProxy(target *url.URL, in *Injector) *Proxy {
+	p := &Proxy{in: in}
+	p.target.Store(target)
+	p.rp = &httputil.ReverseProxy{
+		Rewrite: func(pr *httputil.ProxyRequest) {
+			t := p.target.Load()
+			pr.SetURL(t)
+			pr.Out.Host = t.Host
+		},
+		// An unreachable upstream aborts the downstream connection (as a
+		// dead network path would) instead of minting a 502 the real
+		// upstream never sent.
+		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+			panic(http.ErrAbortHandler)
+		},
+	}
+	return p
+}
+
+// SetTarget repoints the proxy at a new upstream — how a test "restarts"
+// a crashed shard on a stable address.
+func (p *Proxy) SetTarget(target *url.URL) { p.target.Store(target) }
+
+// Injector returns the injector the proxy draws faults from.
+func (p *Proxy) Injector() *Injector { return p.in }
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/_chaos/") {
+		p.control(w, r)
+		return
+	}
+	a := p.in.plan(r.Method, r.URL.Path)
+	if a.delay > 0 || a.kind == FaultBlackhole {
+		// Swallow the request body up front, as a slow network would have:
+		// while a body is pending the HTTP server cannot watch the
+		// connection, so r.Context() would never observe the client giving
+		// up and the delay/blackhole would run to term against nobody.
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		r.ContentLength = int64(len(body))
+	}
+	if a.delay > 0 {
+		tm := time.NewTimer(a.delay)
+		select {
+		case <-tm.C:
+		case <-r.Context().Done():
+			tm.Stop()
+			panic(http.ErrAbortHandler)
+		}
+	}
+	switch a.kind {
+	case FaultBlackhole:
+		// Hold the connection until the client gives up; aborting then
+		// (rather than returning) stops net/http from sending an empty
+		// 200 on a connection the client may still be reading.
+		<-r.Context().Done()
+		panic(http.ErrAbortHandler)
+	case FaultDrop:
+		panic(http.ErrAbortHandler)
+	case FaultError:
+		resp := syntheticError(r, a.code)
+		for k, vs := range resp.Header {
+			w.Header()[k] = vs
+		}
+		w.WriteHeader(resp.StatusCode)
+		body, _ := io.ReadAll(resp.Body)
+		w.Write(body)
+		return
+	case FaultTruncate:
+		p.rp.ServeHTTP(&truncWriter{ResponseWriter: w, remaining: int64(a.truncate)}, r)
+		return
+	}
+	p.rp.ServeHTTP(w, r)
+}
+
+// control serves the /_chaos/ API.
+func (p *Proxy) control(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/_chaos/set":
+		rule, err := ruleFromQuery(r.URL.Query())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p.in.SetRules(rule)
+		writeJSON(w, map[string]any{"status": "ok", "rule": ruleJSON(rule)})
+	case "/_chaos/off":
+		p.in.SetRules()
+		writeJSON(w, map[string]any{"status": "ok"})
+	case "/_chaos/stats":
+		writeJSON(w, p.in.Stats())
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// ruleFromQuery decodes one Rule from /_chaos/set query parameters.
+func ruleFromQuery(q url.Values) (Rule, error) {
+	var rule Rule
+	var err error
+	dur := func(key string, dst *time.Duration) {
+		if err != nil || q.Get(key) == "" {
+			return
+		}
+		*dst, err = time.ParseDuration(q.Get(key))
+	}
+	rate := func(key string, dst *float64) {
+		if err != nil || q.Get(key) == "" {
+			return
+		}
+		*dst, err = strconv.ParseFloat(q.Get(key), 64)
+	}
+	num := func(key string, dst *int) {
+		if err != nil || q.Get(key) == "" {
+			return
+		}
+		*dst, err = strconv.Atoi(q.Get(key))
+	}
+	rule.PathPrefix = q.Get("path")
+	rule.Method = q.Get("method")
+	num("after", &rule.After)
+	dur("latency", &rule.Latency)
+	dur("jitter", &rule.Jitter)
+	rate("error_rate", &rule.ErrorRate)
+	num("error_code", &rule.ErrorCode)
+	rate("drop_rate", &rule.DropRate)
+	rate("blackhole_rate", &rule.BlackholeRate)
+	rate("truncate_rate", &rule.TruncateRate)
+	num("truncate_bytes", &rule.TruncateBytes)
+	return rule, err
+}
+
+// ruleJSON is the echo body of /_chaos/set, for operator feedback.
+func ruleJSON(r Rule) map[string]any {
+	return map[string]any{
+		"path": r.PathPrefix, "method": r.Method, "after": r.After,
+		"latency": r.Latency.String(), "jitter": r.Jitter.String(),
+		"error_rate": r.ErrorRate, "error_code": r.ErrorCode,
+		"drop_rate": r.DropRate, "blackhole_rate": r.BlackholeRate,
+		"truncate_rate": r.TruncateRate, "truncate_bytes": r.TruncateBytes,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// truncWriter lets remaining response bytes through, then aborts the
+// connection mid-body — downstream sees a disconnect, not a clean end.
+type truncWriter struct {
+	http.ResponseWriter
+	remaining int64
+}
+
+func (t *truncWriter) Write(p []byte) (int, error) {
+	if t.remaining <= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	if int64(len(p)) > t.remaining {
+		t.ResponseWriter.Write(p[:t.remaining])
+		if f, ok := t.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	t.remaining -= int64(len(p))
+	return t.ResponseWriter.Write(p)
+}
+
+func (t *truncWriter) Unwrap() http.ResponseWriter { return t.ResponseWriter }

@@ -223,6 +223,12 @@ type Config struct {
 	// ChunkSteps is the default checkpoint chunk size. Default 500. Keep
 	// it within the session layer's per-request step budget.
 	ChunkSteps int
+	// ChunkTimeout, when > 0, is the watchdog on a single chunk (and on
+	// backing-session creation): a chunk that exceeds it is abandoned and
+	// classified as a transient fault, so the job retries with backoff
+	// instead of wedging a worker forever on a hung session layer. Size
+	// it well above a chunk's honest worst case. 0 disables the watchdog.
+	ChunkTimeout time.Duration
 	// MaxJobSteps bounds Spec.Steps. Default 10,000,000.
 	MaxJobSteps int
 	// MaxRecords bounds how many job records (queued, running and

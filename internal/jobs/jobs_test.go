@@ -816,3 +816,60 @@ func TestSubmitRequestedID(t *testing.T) {
 		t.Fatalf("sharded manager minted %q, want a-j-<n>", minted.ID)
 	}
 }
+
+func TestChunkTimeoutWatchdogRetriesTransiently(t *testing.T) {
+	f := newFakeRunner()
+	// The first chunk hangs until its context dies — the wedged-session
+	// case the watchdog exists for. It must classify as transient (the
+	// job neither cancelled nor the pool drained), so the retry loop
+	// backs off and the second attempt completes the job.
+	f.stepHook = func(ctx context.Context, call int, sid string, n int) error {
+		if call == 1 {
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		return nil
+	}
+	m := newTestManager(t, Config{Runner: f, Workers: 1, ChunkTimeout: 25 * time.Millisecond})
+
+	info, err := m.Submit(context.Background(), spec("plummer", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, info.ID, StateSucceeded)
+	if done.StepsDone != 10 {
+		t.Errorf("final info %+v: want 10 steps", done)
+	}
+	if v := m.ins.retries.Value(); v != 1 {
+		t.Errorf("retries = %v, want 1 (the watchdog-abandoned chunk)", v)
+	}
+}
+
+func TestChunkTimeoutDoesNotMisclassifyCancel(t *testing.T) {
+	f := newFakeRunner()
+	stepping := make(chan struct{}, 1)
+	f.stepHook = func(ctx context.Context, call int, sid string, n int) error {
+		select {
+		case stepping <- struct{}{}:
+		default:
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	// Watchdog far in the future: the context dying means cancellation,
+	// and the job must land in cancelled, not a transient retry.
+	m := newTestManager(t, Config{Runner: f, Workers: 1, ChunkTimeout: time.Hour})
+
+	info, err := m.Submit(context.Background(), spec("plummer", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-stepping
+	if _, _, err := m.Cancel(context.Background(), info.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, info.ID, StateCancelled)
+	if v := m.ins.retries.Value(); v != 0 {
+		t.Errorf("retries = %v, want 0 for a cancel", v)
+	}
+}

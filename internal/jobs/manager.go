@@ -761,7 +761,7 @@ func (m *Manager) ensureSession(j *job) (string, error) {
 	defer cancel()
 	id, err := m.cfg.Runner.CreateSession(ctx, j.spec.SessionSpec)
 	if err != nil {
-		return "", err
+		return "", m.watchdogErr(ctx, j, err)
 	}
 	m.mu.Lock()
 	j.sessionID = id
@@ -782,15 +782,32 @@ func (m *Manager) stepChunk(j *job, sid string, n int) (int, error) {
 	if completed > 0 {
 		m.observeChunk(time.Since(start).Seconds())
 	}
-	return completed, err
+	return completed, m.watchdogErr(ctx, j, err)
 }
 
-// chunkContext derives a context cancelled by either the job's own
-// cancellation or the pool's drain.
+// chunkContext derives a context cancelled by the job's own
+// cancellation, the pool's drain, or — when ChunkTimeout is set — the
+// chunk watchdog.
 func (m *Manager) chunkContext(j *job) (context.Context, context.CancelFunc) {
 	ctx, cancel := context.WithCancel(j.ctx)
 	stop := context.AfterFunc(m.ctx, cancel)
+	if m.cfg.ChunkTimeout > 0 {
+		tctx, tcancel := context.WithTimeout(ctx, m.cfg.ChunkTimeout)
+		return tctx, func() { tcancel(); stop(); cancel() }
+	}
 	return ctx, func() { stop(); cancel() }
+}
+
+// watchdogErr classifies an error from a chunk whose context the
+// ChunkTimeout watchdog expired: neither the job nor the pool asked to
+// stop, so the hang is the session layer's — a transient fault the
+// retry loop should back off and re-attempt, not a permanent failure.
+func (m *Manager) watchdogErr(ctx context.Context, j *job, err error) error {
+	if err == nil || !errors.Is(ctx.Err(), context.DeadlineExceeded) ||
+		j.ctx.Err() != nil || m.ctx.Err() != nil {
+		return err
+	}
+	return fmt.Errorf("%w: chunk exceeded watchdog %v: %v", ErrTransient, m.cfg.ChunkTimeout, err)
 }
 
 // backoffDelay computes attempt's retry delay: exponential growth from

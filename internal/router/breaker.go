@@ -1,0 +1,199 @@
+package router
+
+// Per-shard circuit breaker: passive failure tracking that reacts to
+// real traffic in the seconds between active /readyz probes. The probe
+// state machine (probeLoop) catches a dead process within
+// FailAfter × ProbeInterval; the breaker catches the shard that still
+// answers probes but fails or crawls on real requests, and sheds load
+// from it immediately instead of paying a timeout per request.
+
+import (
+	"sync"
+	"time"
+)
+
+type breakerState int32
+
+const (
+	brClosed breakerState = iota
+	brHalfOpen
+	brOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case brHalfOpen:
+		return "half_open"
+	case brOpen:
+		return "open"
+	}
+	return "closed"
+}
+
+// breakerConfig is the per-shard breaker's tuning, copied from Config.
+type breakerConfig struct {
+	// failures consecutive failed requests open the breaker.
+	failures int
+	// cooldown is how long an open breaker blocks before letting one
+	// trial request through (half-open).
+	cooldown time.Duration
+	// latency, when > 0, counts any slower response as a failure sample
+	// even if its status was fine — the "slow is down" rule.
+	latency time.Duration
+}
+
+// breaker is one shard's circuit. The contract with the caller: allow()
+// is consulted immediately before a send, and every allowed send is
+// followed by exactly one record() — forward() owns that pairing.
+type breaker struct {
+	cfg    breakerConfig
+	now    func() time.Time // test seam
+	onOpen func()           // observability hook, called on each open transition
+
+	mu       sync.Mutex
+	st       breakerState
+	consec   int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	trial    bool      // a half-open trial request is in flight
+	opened   uint64    // total open transitions, feeds the obs counter
+	ewma     float64   // request latency EWMA in seconds (0 until first sample)
+}
+
+func newBreaker(cfg breakerConfig) *breaker {
+	return &breaker{cfg: cfg, now: time.Now}
+}
+
+// allow reports whether a request may be sent. Closed passes everything;
+// open blocks until cooldown has elapsed, then converts to half-open and
+// admits a single trial; half-open admits one trial at a time.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.st {
+	case brClosed:
+		return true
+	case brOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.cooldown {
+			return false
+		}
+		b.st = brHalfOpen
+		b.trial = true
+		return true
+	default: // brHalfOpen
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// record feeds one completed send back: failed is a transport error or a
+// gateway-class status; a response slower than cfg.latency also counts.
+// In closed state, cfg.failures consecutive failures open the circuit;
+// a half-open trial's outcome closes or re-opens it.
+func (b *breaker) record(d time.Duration, failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// One EWMA over all samples (α=0.3: ~10 requests of memory), tracked
+	// even while open so the exported gauge stays meaningful.
+	sec := d.Seconds()
+	if b.ewma == 0 {
+		b.ewma = sec
+	} else {
+		b.ewma = 0.3*sec + 0.7*b.ewma
+	}
+	if b.cfg.latency > 0 && d >= b.cfg.latency {
+		failed = true
+	}
+	switch b.st {
+	case brClosed:
+		if !failed {
+			b.consec = 0
+			return
+		}
+		b.consec++
+		if b.consec >= b.cfg.failures {
+			b.openLocked()
+		}
+	case brHalfOpen:
+		b.trial = false
+		if failed {
+			b.openLocked()
+			return
+		}
+		b.st = brClosed
+		b.consec = 0
+	case brOpen:
+		// A straggler launched before the circuit opened; its outcome
+		// says nothing the breaker doesn't already know.
+	}
+}
+
+// openLocked transitions to open. Callers hold b.mu.
+func (b *breaker) openLocked() {
+	b.st = brOpen
+	b.openedAt = b.now()
+	b.trial = false
+	b.consec = 0
+	b.opened++
+	if b.onOpen != nil {
+		b.onOpen()
+	}
+}
+
+// release discards a sample whose outcome says nothing about the shard
+// (the caller's own deadline or disconnect cut the exchange short): the
+// half-open trial slot is freed without closing or re-opening the
+// circuit, and a closed circuit's failure streak is left untouched.
+func (b *breaker) release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.st == brHalfOpen {
+		b.trial = false
+	}
+}
+
+// blocked is the non-consuming availability check used when listing
+// candidates or picking placements: true only while the breaker is open
+// and still cooling down. Once cooldown elapses the shard is offered
+// again — the first send through allow() becomes the trial.
+func (b *breaker) blocked() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.st == brOpen && b.now().Sub(b.openedAt) < b.cfg.cooldown
+}
+
+// state returns the current state for status listings and metrics.
+func (b *breaker) state() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.st
+}
+
+// openCount returns the total number of open transitions.
+func (b *breaker) openCount() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opened
+}
+
+// latencyEWMA returns the request-latency EWMA in seconds.
+func (b *breaker) latencyEWMA() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ewma
+}
+
+// breakerFailureStatus classifies an upstream status as a breaker
+// failure sample. Gateway-class and internal errors count; deliberate
+// shedding (429 admission, 503 drain/shutdown) does not — those are the
+// shard protecting itself, and opening on them would turn backpressure
+// into an outage.
+func breakerFailureStatus(code int) bool {
+	switch code {
+	case 500, 502, 504:
+		return true
+	}
+	return false
+}

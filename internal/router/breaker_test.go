@@ -1,0 +1,108 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker's time seam.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time             { return c.t }
+func (c *fakeClock) advance(d time.Duration)    { c.t = c.t.Add(d) }
+func newTestBreaker(cfg breakerConfig) (*breaker, *fakeClock) {
+	b := newBreaker(cfg)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	b, clk := newTestBreaker(breakerConfig{failures: 3, cooldown: time.Second})
+
+	// Failures interleaved with a success never open: the counter is
+	// consecutive, not cumulative.
+	b.record(time.Millisecond, true)
+	b.record(time.Millisecond, true)
+	b.record(time.Millisecond, false)
+	b.record(time.Millisecond, true)
+	b.record(time.Millisecond, true)
+	if b.state() != brClosed || !b.allow() {
+		t.Fatalf("state %v after interleaved failures, want closed", b.state())
+	}
+
+	b.record(time.Millisecond, true)
+	if b.state() != brOpen {
+		t.Fatalf("state %v after 3 consecutive failures, want open", b.state())
+	}
+	if b.allow() || !b.blocked() {
+		t.Fatal("open breaker within cooldown must block")
+	}
+	if b.openCount() != 1 {
+		t.Fatalf("openCount %d, want 1", b.openCount())
+	}
+
+	// Cooldown elapses: exactly one trial is admitted.
+	clk.advance(2 * time.Second)
+	if b.blocked() {
+		t.Fatal("cooled-down breaker must offer the shard again")
+	}
+	if !b.allow() {
+		t.Fatal("first allow after cooldown must admit the trial")
+	}
+	if b.state() != brHalfOpen {
+		t.Fatalf("state %v, want half_open", b.state())
+	}
+	if b.allow() {
+		t.Fatal("second concurrent trial must be blocked")
+	}
+
+	// Trial succeeds: closed again, failures start from zero.
+	b.record(time.Millisecond, false)
+	if b.state() != brClosed || !b.allow() {
+		t.Fatalf("state %v after successful trial, want closed", b.state())
+	}
+}
+
+func TestBreakerReopensOnFailedTrial(t *testing.T) {
+	b, clk := newTestBreaker(breakerConfig{failures: 1, cooldown: time.Second})
+	b.record(time.Millisecond, true)
+	if b.state() != brOpen {
+		t.Fatalf("state %v, want open", b.state())
+	}
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("trial not admitted")
+	}
+	b.record(time.Millisecond, true)
+	if b.state() != brOpen || b.openCount() != 2 {
+		t.Fatalf("failed trial: state %v opens %d, want open/2", b.state(), b.openCount())
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker must block for a fresh cooldown")
+	}
+}
+
+func TestBreakerLatencyCountsAsFailure(t *testing.T) {
+	b, _ := newTestBreaker(breakerConfig{failures: 2, cooldown: time.Second, latency: 100 * time.Millisecond})
+	b.record(200*time.Millisecond, false)
+	b.record(150*time.Millisecond, false)
+	if b.state() != brOpen {
+		t.Fatalf("state %v after two over-latency responses, want open", b.state())
+	}
+	if b.latencyEWMA() <= 0 {
+		t.Fatal("latency EWMA must track samples")
+	}
+}
+
+func TestBreakerFailureStatusClassification(t *testing.T) {
+	for code, want := range map[int]bool{
+		200: false, 404: false, 422: false,
+		429: false, 503: false, // deliberate shedding is not a fault
+		500: true, 502: true, 504: true,
+	} {
+		if got := breakerFailureStatus(code); got != want {
+			t.Errorf("breakerFailureStatus(%d) = %v, want %v", code, got, want)
+		}
+	}
+}

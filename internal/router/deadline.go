@@ -1,0 +1,59 @@
+package router
+
+// Deadline propagation. Each request entering the router gets a time
+// budget: the smaller of the client's declared remaining budget (the
+// X-NBody-Deadline header, a relative Go duration — relative so clock
+// skew between hops cannot corrupt it) and the router's own
+// ProxyTimeout. The budget rides the request context; forward()
+// re-stamps the header with whatever remains at each hop so the shard
+// can clamp its own work (step budget, job chunk) to it and abandon
+// server-side work the client will never see.
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// deadlineHeader mirrors serve.DeadlineHeader (not imported: the router
+// depends only on the client SDK and the wire contract). The value is
+// the REMAINING budget as a Go duration string ("750ms"), not an
+// absolute timestamp.
+const deadlineHeader = "X-NBody-Deadline"
+
+// parseDeadline decodes a remaining-budget header value. Malformed or
+// non-positive values are ignored (0, false) — a bad header must not
+// reject the request, only lose the optimization.
+func parseDeadline(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0, false
+	}
+	return d, true
+}
+
+// requestBudget derives the context a proxied request runs under. The
+// client's declared budget always applies when present. ProxyTimeout
+// additionally caps non-streaming requests; streaming routes (watch,
+// snapshot/trace downloads) are exempt from the default cap — they are
+// designed to outlive any reasonable per-request timeout — but still
+// honor an explicit client budget. The returned cancel must always be
+// called.
+func (rt *Router) requestBudget(r *http.Request, streaming bool) (context.Context, context.CancelFunc) {
+	budget := time.Duration(0)
+	if d, ok := parseDeadline(r.Header.Get(deadlineHeader)); ok {
+		budget = d
+	}
+	if !streaming && rt.cfg.ProxyTimeout > 0 {
+		if budget == 0 || rt.cfg.ProxyTimeout < budget {
+			budget = rt.cfg.ProxyTimeout
+		}
+	}
+	if budget <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), budget)
+}

@@ -12,9 +12,15 @@ type instruments struct {
 	handoffs     *obs.CounterVec   // result: ok | failed | skipped
 	probeFails   *obs.CounterVec   // shard: failed health probes
 
+	hedgedReads     *obs.Counter    // hedge attempts launched (not sequential retries)
+	hedgeWins       *obs.Counter    // hedged reads answered by the hedge attempt
+	deadlineExpired *obs.Counter    // requests failed 504 by the propagated deadline
+	breakerOpens    *obs.CounterVec // shard: circuit breaker open transitions
+
 	// Refreshed at scrape time by the collect hook.
 	shardUp       *obs.GaugeVec // shard
 	shardDraining *obs.GaugeVec // shard
+	breakerState  *obs.GaugeVec // shard: 0 closed, 1 half-open, 2 open
 }
 
 // newInstruments registers the router's metric families in reg.
@@ -34,10 +40,21 @@ func newInstruments(reg *obs.Registry) *instruments {
 		probeFails: reg.CounterVec("nbody_router_probe_failures_total",
 			"Failed /readyz health probes, by shard.", "shard"),
 
+		hedgedReads: reg.Counter("nbody_router_hedged_reads_total",
+			"Hedge attempts launched for slow idempotent GETs."),
+		hedgeWins: reg.Counter("nbody_router_hedge_wins_total",
+			"Hedged reads where the hedge attempt answered first."),
+		deadlineExpired: reg.Counter("nbody_router_deadline_expired_total",
+			"Requests failed 504 because their propagated deadline expired."),
+		breakerOpens: reg.CounterVec("nbody_router_breaker_opens_total",
+			"Circuit breaker open transitions, by shard.", "shard"),
+
 		shardUp: reg.GaugeVec("nbody_router_shard_up",
 			"1 when the shard is passing health probes, 0 when it is down.", "shard"),
 		shardDraining: reg.GaugeVec("nbody_router_shard_draining",
 			"1 when the shard is draining (no new placements), 0 otherwise.", "shard"),
+		breakerState: reg.GaugeVec("nbody_router_breaker_state",
+			"Circuit breaker state per shard: 0 closed, 1 half-open, 2 open.", "shard"),
 	}
 }
 
@@ -48,6 +65,7 @@ func (ins *instruments) install(reg *obs.Registry, rt *Router) {
 		ins.requests.With(name, "2xx")
 		ins.placements.With(name)
 		ins.probeFails.With(name)
+		ins.breakerOpens.With(name)
 	}
 	for _, result := range []string{"ok", "failed", "skipped"} {
 		ins.handoffs.With(result)
@@ -63,6 +81,14 @@ func (ins *instruments) install(reg *obs.Registry, rt *Router) {
 			}
 			ins.shardUp.With(name).Set(up)
 			ins.shardDraining.With(name).Set(draining)
+			var br float64
+			switch s.br.state() {
+			case brHalfOpen:
+				br = 1
+			case brOpen:
+				br = 2
+			}
+			ins.breakerState.With(name).Set(br)
 		}
 	})
 }

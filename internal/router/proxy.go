@@ -8,7 +8,9 @@ package router
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -151,21 +153,71 @@ func (s *statusRecorder) WriteHeader(code int) {
 
 func (s *statusRecorder) Unwrap() http.ResponseWriter { return s.ResponseWriter }
 
-// forward sends one request to a shard and returns the raw response. The
-// proxy latency histogram observes time to response headers (streams keep
-// flowing long after), and the per-shard request counter buckets by
-// status class.
-func (rt *Router) forward(r *http.Request, name, method, uri string, header http.Header, body io.Reader) (*http.Response, error) {
+// errBreakerOpen marks a send refused by a shard's circuit breaker.
+// Nothing was put on the wire, so the caller may safely try another
+// shard — even for a write.
+var errBreakerOpen = errors.New("router: circuit breaker open")
+
+// forward sends one request to a shard and returns the raw response. It
+// owns the shard's breaker contract (one record or release per allowed
+// send) and re-stamps the remaining deadline budget on the outgoing
+// headers. The proxy latency histogram observes time to response headers
+// (streams keep flowing long after), and the per-shard request counter
+// buckets by status class.
+func (rt *Router) forward(ctx context.Context, name, method, uri string, header http.Header, body io.Reader) (*http.Response, error) {
 	s := rt.shards[name]
+	if dl, ok := ctx.Deadline(); ok {
+		remain := time.Until(dl)
+		if remain <= 0 {
+			// Don't consume a half-open trial slot on a send that cannot
+			// possibly complete.
+			return nil, fmt.Errorf("router: budget exhausted before send: %w", context.DeadlineExceeded)
+		}
+		header.Set(deadlineHeader, remain.String())
+	}
+	if !s.br.allow() {
+		rt.ins.requests.With(name, "breaker_open").Inc()
+		return nil, fmt.Errorf("%w (shard %s)", errBreakerOpen, name)
+	}
 	start := time.Now()
-	resp, err := s.c.RawRequest(r.Context(), method, uri, header, body)
-	rt.ins.proxySeconds.With(name).Observe(time.Since(start).Seconds())
+	resp, err := s.c.RawRequest(ctx, method, uri, header, body)
+	elapsed := time.Since(start)
+	rt.ins.proxySeconds.With(name).Observe(elapsed.Seconds())
 	if err != nil {
+		if ctx.Err() != nil {
+			// Our own deadline or cancellation cut the exchange short — the
+			// outcome says nothing about the shard's health, so the sample
+			// is discarded (recording failure here would let a slow CLIENT
+			// open a breaker; recording success would wrongly close one).
+			s.br.release()
+		} else {
+			s.br.record(elapsed, true)
+		}
 		rt.ins.requests.With(name, "error").Inc()
 		return nil, err
 	}
+	s.br.record(elapsed, breakerFailureStatus(resp.StatusCode))
 	rt.ins.requests.With(name, statusClass(resp.StatusCode)).Inc()
 	return resp, nil
+}
+
+// writeForwardError maps a failed forward to the client-facing error: a
+// breaker refusal sheds with the same retryable 503 a probe-down shard
+// gets, an exhausted budget is 504 deadline_exceeded, anything else is
+// the generic 502.
+func (rt *Router) writeForwardError(w http.ResponseWriter, ctx context.Context, name string, err error) {
+	switch {
+	case errors.Is(err, errBreakerOpen):
+		writeRouterError(w, http.StatusServiceUnavailable, "shard_unavailable",
+			fmt.Sprintf("router: shard %s is shedding load (circuit open)", name), name)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+		rt.ins.deadlineExpired.Inc()
+		writeRouterError(w, http.StatusGatewayTimeout, "deadline_exceeded",
+			fmt.Sprintf("router: shard %s: request deadline exceeded", name), name)
+	default:
+		writeRouterError(w, http.StatusBadGateway, "bad_gateway",
+			fmt.Sprintf("router: shard %s: %v", name, err), name)
+	}
 }
 
 func statusClass(code int) string {
@@ -253,26 +305,40 @@ func (b *bufferedResponse) replay(w http.ResponseWriter) {
 	w.Write(b.body)
 }
 
-// proxyCreate places a fresh resource: mint the ID, pick the first
-// placeable shard in ring order from it, and forward with the minted ID
-// in X-NBody-ID so the shard stores the resource under the routing key.
-// The body streams straight through (snapshot uploads can be tens of MB),
-// so there is no retry — a placeable shard that fails the request
-// surfaces as 502.
+// proxyCreate places a fresh resource: mint the ID, walk the placeable
+// shards in ring order from it, and forward with the minted ID in
+// X-NBody-ID so the shard stores the resource under the routing key.
+// The body streams straight through (snapshot uploads can be tens of
+// MB), so there is no retry after a send — but a breaker refusal put
+// nothing on the wire, so the walk safely moves to the next candidate.
 func (rt *Router) proxyCreate(w http.ResponseWriter, r *http.Request, ns, prefix string) {
+	ctx, cancel := rt.requestBudget(r, false)
+	defer cancel()
 	id := mintID(prefix)
-	target := rt.place(id)
+	header := proxyHeader(r)
+	header.Set(idHeader, id)
+	var (
+		target string
+		resp   *http.Response
+		err    error
+	)
+	for _, name := range rt.ring.Sequence(id) {
+		if !rt.placeable(name) {
+			continue
+		}
+		target = name
+		resp, err = rt.forward(ctx, name, r.Method, r.URL.RequestURI(), header, r.Body)
+		if err == nil || !errors.Is(err, errBreakerOpen) {
+			break
+		}
+	}
 	if target == "" {
 		writeRouterError(w, http.StatusServiceUnavailable, "no_healthy_shards",
 			"router: no shard is accepting placements", "")
 		return
 	}
-	header := proxyHeader(r)
-	header.Set(idHeader, id)
-	resp, err := rt.forward(r, target, r.Method, r.URL.RequestURI(), header, r.Body)
 	if err != nil {
-		writeRouterError(w, http.StatusBadGateway, "bad_gateway",
-			fmt.Sprintf("router: shard %s: %v", target, err), target)
+		rt.writeForwardError(w, ctx, target, err)
 		return
 	}
 	if resp.StatusCode/100 == 2 {
@@ -296,78 +362,207 @@ func (rt *Router) proxyByID(w http.ResponseWriter, r *http.Request, ns, id, sub 
 	// stepping session still never mutates; the one non-idempotent GET is
 	// watch, and step/delete/patch are writes outright.
 	isRead := r.Method == http.MethodGet && sub != "watch"
+	// Streaming routes are designed to outlive any sensible per-request
+	// cap (watch is an unbounded NDJSON stream; snapshot and trace bodies
+	// can be large), so they skip the default ProxyTimeout — but an
+	// explicit client budget still applies.
+	streaming := sub == "watch" || (isRead && (sub == "snapshot" || sub == "trace"))
+	ctx, cancel := rt.requestBudget(r, streaming)
+	defer cancel()
 	if isRead {
-		rt.proxyRead(w, r, ns, id, sub)
+		rt.proxyRead(ctx, w, r, ns, id, sub)
 		return
 	}
-	rt.proxyWrite(w, r, ns, id)
+	rt.proxyWrite(ctx, w, r, ns, id)
 }
 
-func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, ns, id, sub string) {
+// proxyRead walks the read candidates with hedging: attempts launch
+// sequentially (each failure or soft miss advances the walk, exactly as
+// before), but when HedgeAfter is set and the in-flight attempt has
+// neither answered nor failed within it, the next candidate launches in
+// parallel and the first usable answer wins. Hedging is safe precisely
+// because these are the idempotent GETs — a write is never hedged.
+//
+// A cancelled job record can be the stale leftover of a drain handoff
+// whose origin cleanup failed — with the location cache lost (restart,
+// eviction) the walk hits the ring owner's leftover before the live copy
+// on the successor. Treat it as a soft miss: keep walking, preferring
+// any non-cancelled copy, and only answer with the cancelled record when
+// no shard holds a live one (genuinely cancelled). Job records are
+// small, so buffering them for possible replay is cheap.
+func (rt *Router) proxyRead(ctx context.Context, w http.ResponseWriter, r *http.Request, ns, id, sub string) {
 	candidates := rt.readCandidates(ns, id)
 	if len(candidates) == 0 {
 		writeRouterError(w, http.StatusServiceUnavailable, "no_healthy_shards",
 			"router: no shard is reachable", "")
 		return
 	}
-	// A cancelled job record can be the stale leftover of a drain handoff
-	// whose origin cleanup failed — with the location cache lost (restart,
-	// eviction) the walk hits the ring owner's leftover before the live
-	// copy on the successor. Treat it as a soft miss: keep walking,
-	// preferring any non-cancelled copy, and only answer with the
-	// cancelled record when no shard holds a live one (genuinely
-	// cancelled). Job records are small, so buffering them for possible
-	// replay is cheap.
 	jobRecordGet := ns == "j" && sub == ""
 	uri := r.URL.RequestURI()
-	var last404, cancelledHit *bufferedResponse
-	failures := 0
-	for i, name := range candidates {
-		if i > 0 {
+
+	type attempt struct {
+		shard  string
+		hedged bool
+		resp   *http.Response
+		err    error
+	}
+	results := make(chan attempt, len(candidates))
+	var cancels []context.CancelFunc
+	launched, pending := 0, 0
+	launch := func(hedge bool) {
+		name := candidates[launched]
+		launched++
+		pending++
+		if hedge {
+			rt.ins.hedgedReads.Inc()
+		} else if launched > 1 {
 			rt.ins.readRetries.Inc()
 		}
-		resp, err := rt.forward(r, name, r.Method, uri, proxyHeader(r), nil)
-		if err != nil {
-			failures++
-			continue
+		actx, acancel := context.WithCancel(ctx)
+		cancels = append(cancels, acancel)
+		go func() {
+			// proxyHeader is built per attempt: forward mutates it (deadline
+			// stamp), so concurrent attempts must not share one.
+			resp, err := rt.forward(actx, name, r.Method, uri, proxyHeader(r), nil)
+			results <- attempt{shard: name, hedged: hedge, resp: resp, err: err}
+		}()
+	}
+	defer func() {
+		for _, c := range cancels {
+			c()
 		}
-		if resp.StatusCode == http.StatusNotFound {
-			last404 = bufferResponse(resp, name)
-			continue
-		}
-		if resp.StatusCode/100 == 2 {
-			if jobRecordGet {
-				buf := bufferResponse(resp, name)
-				if cancelledHit == nil && i < len(candidates)-1 && jobState(buf.body) == "cancelled" {
-					cancelledHit = buf
-					continue
+	}()
+	// reap drains the in-flight losers in the background (their contexts
+	// are cancelled by the deferred block above) so their bodies close.
+	reap := func(n int) {
+		if n > 0 {
+			go func() {
+				for i := 0; i < n; i++ {
+					if a := <-results; a.resp != nil {
+						a.resp.Body.Close()
+					}
 				}
-				rt.cache.put(ns, id, name)
+			}()
+		}
+	}
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	armHedge := func() {
+		hedgeC = nil
+		if rt.cfg.HedgeAfter <= 0 || launched >= len(candidates) {
+			return
+		}
+		if hedgeTimer == nil {
+			hedgeTimer = time.NewTimer(rt.cfg.HedgeAfter)
+		} else {
+			hedgeTimer.Reset(rt.cfg.HedgeAfter)
+		}
+		hedgeC = hedgeTimer.C
+	}
+	defer func() {
+		if hedgeTimer != nil {
+			hedgeTimer.Stop()
+		}
+	}()
+
+	var last404, cancelledHit *bufferedResponse
+	var lastErr error
+	failures := 0
+	expired := false
+
+	launch(false)
+	armHedge()
+walk:
+	for pending > 0 {
+		select {
+		case a := <-results:
+			pending--
+			miss := false
+			switch {
+			case a.err != nil:
+				rt.log.Log(ctx, "read attempt failed",
+					"shard", a.shard, "hedged", a.hedged, "error", a.err.Error())
+				failures++
+				lastErr = a.err
+				miss = true
+			case a.resp.StatusCode == http.StatusNotFound:
+				last404 = bufferResponse(a.resp, a.shard)
+				miss = true
+			case a.resp.StatusCode/100 == 2 && jobRecordGet:
+				buf := bufferResponse(a.resp, a.shard)
+				if jobState(buf.body) == "cancelled" {
+					if cancelledHit == nil {
+						cancelledHit = buf
+					}
+					miss = true
+					break
+				}
+				rt.cache.put(ns, id, a.shard)
+				if a.hedged {
+					rt.ins.hedgeWins.Inc()
+				}
+				reap(pending)
 				buf.replay(w)
 				return
+			default:
+				if a.resp.StatusCode/100 == 2 {
+					rt.cache.put(ns, id, a.shard)
+				}
+				if a.hedged {
+					rt.ins.hedgeWins.Inc()
+				}
+				reap(pending)
+				copyResponse(w, a.resp, a.shard)
+				return
 			}
-			rt.cache.put(ns, id, name)
+			if miss && launched < len(candidates) {
+				if pending == 0 {
+					launch(false)
+					armHedge()
+				} else {
+					// A hedge partner is still in flight; re-arm so the walk
+					// keeps advancing if it too stays silent.
+					armHedge()
+				}
+			}
+		case <-hedgeC:
+			launch(true)
+			armHedge()
+		case <-ctx.Done():
+			expired = true
+			reap(pending)
+			break walk
 		}
-		copyResponse(w, resp, name)
-		return
 	}
-	if cancelledHit != nil {
+	switch {
+	// Checked on ctx AND on the last failure, not just the expired flag:
+	// when the final attempt's error and the deadline land together the
+	// select may drain the result first, and the transport's own header
+	// timeout can beat the context timer by a tick — either way the
+	// budget is what ran out, and the client deserves 504, not 502.
+	case errors.Is(ctx.Err(), context.DeadlineExceeded) || errors.Is(lastErr, context.DeadlineExceeded):
+		rt.ins.deadlineExpired.Inc()
+		writeRouterError(w, http.StatusGatewayTimeout, "deadline_exceeded",
+			"router: request deadline exceeded during shard walk", "")
+	case expired:
+		writeRouterError(w, http.StatusBadGateway, "bad_gateway",
+			"router: request cancelled during shard walk", "")
+	case cancelledHit != nil:
 		// No live copy anywhere: the cancelled record is the real one.
 		rt.cache.put(ns, id, cancelledHit.shard)
 		cancelledHit.replay(w)
-		return
-	}
-	if last404 != nil {
+	case last404 != nil:
 		// Every reachable shard denied knowing the ID: genuinely gone.
 		rt.cache.drop(ns, id)
 		last404.replay(w)
-		return
+	default:
+		writeRouterError(w, http.StatusBadGateway, "bad_gateway",
+			fmt.Sprintf("router: all %d candidate shard(s) failed (last: %v)", failures, lastErr), "")
 	}
-	writeRouterError(w, http.StatusBadGateway, "bad_gateway",
-		fmt.Sprintf("router: all %d candidate shard(s) failed", failures), "")
 }
 
-func (rt *Router) proxyWrite(w http.ResponseWriter, r *http.Request, ns, id string) {
+func (rt *Router) proxyWrite(ctx context.Context, w http.ResponseWriter, r *http.Request, ns, id string) {
 	target, ok := rt.writeTarget(ns, id)
 	if !ok {
 		writeRouterError(w, http.StatusServiceUnavailable, "shard_unavailable",
@@ -393,15 +588,15 @@ func (rt *Router) proxyWrite(w http.ResponseWriter, r *http.Request, ns, id stri
 
 	send := func(name string) (*http.Response, error) {
 		if buffered {
-			return rt.forward(r, name, r.Method, uri, header, bytes.NewReader(body))
+			return rt.forward(ctx, name, r.Method, uri, header, bytes.NewReader(body))
 		}
-		return rt.forward(r, name, r.Method, uri, header, r.Body)
+		return rt.forward(ctx, name, r.Method, uri, header, r.Body)
 	}
 	resp, err := send(target)
 	if err != nil {
-		// The request may have reached the shard: report, don't retry.
-		writeRouterError(w, http.StatusBadGateway, "bad_gateway",
-			fmt.Sprintf("router: shard %s: %v", target, err), target)
+		// The request may have reached the shard (except a breaker refusal
+		// or pre-send budget exhaustion): report, never retry a write.
+		rt.writeForwardError(w, ctx, target, err)
 		return
 	}
 	if resp.StatusCode == http.StatusNotFound && buffered {
@@ -450,6 +645,9 @@ func (rt *Router) listSessions(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	ctx, cancel := rt.requestBudget(r, false)
+	defer cancel()
+
 	type page struct {
 		Sessions   []json.RawMessage `json:"sessions"`
 		NextCursor string            `json:"next_cursor"`
@@ -460,19 +658,9 @@ func (rt *Router) listSessions(w http.ResponseWriter, r *http.Request) {
 	}
 	var merged []entry
 	sawMore := false
-	var skipped []string
 	uri := r.URL.RequestURI()
-	for _, name := range rt.ring.Shards() {
-		if !rt.alive(name) {
-			skipped = append(skipped, name)
-			continue
-		}
-		var p page
-		if err := rt.fetchJSON(r, name, uri, &p); err != nil {
-			writeRouterError(w, http.StatusBadGateway, "bad_gateway",
-				fmt.Sprintf("router: listing sessions on shard %s: %v", name, err), name)
-			return
-		}
+	pages, skipped := gatherJSON[page](rt, ctx, r, uri, "sessions")
+	for _, p := range pages {
 		if p.NextCursor != "" {
 			sawMore = true
 		}
@@ -507,26 +695,20 @@ func (rt *Router) listSessions(w http.ResponseWriter, r *http.Request) {
 // the origin's cancelled record would otherwise show the job twice, so
 // the non-cancelled copy wins.
 func (rt *Router) listJobs(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := rt.requestBudget(r, false)
+	defer cancel()
+
 	type entry struct {
 		id, state string
 		raw       json.RawMessage
 	}
+	type page struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
 	byID := make(map[string]entry)
-	var skipped []string
 	uri := r.URL.RequestURI()
-	for _, name := range rt.ring.Shards() {
-		if !rt.alive(name) {
-			skipped = append(skipped, name)
-			continue
-		}
-		var p struct {
-			Jobs []json.RawMessage `json:"jobs"`
-		}
-		if err := rt.fetchJSON(r, name, uri, &p); err != nil {
-			writeRouterError(w, http.StatusBadGateway, "bad_gateway",
-				fmt.Sprintf("router: listing jobs on shard %s: %v", name, err), name)
-			return
-		}
+	pages, skipped := gatherJSON[page](rt, ctx, r, uri, "jobs")
+	for _, p := range pages {
 		for _, raw := range p.Jobs {
 			var meta struct {
 				ID    string `json:"id"`
@@ -575,9 +757,52 @@ func jobState(body []byte) string {
 	return j.State
 }
 
+// gatherJSON scatter-gathers one GET across every routable shard in
+// parallel and decodes each 2xx JSON page. A shard that is down,
+// breaker-blocked or fails the fetch is SKIPPED, not fatal: the caller
+// degrades the listing to "incomplete": true instead of answering 502 —
+// one partitioned shard must not blind the client to every other
+// shard's resources. The returned skipped list is sorted.
+func gatherJSON[T any](rt *Router, ctx context.Context, r *http.Request, uri, what string) ([]T, []string) {
+	var live, skipped []string
+	for _, name := range rt.ring.Shards() {
+		if rt.routable(name) {
+			live = append(live, name)
+		} else {
+			skipped = append(skipped, name)
+		}
+	}
+	type fetched struct {
+		name string
+		page T
+		err  error
+	}
+	ch := make(chan fetched, len(live))
+	for _, name := range live {
+		go func(name string) {
+			var p T
+			err := rt.fetchJSON(ctx, r, name, uri, &p)
+			ch <- fetched{name: name, page: p, err: err}
+		}(name)
+	}
+	pages := make([]T, 0, len(live))
+	for range live {
+		f := <-ch
+		if f.err != nil {
+			rt.log.Log(ctx, "listing degraded to incomplete",
+				"what", what, "shard", f.name, "error", f.err.Error())
+			skipped = append(skipped, f.name)
+			continue
+		}
+		pages = append(pages, f.page)
+	}
+	sort.Strings(skipped)
+	return pages, skipped
+}
+
 // fetchJSON forwards a GET to one shard and decodes the 2xx JSON body.
-func (rt *Router) fetchJSON(r *http.Request, name, uri string, out any) error {
-	resp, err := rt.forward(r, name, http.MethodGet, uri, proxyHeader(r), nil)
+func (rt *Router) fetchJSON(ctx context.Context, r *http.Request, name, uri string, out any) error {
+	resp, err := rt.forward(ctx, name, http.MethodGet, uri, proxyHeader(r), nil)
 	if err != nil {
 		return err
 	}

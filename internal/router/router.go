@@ -36,6 +36,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +71,30 @@ type Config struct {
 	// CacheSize bounds the ID→shard location cache (learned placements,
 	// GET discoveries and handoffs). Default 8192.
 	CacheSize int
+	// ProxyTimeout bounds one proxied exchange end to end for
+	// non-streaming requests, and is the ceiling any client-supplied
+	// X-NBody-Deadline is clamped to on those routes. Streaming exchanges
+	// (watch, snapshot/trace downloads) are exempt from the default but
+	// still honor an explicit client deadline, and their response
+	// headers must arrive within ProxyTimeout regardless. Default 15s;
+	// negative disables the default budget entirely.
+	ProxyTimeout time.Duration
+	// HedgeAfter, when > 0, hedges idempotent GETs: if the current shard
+	// has not answered after HedgeAfter, the read is also issued to the
+	// next candidate on the ring and the first useful response wins.
+	// Writes are never hedged. Default 0 (disabled).
+	HedgeAfter time.Duration
+	// BreakerFailures consecutive failed requests (transport errors,
+	// gateway-class statuses, over-latency responses) open a shard's
+	// circuit breaker. Default 5.
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker sheds before admitting
+	// a trial request (half-open). Default 5s.
+	BreakerCooldown time.Duration
+	// BreakerLatency, when > 0, counts any response slower than it as a
+	// breaker failure sample even when the status was fine. Default 0
+	// (latency does not trip the breaker).
+	BreakerLatency time.Duration
 	// Obs wires the router into the observability layer. Nil defaults to
 	// obs.Nop().
 	Obs *obs.Observer
@@ -99,6 +125,24 @@ func (c Config) withDefaults() (Config, error) {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 8192
 	}
+	if c.ProxyTimeout == 0 {
+		c.ProxyTimeout = 15 * time.Second
+	}
+	if c.ProxyTimeout < 0 {
+		c.ProxyTimeout = 0 // explicit opt-out: no default budget
+	}
+	if c.HedgeAfter < 0 {
+		c.HedgeAfter = 0
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.BreakerLatency < 0 {
+		c.BreakerLatency = 0
+	}
 	if c.Obs == nil {
 		c.Obs = obs.Nop()
 	}
@@ -115,6 +159,7 @@ type shard struct {
 	name string
 	url  string
 	c    *client.Client // retries disabled: the router is its own retry policy
+	br   *breaker       // passive failure tracking between probes
 
 	up       atomic.Bool
 	draining atomic.Bool
@@ -167,13 +212,37 @@ func New(cfg Config) (*Router, error) {
 		ins:    newInstruments(cfg.Obs.Registry),
 		log:    cfg.Obs.Logger,
 	}
+	// One transport for all shard clients, with hard floors under the
+	// per-request context: a hung shard can wedge neither the dial nor
+	// the wait for response headers. ResponseHeaderTimeout (not an
+	// overall client timeout) is what lets watch/snapshot stream bodies
+	// flow for longer than ProxyTimeout once headers have arrived.
+	dialTimeout := 5 * time.Second
+	if cfg.ProxyTimeout > 0 && cfg.ProxyTimeout < dialTimeout {
+		dialTimeout = cfg.ProxyTimeout
+	}
+	httpc := &http.Client{Transport: &http.Transport{
+		DialContext:           (&net.Dialer{Timeout: dialTimeout, KeepAlive: 30 * time.Second}).DialContext,
+		MaxIdleConnsPerHost:   32,
+		IdleConnTimeout:       90 * time.Second,
+		ResponseHeaderTimeout: cfg.ProxyTimeout, // 0 = no header timeout
+	}}
 	for _, sc := range cfg.Shards {
-		c, err := client.New(sc.URL, client.WithRetries(0, 0, 0))
+		c, err := client.New(sc.URL, client.WithRetries(0, 0, 0), client.WithHTTPClient(httpc))
 		if err != nil {
 			cancel()
 			return nil, fmt.Errorf("router: shard %s: %w", sc.Name, err)
 		}
-		s := &shard{name: sc.Name, url: sc.URL, c: c}
+		s := &shard{name: sc.Name, url: sc.URL, c: c, br: newBreaker(breakerConfig{
+			failures: cfg.BreakerFailures,
+			cooldown: cfg.BreakerCooldown,
+			latency:  cfg.BreakerLatency,
+		})}
+		name := sc.Name
+		s.br.onOpen = func() {
+			rt.ins.breakerOpens.With(name).Inc()
+			rt.log.Log(rt.ctx, "breaker opened", "shard", name)
+		}
 		// Start optimistically up: the first probe runs immediately and
 		// demotes a genuinely dead shard within FailAfter probes, while a
 		// healthy fleet takes traffic from the first request.
@@ -249,40 +318,39 @@ func mintID(prefix string) string {
 	return prefix + "-" + hex.EncodeToString(b[:])
 }
 
-// alive reports whether name is routable at all (up, draining or not).
+// alive reports whether name is probe-healthy (up, draining or not).
 func (rt *Router) alive(name string) bool {
 	s := rt.shards[name]
 	return s != nil && s.up.Load()
 }
 
+// routable reports whether name may take traffic right now: probe-healthy
+// AND not shedding behind an open circuit breaker. A breaker past its
+// cooldown no longer blocks here — the next send through forward()
+// becomes the half-open trial.
+func (rt *Router) routable(name string) bool {
+	s := rt.shards[name]
+	return s != nil && s.up.Load() && !s.br.blocked()
+}
+
 // placeable reports whether name may receive new placements.
 func (rt *Router) placeable(name string) bool {
 	s := rt.shards[name]
-	return s != nil && s.up.Load() && !s.draining.Load()
-}
-
-// place picks the shard for a fresh ID: the first placeable shard in ring
-// order from the ID. "" when no shard can take new work.
-func (rt *Router) place(id string) string {
-	for _, name := range rt.ring.Sequence(id) {
-		if rt.placeable(name) {
-			return name
-		}
-	}
-	return ""
+	return s != nil && s.up.Load() && !s.draining.Load() && !s.br.blocked()
 }
 
 // readCandidates returns the shards to try for an idempotent GET on id,
 // most-likely-owner first: the cached location, then the ring walk.
-// Only alive shards are returned (draining ones still serve reads).
+// Only routable shards are returned (draining ones still serve reads;
+// breaker-open ones behave exactly like probe-down ones).
 func (rt *Router) readCandidates(ns, id string) []string {
 	seq := rt.ring.Sequence(id)
 	out := make([]string, 0, len(seq)+1)
-	if cached, ok := rt.cache.get(ns, id); ok && rt.alive(cached) {
+	if cached, ok := rt.cache.get(ns, id); ok && rt.routable(cached) {
 		out = append(out, cached)
 	}
 	for _, name := range seq {
-		if rt.alive(name) && (len(out) == 0 || name != out[0]) {
+		if rt.routable(name) && (len(out) == 0 || name != out[0]) {
 			out = append(out, name)
 		}
 	}
@@ -291,24 +359,24 @@ func (rt *Router) readCandidates(ns, id string) []string {
 
 // writeTarget returns the one shard a non-idempotent request on id may go
 // to: the cached location when known, the ring owner otherwise. ok is
-// false when that shard is down — the caller answers shard_unavailable
-// rather than risking the write landing elsewhere.
+// false when that shard is down or breaker-blocked — the caller answers
+// shard_unavailable rather than risking the write landing elsewhere.
 func (rt *Router) writeTarget(ns, id string) (string, bool) {
 	name, cached := rt.cache.get(ns, id)
 	if !cached {
 		name = rt.ring.Owner(id)
 	}
-	return name, rt.alive(name)
+	return name, rt.routable(name)
 }
 
-// relocateCandidates returns the alive shards other than origin in ring
-// order from id: the shards a write may move to after the origin answered
-// 404 (a 404 proves the origin did no work, so relocation cannot
-// double-apply anything).
+// relocateCandidates returns the routable shards other than origin in
+// ring order from id: the shards a write may move to after the origin
+// answered 404 (a 404 proves the origin did no work, so relocation
+// cannot double-apply anything).
 func (rt *Router) relocateCandidates(id, origin string) []string {
 	var out []string
 	for _, name := range rt.ring.Sequence(id) {
-		if name != origin && rt.alive(name) {
+		if name != origin && rt.routable(name) {
 			out = append(out, name)
 		}
 	}
@@ -321,6 +389,10 @@ type ShardStatus struct {
 	URL      string `json:"url"`
 	Up       bool   `json:"up"`
 	Draining bool   `json:"draining"`
+	// Breaker is the circuit breaker state: "closed", "open" or
+	// "half_open". An "open" entry past its cooldown reads as open until
+	// the next request becomes the trial.
+	Breaker string `json:"breaker"`
 }
 
 // Status reports every shard's health, sorted by name.
@@ -329,7 +401,11 @@ func (rt *Router) Status() []ShardStatus {
 	out := make([]ShardStatus, len(names))
 	for i, name := range names {
 		s := rt.shards[name]
-		out[i] = ShardStatus{Name: name, URL: s.url, Up: s.up.Load(), Draining: s.draining.Load()}
+		out[i] = ShardStatus{
+			Name: name, URL: s.url,
+			Up: s.up.Load(), Draining: s.draining.Load(),
+			Breaker: s.br.state().String(),
+		}
 	}
 	return out
 }

@@ -27,18 +27,19 @@ const maxCreateJSON = 1 << 20
 // Stable machine-readable error codes of the v1 error envelope. Clients
 // dispatch on these, never on message text.
 const (
-	CodeSessionNotFound = "session_not_found"
-	CodeSessionFailed   = "session_failed"
-	CodeSessionBusy     = "session_busy"
-	CodeOverloaded      = "overloaded"
-	CodeShuttingDown    = "shutting_down"
-	CodeInvalidRequest  = "invalid_request"
-	CodeInvalidSnapshot = "invalid_snapshot"
-	CodeClientClosed    = "client_closed_request"
-	CodeInternal        = "internal"
-	CodeJobNotFound     = "job_not_found"
-	CodeJobNotReady     = "job_not_ready"
-	CodeJobNotQueued    = "job_not_queued"
+	CodeSessionNotFound  = "session_not_found"
+	CodeSessionFailed    = "session_failed"
+	CodeSessionBusy      = "session_busy"
+	CodeOverloaded       = "overloaded"
+	CodeShuttingDown     = "shutting_down"
+	CodeInvalidRequest   = "invalid_request"
+	CodeInvalidSnapshot  = "invalid_snapshot"
+	CodeClientClosed     = "client_closed_request"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeInternal         = "internal"
+	CodeJobNotFound      = "job_not_found"
+	CodeJobNotReady      = "job_not_ready"
+	CodeJobNotQueued     = "job_not_queued"
 )
 
 // ErrorDetail is the body of every 4xx/5xx response:
@@ -64,6 +65,13 @@ type ErrorDetail struct {
 const (
 	ShardHeader = "X-NBody-Shard"
 	IDHeader    = "X-NBody-ID"
+
+	// DeadlineHeader carries the caller's REMAINING time budget as a Go
+	// duration string ("750ms"). Relative rather than absolute so clock
+	// skew between router and shard cannot corrupt it. The server clamps
+	// the request context to it, abandoning work (step loops, job chunks)
+	// the caller has already given up on.
+	DeadlineHeader = "X-NBody-Deadline"
 )
 
 // errorResponse is the error envelope, optionally carrying the partial
@@ -240,6 +248,15 @@ func instrument(next http.Handler, m *Manager) http.Handler {
 		holder := &routeHolder{}
 		ctx := obs.WithRequestID(r.Context(), reqID)
 		ctx = context.WithValue(ctx, routeKey, holder)
+		if d, err := time.ParseDuration(r.Header.Get(DeadlineHeader)); err == nil && d > 0 {
+			// The caller declared its remaining budget: clamp the request
+			// context so handlers abandon work (step loops, job waits) the
+			// caller will never see the result of. Malformed values only
+			// lose the optimization, never fail the request.
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
 		w.Header().Set("X-Request-ID", reqID)
 		if shard := m.Config().ShardID; shard != "" {
 			w.Header().Set(ShardHeader, shard)
@@ -593,8 +610,13 @@ func errorDetailOf(err error) (int, ErrorDetail) {
 	case errors.Is(err, jobs.ErrShutdown):
 		d.Code = CodeShuttingDown
 		return http.StatusServiceUnavailable, d
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// The client went away or its deadline passed mid-request.
+	case errors.Is(err, context.DeadlineExceeded):
+		// The request's propagated time budget ran out mid-request; work
+		// was abandoned at the next checkpoint.
+		d.Code = CodeDeadlineExceeded
+		return http.StatusGatewayTimeout, d
+	case errors.Is(err, context.Canceled):
+		// The client went away mid-request.
 		d.Code = CodeClientClosed
 		return 499, d // client closed request (nginx convention)
 	}
