@@ -34,19 +34,25 @@ type JobSpec struct {
 	// instead of a server-minted one (must be unique and well-formed).
 	// The router tier relies on this to pin a job to the shard its ID
 	// hashes to.
-	ID         string  `json:"id,omitempty"`
-	Workload   string  `json:"workload,omitempty"`
-	N          int     `json:"n"`
-	Seed       uint64  `json:"seed,omitempty"`
+	ID       string `json:"id,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	N        int    `json:"n"`
+	Seed     uint64 `json:"seed,omitempty"`
+
+	// Config is the physics configuration (explicit zeros honoured).
+	Config *SessionConfig `json:"config,omitempty"`
+
+	// Deprecated: flat physics fields, superseded by Config.
 	Algorithm  string  `json:"algorithm,omitempty"`
-	DT         float64 `json:"dt"`
+	DT         float64 `json:"dt,omitempty"`
 	Theta      float64 `json:"theta,omitempty"`
 	Eps        float64 `json:"eps,omitempty"`
 	G          float64 `json:"g,omitempty"`
 	Sequential bool    `json:"sequential,omitempty"`
-	Steps      int     `json:"steps"`
-	Class      string  `json:"class,omitempty"`
-	ChunkSteps int     `json:"chunk_steps,omitempty"`
+
+	Steps      int    `json:"steps"`
+	Class      string `json:"class,omitempty"`
+	ChunkSteps int    `json:"chunk_steps,omitempty"`
 }
 
 // Job mirrors the service's job description (jobs.Info).
@@ -62,39 +68,50 @@ type Job struct {
 	// Theta/Eps/G/Sequential/ChunkSteps echo the submitted spec, so a
 	// record fetched from one shard can be resubmitted verbatim on
 	// another (the router's drain handoff).
-	Theta      float64   `json:"theta,omitempty"`
-	Eps        float64   `json:"eps,omitempty"`
-	G          float64   `json:"g,omitempty"`
-	Sequential bool      `json:"sequential,omitempty"`
-	ChunkSteps int       `json:"chunk_steps,omitempty"`
-	Steps      int       `json:"steps"`
-	StepsDone  int       `json:"steps_done"`
-	SessionID  string    `json:"session_id,omitempty"`
-	Attempts   int       `json:"attempts,omitempty"`
-	Error      string    `json:"error,omitempty"`
-	Created    time.Time `json:"created"`
-	Started    time.Time `json:"started"`
-	Finished   time.Time `json:"finished"`
+	Theta      float64 `json:"theta,omitempty"`
+	Eps        float64 `json:"eps,omitempty"`
+	G          float64 `json:"g,omitempty"`
+	Sequential bool    `json:"sequential,omitempty"`
+	ChunkSteps int     `json:"chunk_steps,omitempty"`
+	// Config is the fully resolved physics configuration the job runs
+	// with (servers predating the config surface leave it zero).
+	Config    EffectiveConfig `json:"config"`
+	Steps     int             `json:"steps"`
+	StepsDone int             `json:"steps_done"`
+	SessionID string          `json:"session_id,omitempty"`
+	Attempts  int             `json:"attempts,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Created   time.Time       `json:"created"`
+	Started   time.Time       `json:"started"`
+	Finished  time.Time       `json:"finished"`
 }
 
 // Spec reconstructs the submission spec from a job record, the input a
 // drain handoff needs to resubmit the job elsewhere under the same ID.
+// Records from servers that echo the resolved config are resubmitted
+// through it with every field pinned, so the handoff reproduces the
+// exact physics — including explicit zeros the flat fields can't carry.
 func (j Job) Spec() JobSpec {
-	return JobSpec{
+	spec := JobSpec{
 		ID:         j.ID,
 		Workload:   j.Workload,
 		N:          j.N,
 		Seed:       j.Seed,
-		Algorithm:  j.Algorithm,
-		DT:         j.DT,
-		Theta:      j.Theta,
-		Eps:        j.Eps,
-		G:          j.G,
-		Sequential: j.Sequential,
 		Steps:      j.Steps,
 		Class:      j.Class,
 		ChunkSteps: j.ChunkSteps,
 	}
+	if j.Config.Algorithm != "" {
+		spec.Config = j.Config.Request()
+	} else {
+		spec.Algorithm = j.Algorithm
+		spec.DT = j.DT
+		spec.Theta = j.Theta
+		spec.Eps = j.Eps
+		spec.G = j.G
+		spec.Sequential = j.Sequential
+	}
+	return spec
 }
 
 // Terminal reports whether the job reached a final state.

@@ -25,24 +25,36 @@ type Session struct {
 	Created      time.Time `json:"created"`
 	LastUsed     time.Time `json:"last_used"`
 	TraceSamples int       `json:"trace_samples"`
-	FailReason   string    `json:"fail_reason,omitempty"`
+	// Config is the fully resolved physics configuration the session
+	// runs with (every server default applied).
+	Config     EffectiveConfig `json:"config"`
+	FailReason string          `json:"fail_reason,omitempty"`
 }
 
-// CreateSessionRequest mirrors the JSON body of POST /v1/sessions. Zero
-// physics parameters inherit the server's defaults; zero
-// workload/algorithm inherit "plummer"/"octree". DT is required > 0.
+// CreateSessionRequest mirrors the JSON body of POST /v1/sessions. Put
+// physics settings in Config; the flat Algorithm/DT/Theta/Eps/G/
+// Sequential/RebuildEvery fields are deprecated aliases (zero inherits
+// the server default, so explicit zeros are not expressible through
+// them), and responses to requests using them carry a Deprecation header.
+// When both are present the server resolves Config with precedence.
 type CreateSessionRequest struct {
-	Workload      string  `json:"workload,omitempty"`
-	N             int     `json:"n"`
-	Seed          uint64  `json:"seed,omitempty"`
-	Algorithm     string  `json:"algorithm,omitempty"`
-	DT            float64 `json:"dt"`
-	Theta         float64 `json:"theta,omitempty"`
-	Eps           float64 `json:"eps,omitempty"`
-	G             float64 `json:"g,omitempty"`
-	Sequential    bool    `json:"sequential,omitempty"`
-	RebuildEvery  int     `json:"rebuild_every,omitempty"`
-	ValidateEvery int     `json:"validate_every,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	N        int    `json:"n"`
+	Seed     uint64 `json:"seed,omitempty"`
+
+	// Config is the physics configuration (explicit zeros honoured).
+	Config *SessionConfig `json:"config,omitempty"`
+
+	// Deprecated: flat physics fields, superseded by Config.
+	Algorithm    string  `json:"algorithm,omitempty"`
+	DT           float64 `json:"dt,omitempty"`
+	Theta        float64 `json:"theta,omitempty"`
+	Eps          float64 `json:"eps,omitempty"`
+	G            float64 `json:"g,omitempty"`
+	Sequential   bool    `json:"sequential,omitempty"`
+	RebuildEvery int     `json:"rebuild_every,omitempty"`
+
+	ValidateEvery int `json:"validate_every,omitempty"`
 }
 
 // StepResult mirrors the response of POST /v1/sessions/{id}/step.
@@ -152,9 +164,15 @@ const snapshotContentType = "application/x-nbody-snapshot"
 
 // SnapshotParams are the simulation parameters accompanying a snapshot
 // upload (the checkpoint carries positions/velocities/masses but not the
-// solver configuration). Zero values inherit the server's defaults; DT is
-// required > 0.
+// solver configuration). Put physics settings in Config (sent as the
+// JSON-encoded `config` query parameter); the flat fields are deprecated
+// aliases with zero-inherits-default semantics. DT is required > 0, in
+// either form.
 type SnapshotParams struct {
+	// Config is the physics configuration (explicit zeros honoured).
+	Config *SessionConfig
+
+	// Deprecated: flat physics fields, superseded by Config.
 	Algorithm    string
 	DT           float64
 	Theta        float64
@@ -164,8 +182,15 @@ type SnapshotParams struct {
 	RebuildEvery int
 }
 
-func (p SnapshotParams) query() url.Values {
+func (p SnapshotParams) query() (url.Values, error) {
 	q := url.Values{}
+	if p.Config != nil {
+		b, err := json.Marshal(p.Config)
+		if err != nil {
+			return nil, fmt.Errorf("client: encoding snapshot config: %w", err)
+		}
+		q.Set("config", string(b))
+	}
 	if p.Algorithm != "" {
 		q.Set("algorithm", p.Algorithm)
 	}
@@ -184,7 +209,7 @@ func (p SnapshotParams) query() url.Values {
 	if p.RebuildEvery != 0 {
 		q.Set("rebuild_every", strconv.Itoa(p.RebuildEvery))
 	}
-	return q
+	return q, nil
 }
 
 // CreateSessionFromSnapshot uploads a binary checkpoint (the snapshot
@@ -193,7 +218,11 @@ func (p SnapshotParams) query() url.Values {
 // wanting retry should buffer and re-call.
 func (c *Client) CreateSessionFromSnapshot(ctx context.Context, r io.Reader, p SnapshotParams) (Session, error) {
 	u := c.baseURL + "/v1/sessions"
-	if q := p.query(); len(q) > 0 {
+	q, err := p.query()
+	if err != nil {
+		return Session{}, err
+	}
+	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, r)

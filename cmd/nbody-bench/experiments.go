@@ -52,20 +52,29 @@ func runTable1(fs *flag.FlagSet, args []string) error {
 func runFig5(fs *flag.FlagSet, args []string) error {
 	c := addCommon(fs, 10)
 	n := fs.Int("n", 10_000, "number of bodies")
+	algsFlag := fs.String("algs", "", "comma-separated algorithms to run (default: the paper's four)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	lay, err := c.coreLayout()
+	if err != nil {
+		return err
+	}
+	algs, err := parseAlgs(*algsFlag, core.Algorithms())
+	if err != nil {
+		return err
+	}
 
-	header("Figure 5 — sequential vs parallel throughput, tiny galaxy (n=%d)", *n)
+	header("Figure 5 — sequential vs parallel throughput, galaxy (n=%d, layout=%v)", *n, lay)
 	base := galaxySystem(*n, *c.seed)
 	tb := metrics.NewTable("algorithm", "mode", "bodies/s", "ms/step", "speedup")
 	var groups []plot.BarGroup
 
-	for _, alg := range core.Algorithms() {
+	for _, alg := range algs {
 		var seqTP float64
 		group := plot.BarGroup{Label: alg.String()}
 		for _, seq := range []bool{true, false} {
-			cfg := core.Config{Algorithm: alg, DT: galaxyDT, Sequential: seq, Runtime: c.runtime(par.Dynamic)}
+			cfg := core.Config{Algorithm: alg, DT: galaxyDT, Sequential: seq, Layout: lay, Runtime: c.runtime(par.Dynamic)}
 			m, err := measure(cfg, base, *c.steps, *c.repeats)
 			if err != nil {
 				return err
@@ -116,13 +125,17 @@ func runFig7(fs *flag.FlagSet, args []string) error {
 }
 
 func throughputFigure(c *common, n int, algs []core.Algorithm, banner string) error {
+	lay, err := c.coreLayout()
+	if err != nil {
+		return err
+	}
 	header(banner, n)
 	base := galaxySystem(n, *c.seed)
 	tb := metrics.NewTable("algorithm", "bodies/s", "ms/step")
 	var names []string
 	group := plot.BarGroup{Label: fmt.Sprintf("n=%d", n)}
 	for _, alg := range algs {
-		cfg := core.Config{Algorithm: alg, DT: galaxyDT, Runtime: c.runtime(par.Dynamic)}
+		cfg := core.Config{Algorithm: alg, DT: galaxyDT, Layout: lay, Runtime: c.runtime(par.Dynamic)}
 		m, err := measure(cfg, base, *c.steps, *c.repeats)
 		if err != nil {
 			return err
@@ -351,10 +364,18 @@ func runAblate(fs *flag.FlagSet, args []string) error {
 		{"criterion", "box-distance", core.Config{Algorithm: core.BVH, BVH: bvh.Config{Criterion: bvh.BoxDistance}}},
 		{"moments", "scatter (paper)", core.Config{Algorithm: core.Octree}},
 		{"moments", "gather", core.Config{Algorithm: core.Octree, Octree: octree.Config{GatherMoments: true}}},
-		{"presort", "unsorted insert (paper)", core.Config{Algorithm: core.Octree}},
-		{"presort", "morton presort", core.Config{Algorithm: core.Octree, Octree: octree.Config{PresortMorton: true}}},
-		{"traversal", "per-body (paper)", core.Config{Algorithm: core.Octree, Octree: octree.Config{PresortMorton: true}}},
-		{"traversal", "grouped (32)", core.Config{Algorithm: core.Octree, Octree: octree.Config{PresortMorton: true, GroupSize: 32}}},
+		// Walk layout pinned: under the flat default the octree presorts
+		// unconditionally and always uses the list kernel, which would
+		// collapse these variants into one.
+		{"presort", "unsorted insert (paper)", core.Config{Algorithm: core.Octree, Layout: core.LayoutWalk}},
+		{"presort", "morton presort", core.Config{Algorithm: core.Octree, Layout: core.LayoutWalk, Octree: octree.Config{PresortMorton: true}}},
+		{"traversal", "per-body (paper)", core.Config{Algorithm: core.Octree, Layout: core.LayoutWalk, Octree: octree.Config{PresortMorton: true}}},
+		{"traversal", "grouped (32)", core.Config{Algorithm: core.Octree, Layout: core.LayoutWalk, Octree: octree.Config{PresortMorton: true, GroupSize: 32}}},
+		{"traversal", "flat list (32)", core.Config{Algorithm: core.Octree}},
+		{"layout", "walk (paper)", core.Config{Algorithm: core.Octree, Layout: core.LayoutWalk, Octree: octree.Config{PresortMorton: true}}},
+		{"layout", "flat lists (octree)", core.Config{Algorithm: core.Octree}},
+		{"layout", "walk (bvh)", core.Config{Algorithm: core.BVH, Layout: core.LayoutWalk}},
+		{"layout", "flat lists (bvh)", core.Config{Algorithm: core.BVH}},
 		{"bvh-leaf", "1", core.Config{Algorithm: core.BVH, BVH: bvh.Config{LeafSize: 1}}},
 		{"bvh-leaf", "4", core.Config{Algorithm: core.BVH, BVH: bvh.Config{LeafSize: 4}}},
 		{"bvh-leaf", "16", core.Config{Algorithm: core.BVH, BVH: bvh.Config{LeafSize: 16}}},
@@ -365,6 +386,8 @@ func runAblate(fs *flag.FlagSet, args []string) error {
 		{"tree-reuse", "rebuild every step (paper)", core.Config{Algorithm: core.Octree}},
 		{"tree-reuse", "rebuild every 4 (octree)", core.Config{Algorithm: core.Octree, RebuildEvery: 4}},
 		{"tree-reuse", "rebuild every 4 (bvh)", core.Config{Algorithm: core.BVH, RebuildEvery: 4}},
+		{"tree-reuse", "refit thresh 0.02 (octree)", core.Config{Algorithm: core.Octree, RefitThreshold: 0.02}},
+		{"tree-reuse", "refit thresh 0.02 (bvh)", core.Config{Algorithm: core.BVH, RefitThreshold: 0.02}},
 	}
 	for _, s := range steps {
 		if err := add(s.group, s.variant, s.cfg); err != nil {

@@ -21,6 +21,7 @@ import (
 	"nbody/internal/body"
 	"nbody/internal/grav"
 	"nbody/internal/par"
+	"nbody/internal/soa"
 )
 
 // tile is the block edge for the cache-tiled inner loops: 64 bodies × 3
@@ -39,17 +40,17 @@ func AllPairs(r *par.Runtime, pol par.Policy, s *body.System, p grav.Params) {
 			xi, yi, zi := posX[i], posY[i], posZ[i]
 			var ax, ay, az float64
 			// Tiling the j loop keeps the streamed arrays hot in L1
-			// across the i iterations of this chunk.
+			// across the i iterations of this chunk. The shared soa
+			// kernel hoists the eps2 branch out of the inner loop
+			// entirely (the self term j == i contributes zero either
+			// way, so no index test is needed).
 			for j0 := 0; j0 < n; j0 += tile {
 				j1 := min(j0+tile, n)
-				for j := j0; j < j1; j++ {
-					grav.Accumulate(posX[j]-xi, posY[j]-yi, posZ[j]-zi, mass[j], eps2, &ax, &ay, &az)
-				}
+				dax, day, daz := soa.Accel(posX, posY, posZ, mass, j0, j1, xi, yi, zi, eps2)
+				ax += dax
+				ay += day
+				az += daz
 			}
-			// The self term j == i contributed zero (softened kernel
-			// with zero offset has f·d = 0), so no branch is needed
-			// in the inner loop — but only when eps2 > 0; with exact
-			// gravity the kernel's r2 == 0 guard handles it.
 			s.AccX[i] = p.G * ax
 			s.AccY[i] = p.G * ay
 			s.AccZ[i] = p.G * az

@@ -126,6 +126,51 @@ func (s *System) Validate() error {
 	return nil
 }
 
+// Particle is the array-of-structures (AoS) view of one body, the shape
+// snapshots and API clients naturally speak. The hot path never touches
+// it — solvers stream the flat slices — but conversion at the boundaries
+// is cheap (one gather/scatter pass), and reference implementations (e.g.
+// the golden-accuracy tests) use it to stay structurally independent of
+// the SoA kernels they validate.
+type Particle struct {
+	Mass     float64
+	Pos, Vel vec.V3
+	Acc      vec.V3
+	// ID is the body's original index (System.ID), the key cross-layout
+	// comparisons match by, since tree solvers permute body order.
+	ID int32
+}
+
+// Particles converts the system to AoS form (a fresh slice; the system is
+// not retained).
+func (s *System) Particles() []Particle {
+	ps := make([]Particle, s.N())
+	for i := range ps {
+		ps[i] = Particle{
+			Mass: s.Mass[i],
+			Pos:  s.Pos(i),
+			Vel:  s.Vel(i),
+			Acc:  s.Acc(i),
+			ID:   s.ID[i],
+		}
+	}
+	return ps
+}
+
+// FromParticles builds a SoA system from AoS particles (a fresh system;
+// ps is not retained).
+func FromParticles(ps []Particle) *System {
+	s := NewSystem(len(ps))
+	for i, p := range ps {
+		s.Mass[i] = p.Mass
+		s.SetPos(i, p.Pos)
+		s.SetVel(i, p.Vel)
+		s.SetAcc(i, p.Acc)
+		s.ID[i] = p.ID
+	}
+	return s
+}
+
 // Permute reorders the bodies so that new body i is old body perm[i].
 // perm must be a permutation of [0, N); the reorder is applied to every
 // per-body array in parallel gather passes. This is how the HILBERTSORT

@@ -103,6 +103,10 @@ type Config struct {
 	// Criterion selects the opening test (default CenterDistance, the
 	// paper's).
 	Criterion Criterion
+	// GroupBodies is the target number of bodies sharing one traversal in
+	// the flat interaction-list kernel (AccelerationsList), rounded up to
+	// whole leaves. The default (0) selects 32.
+	GroupBodies int
 }
 
 // Tree is a Hilbert-sorted BVH. A Tree is reusable across timesteps; Build

@@ -71,6 +71,47 @@ func (a Algorithm) String() string {
 // to include it.
 func Algorithms() []Algorithm { return []Algorithm{AllPairs, AllPairsCol, Octree, BVH} }
 
+// Layout selects the force-evaluation data path.
+type Layout int
+
+const (
+	// LayoutFlat (the default) evaluates forces through flat per-group
+	// interaction lists: tree walks collect accepted nodes and leaf bodies
+	// into dense SoA arrays that a tight branch-free loop then evaluates
+	// (octree/bvh AccelerationsList, package soa). Tree algorithms under
+	// this layout use the conservative group opening criterion, so
+	// accuracy is never worse than the walk layout at equal θ.
+	LayoutFlat Layout = iota
+	// LayoutWalk keeps the per-body tree-walk kernels — the paper's
+	// baseline data path, and the only one supporting octree quadrupole
+	// moments (core falls back to it automatically in that case).
+	LayoutWalk
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	switch l {
+	case LayoutFlat:
+		return "flat"
+	case LayoutWalk:
+		return "walk"
+	}
+	return fmt.Sprintf("Layout(%d)", int(l))
+}
+
+// Layouts lists the force-evaluation layouts.
+func Layouts() []Layout { return []Layout{LayoutFlat, LayoutWalk} }
+
+// ParseLayout converts a CLI/API name into a Layout.
+func ParseLayout(name string) (Layout, error) {
+	for _, l := range Layouts() {
+		if l.String() == name {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown layout %q (want flat or walk)", name)
+}
+
 // AllAlgorithms lists every solver, including extensions beyond the paper.
 func AllAlgorithms() []Algorithm { return append(Algorithms(), KDTree) }
 
@@ -99,6 +140,9 @@ type Config struct {
 	// Sequential replaces every execution policy with seq — the paper's
 	// single-core baseline configuration.
 	Sequential bool
+	// Layout selects the force-evaluation data path: flat interaction
+	// lists (default) or the per-body walk kernels. See Layout.
+	Layout Layout
 	// RebuildEvery rebuilds the spatial structure from scratch every k
 	// steps (default 1 = every step). For k > 1, intermediate steps reuse
 	// the previous tree: the octree keeps its topology (refreshing
@@ -106,6 +150,17 @@ type Config struct {
 	// moments, which stay exact). This is the tree-reuse approximation of
 	// Iwasawa et al. discussed in the paper's related work.
 	RebuildEvery int
+	// RefitThreshold, when > 0, switches tree reuse from the fixed
+	// RebuildEvery cadence to an adaptive, displacement-driven policy:
+	// each step accumulates an upper bound on how far any body moved
+	// (dt·max|v|), and the structure is refit in place — moments for the
+	// octree, bounds+moments for the BVH — until the accumulated drift
+	// since the last full rebuild exceeds RefitThreshold × the root box
+	// extent, which forces a rebuild (re-sort, re-insert) and resets the
+	// accumulator. RebuildEvery > 1 then acts as a hard cadence cap on
+	// top. Refit work is recorded under the metrics "refit" phase.
+	// Typical values are 0.01-0.05; 0 disables adaptive reuse.
+	RefitThreshold float64
 	// Octree configures the Concurrent Octree solver.
 	Octree octree.Config
 	// BVH configures the Hilbert BVH solver.
@@ -134,6 +189,17 @@ type Sim struct {
 	step      int
 	haveAcc   bool
 	phiBuf    []float64
+
+	// Adaptive tree-reuse state (RefitThreshold > 0): driftAcc upper-bounds
+	// the distance any body has moved since the last full rebuild,
+	// rootExtent is the root box edge recorded at that rebuild, and
+	// lastRebuild the step it happened on. rebuilds/refits count structure
+	// passes for observability and tests.
+	driftAcc    float64
+	rootExtent  float64
+	lastRebuild int
+	rebuilds    int
+	refits      int
 }
 
 // policies bundles the per-phase execution policies.
@@ -168,6 +234,21 @@ func New(cfg Config, sys *body.System) (*Sim, error) {
 	}
 	if cfg.RebuildEvery <= 0 {
 		cfg.RebuildEvery = 1
+	}
+	switch cfg.Layout {
+	case LayoutFlat, LayoutWalk:
+	default:
+		return nil, fmt.Errorf("core: unknown layout %v", cfg.Layout)
+	}
+	if cfg.RefitThreshold < 0 || math.IsNaN(cfg.RefitThreshold) || math.IsInf(cfg.RefitThreshold, 0) {
+		return nil, fmt.Errorf("core: refit threshold %v must be finite and non-negative", cfg.RefitThreshold)
+	}
+	if cfg.Algorithm == Octree && cfg.Layout == LayoutFlat && !cfg.Octree.Quadrupole {
+		// The flat interaction-list walk shares one traversal among a
+		// group of consecutive bodies; without spatial sorting those
+		// groups span the whole domain and the conservative criterion
+		// opens everything. Curve-order the bodies unconditionally.
+		cfg.Octree.PresortMorton = true
 	}
 
 	s := &Sim{cfg: cfg, sys: sys, rt: cfg.Runtime}
@@ -205,6 +286,62 @@ func (s *Sim) Breakdown() *metrics.Breakdown { return &s.breakdown }
 // Config returns the simulation configuration (with defaults applied).
 func (s *Sim) Config() Config { return s.cfg }
 
+// Rebuilds returns the number of full structure rebuilds performed.
+func (s *Sim) Rebuilds() int { return s.rebuilds }
+
+// Refits returns the number of in-place refit passes performed on
+// adaptive tree-reuse steps (always 0 when RefitThreshold == 0).
+func (s *Sim) Refits() int { return s.refits }
+
+// adaptiveReuse reports whether displacement-driven tree reuse is active.
+func (s *Sim) adaptiveReuse() bool {
+	if s.cfg.RefitThreshold <= 0 {
+		return false
+	}
+	return s.cfg.Algorithm == Octree || s.cfg.Algorithm == BVH
+}
+
+// needRebuild decides between a full structure rebuild and the tree-reuse
+// fast path for this step's force pass.
+func (s *Sim) needRebuild() bool {
+	if !s.adaptiveReuse() {
+		return s.step%s.cfg.RebuildEvery == 0
+	}
+	if s.rootExtent <= 0 {
+		return true // nothing to reuse yet
+	}
+	if k := s.cfg.RebuildEvery; k > 1 && s.step-s.lastRebuild >= k {
+		return true // hard cadence cap
+	}
+	return s.driftAcc > s.cfg.RefitThreshold*s.rootExtent
+}
+
+// noteRebuild records a full rebuild at the current step with the given
+// root box extent, resetting the drift accumulator.
+func (s *Sim) noteRebuild(extent float64) {
+	s.rebuilds++
+	s.lastRebuild = s.step
+	s.driftAcc = 0
+	s.rootExtent = extent
+}
+
+// maxSpeed returns max |v| over all bodies — the per-step displacement
+// bound the adaptive reuse policy integrates.
+func (s *Sim) maxSpeed() float64 {
+	vx, vy, vz := s.sys.VelX, s.sys.VelY, s.sys.VelZ
+	m := par.ReduceRanges(s.rt, s.pol.reduce, len(vx), 0,
+		math.Max,
+		func(acc float64, lo, hi int) float64 {
+			for i := lo; i < hi; i++ {
+				if v2 := vx[i]*vx[i] + vy[i]*vy[i] + vz[i]*vz[i]; v2 > acc {
+					acc = v2
+				}
+			}
+			return acc
+		})
+	return math.Sqrt(m)
+}
+
 // Step advances the simulation by one timestep using kick-drift-kick
 // Störmer-Verlet integration around a full force recalculation.
 func (s *Sim) Step() error {
@@ -224,8 +361,13 @@ func (s *Sim) Step() error {
 		integrator.Drift(s.rt, s.pol.update, s.sys, s.cfg.DT)
 	})
 
-	rebuild := s.step%s.cfg.RebuildEvery == 0
-	if err := s.computeForces(rebuild); err != nil {
+	if s.adaptiveReuse() {
+		// Bodies just drifted by dt·v; fold the worst case into the
+		// displacement bound before deciding whether the structure is
+		// still fit to reuse.
+		s.driftAcc += s.cfg.DT * s.maxSpeed()
+	}
+	if err := s.computeForces(s.needRebuild()); err != nil {
 		return err
 	}
 
@@ -293,7 +435,8 @@ func (s *Sim) computeForces(rebuild bool) error {
 
 	case Octree:
 		var box bounds.AABB
-		if rebuild {
+		switch {
+		case rebuild:
 			b.Time(metrics.PhaseBoundingBox, func() {
 				box = bounds.OfPositions(s.rt, s.pol.reduce, s.sys.PosX, s.sys.PosY, s.sys.PosZ)
 			})
@@ -304,12 +447,28 @@ func (s *Sim) computeForces(rebuild bool) error {
 			if err != nil {
 				return err
 			}
+			b.Time(metrics.PhaseMultipoles, func() {
+				s.tree.ComputeMoments(s.rt, s.sys)
+			})
+			s.noteRebuild(box.MaxExtent())
+		case s.adaptiveReuse():
+			// Refit: topology is kept, centers of mass follow the moved
+			// bodies. Timed separately so Figure-8-style breakdowns show
+			// what reuse actually costs.
+			b.Time(metrics.PhaseRefit, func() {
+				s.tree.ComputeMoments(s.rt, s.sys)
+			})
+			s.refits++
+		default:
+			// Legacy fixed-cadence reuse (RebuildEvery > 1).
+			b.Time(metrics.PhaseMultipoles, func() {
+				s.tree.ComputeMoments(s.rt, s.sys)
+			})
 		}
-		b.Time(metrics.PhaseMultipoles, func() {
-			s.tree.ComputeMoments(s.rt, s.sys)
-		})
 		b.Time(metrics.PhaseForce, func() {
-			if gs := s.cfg.Octree.GroupSize; gs > 0 {
+			if s.cfg.Layout == LayoutFlat && !s.cfg.Octree.Quadrupole {
+				s.tree.AccelerationsList(s.rt, s.pol.force, s.sys, p, s.cfg.Octree.GroupSize)
+			} else if gs := s.cfg.Octree.GroupSize; gs > 0 {
 				s.tree.AccelerationsGrouped(s.rt, s.pol.force, s.sys, p, gs)
 			} else {
 				s.tree.Accelerations(s.rt, s.pol.force, s.sys, p)
@@ -319,19 +478,37 @@ func (s *Sim) computeForces(rebuild bool) error {
 
 	case BVH:
 		var box bounds.AABB
-		if rebuild {
+		switch {
+		case rebuild:
 			b.Time(metrics.PhaseBoundingBox, func() {
 				box = bounds.OfPositions(s.rt, s.pol.reduce, s.sys.PosX, s.sys.PosY, s.sys.PosZ)
 			})
 			b.Time(metrics.PhaseSort, func() {
 				s.hbvh.Sort(s.rt, s.pol.build, s.sys, box)
 			})
+			b.Time(metrics.PhaseBuild, func() {
+				s.hbvh.BuildNoSort(s.rt, s.pol.build, s.sys)
+			})
+			s.noteRebuild(box.MaxExtent())
+		case s.adaptiveReuse():
+			// Refit: boxes and moments are recomputed from current
+			// positions (exact); only the Hilbert-order leaf compactness
+			// degrades until the next rebuild.
+			b.Time(metrics.PhaseRefit, func() {
+				s.hbvh.BuildNoSort(s.rt, s.pol.build, s.sys)
+			})
+			s.refits++
+		default:
+			b.Time(metrics.PhaseBuild, func() {
+				s.hbvh.BuildNoSort(s.rt, s.pol.build, s.sys)
+			})
 		}
-		b.Time(metrics.PhaseBuild, func() {
-			s.hbvh.BuildNoSort(s.rt, s.pol.build, s.sys)
-		})
 		b.Time(metrics.PhaseForce, func() {
-			s.hbvh.Accelerations(s.rt, s.pol.force, s.sys, p)
+			if s.cfg.Layout == LayoutFlat {
+				s.hbvh.AccelerationsList(s.rt, s.pol.force, s.sys, p, s.cfg.BVH.GroupBodies)
+			} else {
+				s.hbvh.Accelerations(s.rt, s.pol.force, s.sys, p)
+			}
 		})
 		return nil
 

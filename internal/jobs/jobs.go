@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"nbody/internal/obs"
+	"nbody/internal/simcfg"
 	"nbody/internal/store"
 )
 
@@ -45,6 +46,9 @@ var (
 	ErrQueueFull = errors.New("jobs: queue full")
 	// ErrBadRequest reports an invalid job spec (400).
 	ErrBadRequest = errors.New("jobs: invalid request")
+	// ErrInvalidConfig reports a job spec whose physics configuration
+	// failed validation (400, error code invalid_config).
+	ErrInvalidConfig = errors.New("jobs: invalid config")
 	// ErrNotReady reports an artifact request against a job that has no
 	// session yet (409).
 	ErrNotReady = errors.New("jobs: artifact not available yet")
@@ -140,18 +144,48 @@ func validClass(name string) bool {
 
 // SessionSpec is the simulation half of a job spec — the parameters the
 // Runner needs to create the backing session. Zero workload/algorithm
-// inherit the session layer's defaults ("plummer"/"octree").
+// inherit the session layer's defaults ("plummer"/"octree"). Physics
+// settings belong in Config; the flat fields are deprecated aliases with
+// the same semantics as the session create surface (Config wins).
 type SessionSpec struct {
-	Workload   string  `json:"workload"`
-	N          int     `json:"n"`
-	Seed       uint64  `json:"seed"`
-	Algorithm  string  `json:"algorithm"`
-	DT         float64 `json:"dt"`
-	Theta      float64 `json:"theta"`
-	Eps        float64 `json:"eps"`
-	G          float64 `json:"g"`
-	Sequential bool    `json:"sequential"`
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	Seed     uint64 `json:"seed"`
+
+	// Config is the physics configuration (snake_case object, explicit
+	// zeros honoured). See simcfg.Config.
+	Config *simcfg.Config `json:"config,omitempty"`
+
+	// Deprecated: flat physics fields, superseded by Config.
+	Algorithm  string  `json:"algorithm,omitempty"`
+	DT         float64 `json:"dt,omitempty"`
+	Theta      float64 `json:"theta,omitempty"`
+	Eps        float64 `json:"eps,omitempty"`
+	G          float64 `json:"g,omitempty"`
+	Sequential bool    `json:"sequential,omitempty"`
 }
+
+// legacy collects the spec's deprecated flat physics fields.
+func (s SessionSpec) legacy() simcfg.Legacy {
+	return simcfg.Legacy{
+		Algorithm:  s.Algorithm,
+		DT:         s.DT,
+		Theta:      s.Theta,
+		Eps:        s.Eps,
+		G:          s.G,
+		Sequential: s.Sequential,
+	}
+}
+
+// ResolveConfig merges the spec's config object and deprecated flat fields
+// over the service defaults and validates the result.
+func (s SessionSpec) ResolveConfig() (simcfg.Effective, error) {
+	return simcfg.Resolve(s.legacy(), s.Config)
+}
+
+// DeprecatedFieldsUsed reports whether the spec relies on the flat physics
+// aliases (drives the Deprecation response header).
+func (s SessionSpec) DeprecatedFieldsUsed() bool { return s.legacy().Used() }
 
 // Spec is the JSON body of POST /v1/jobs: a session spec plus the batch
 // parameters.
@@ -188,19 +222,22 @@ type Info struct {
 	// Theta/Eps/G/Sequential/ChunkSteps echo the submitted spec so a
 	// router drain handoff can resubmit a queued job elsewhere without
 	// losing physics parameters.
-	Theta      float64   `json:"theta,omitempty"`
-	Eps        float64   `json:"eps,omitempty"`
-	G          float64   `json:"g,omitempty"`
-	Sequential bool      `json:"sequential,omitempty"`
-	ChunkSteps int       `json:"chunk_steps,omitempty"`
-	Steps      int       `json:"steps"`
-	StepsDone  int       `json:"steps_done"`
-	SessionID string    `json:"session_id,omitempty"`
-	Attempts  int       `json:"attempts,omitempty"`
-	Error     string    `json:"error,omitempty"`
-	Created   time.Time `json:"created"`
-	Started   time.Time `json:"started,omitzero"`
-	Finished  time.Time `json:"finished,omitzero"`
+	Theta      float64 `json:"theta,omitempty"`
+	Eps        float64 `json:"eps,omitempty"`
+	G          float64 `json:"g,omitempty"`
+	Sequential bool    `json:"sequential,omitempty"`
+	ChunkSteps int     `json:"chunk_steps,omitempty"`
+	// Config is the fully resolved physics configuration the job's
+	// sessions run with (every default applied).
+	Config    simcfg.Effective `json:"config"`
+	Steps     int              `json:"steps"`
+	StepsDone int              `json:"steps_done"`
+	SessionID string           `json:"session_id,omitempty"`
+	Attempts  int              `json:"attempts,omitempty"`
+	Error     string           `json:"error,omitempty"`
+	Created   time.Time        `json:"created"`
+	Started   time.Time        `json:"started,omitzero"`
+	Finished  time.Time        `json:"finished,omitzero"`
 }
 
 // Config parameterizes a Manager.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"nbody/internal/obs"
+	"nbody/internal/simcfg"
 	"nbody/internal/store"
 )
 
@@ -48,6 +49,10 @@ type Runner interface {
 type job struct {
 	id   string
 	spec Spec
+	// eff is the spec's fully resolved physics configuration (defaults
+	// applied), fixed at submit/recovery; echoed in Info and persisted so
+	// restarts and drain handoffs reproduce it exactly.
+	eff simcfg.Effective
 
 	state     State
 	sessionID string
@@ -82,6 +87,7 @@ func (j *job) infoLocked() Info {
 		G:          j.spec.G,
 		Sequential: j.spec.Sequential,
 		ChunkSteps: j.spec.ChunkSteps,
+		Config:     j.eff,
 		Steps:      j.spec.Steps,
 		StepsDone:  j.stepsDone,
 		SessionID:  j.sessionID,
@@ -94,28 +100,34 @@ func (j *job) infoLocked() Info {
 }
 
 func (j *job) recordLocked() store.JobRecord {
+	// Physics fields are persisted RESOLVED (from j.eff, not the raw
+	// spec); Layout being non-empty marks the record as resolved-style so
+	// recovery knows explicit zeros are real values, not inherit-default.
 	return store.JobRecord{
-		ID:         j.id,
-		Class:      j.spec.Class,
-		State:      string(j.state),
-		Workload:   j.spec.Workload,
-		N:          j.spec.N,
-		Seed:       j.spec.Seed,
-		Algorithm:  j.spec.Algorithm,
-		DT:         j.spec.DT,
-		Theta:      j.spec.Theta,
-		Eps:        j.spec.Eps,
-		G:          j.spec.G,
-		Sequential: j.spec.Sequential,
-		Steps:      j.spec.Steps,
-		ChunkSteps: j.spec.ChunkSteps,
-		SessionID:  j.sessionID,
-		StepsDone:  j.stepsDone,
-		Attempts:   j.attempts,
-		Error:      j.errMsg,
-		Created:    j.created,
-		Started:    j.started,
-		Finished:   j.finished,
+		ID:             j.id,
+		Class:          j.spec.Class,
+		State:          string(j.state),
+		Workload:       j.spec.Workload,
+		N:              j.spec.N,
+		Seed:           j.spec.Seed,
+		Algorithm:      j.eff.Algorithm,
+		DT:             j.eff.DT,
+		Theta:          j.eff.Theta,
+		Eps:            j.eff.Eps,
+		G:              j.eff.G,
+		Sequential:     j.eff.Sequential,
+		Layout:         j.eff.Layout,
+		RebuildEvery:   j.eff.TreeReuse.RebuildEvery,
+		RefitThreshold: j.eff.TreeReuse.RefitThreshold,
+		Steps:          j.spec.Steps,
+		ChunkSteps:     j.spec.ChunkSteps,
+		SessionID:      j.sessionID,
+		StepsDone:      j.stepsDone,
+		Attempts:       j.attempts,
+		Error:          j.errMsg,
+		Created:        j.created,
+		Started:        j.started,
+		Finished:       j.finished,
 	}
 }
 
@@ -203,24 +215,47 @@ func (m *Manager) recover() error {
 		m.log.Log(context.Background(), "job record quarantined", "job", q.ID, "reason", q.Reason)
 	}
 	for _, rec := range recs {
+		ss := SessionSpec{
+			Workload:   rec.Workload,
+			N:          rec.N,
+			Seed:       rec.Seed,
+			Algorithm:  rec.Algorithm,
+			DT:         rec.DT,
+			Theta:      rec.Theta,
+			Eps:        rec.Eps,
+			G:          rec.G,
+			Sequential: rec.Sequential,
+		}
+		if rec.Layout != "" {
+			// Resolved-style record: the flat fields hold fully resolved
+			// values, so rebuild the config object with explicit pointers —
+			// otherwise a real zero (eps 0) would re-inherit the default
+			// through the legacy flat-field semantics.
+			theta, eps, g, seq := rec.Theta, rec.Eps, rec.G, rec.Sequential
+			ss.Config = &simcfg.Config{
+				Algorithm:  rec.Algorithm,
+				Layout:     rec.Layout,
+				DT:         rec.DT,
+				Theta:      &theta,
+				Eps:        &eps,
+				G:          &g,
+				Sequential: &seq,
+				TreeReuse: &simcfg.TreeReuse{
+					RebuildEvery:   rec.RebuildEvery,
+					RefitThreshold: rec.RefitThreshold,
+				},
+			}
+		}
+		eff, _ := ss.ResolveConfig()
 		j := &job{
 			id: rec.ID,
 			spec: Spec{
-				SessionSpec: SessionSpec{
-					Workload:   rec.Workload,
-					N:          rec.N,
-					Seed:       rec.Seed,
-					Algorithm:  rec.Algorithm,
-					DT:         rec.DT,
-					Theta:      rec.Theta,
-					Eps:        rec.Eps,
-					G:          rec.G,
-					Sequential: rec.Sequential,
-				},
-				Steps:      rec.Steps,
-				Class:      rec.Class,
-				ChunkSteps: rec.ChunkSteps,
+				SessionSpec: ss,
+				Steps:       rec.Steps,
+				Class:       rec.Class,
+				ChunkSteps:  rec.ChunkSteps,
 			},
+			eff:       eff,
 			state:     State(rec.State),
 			sessionID: rec.SessionID,
 			stepsDone: rec.StepsDone,
@@ -309,6 +344,10 @@ func (m *Manager) Submit(ctx context.Context, spec Spec) (Info, error) {
 	if spec.ChunkSteps == 0 {
 		spec.ChunkSteps = m.cfg.ChunkSteps
 	}
+	eff, err := spec.ResolveConfig()
+	if err != nil {
+		return Info{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
 	if err := m.cfg.Runner.ValidateSession(spec.SessionSpec); err != nil {
 		return Info{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -343,6 +382,7 @@ func (m *Manager) Submit(ctx context.Context, spec Spec) (Info, error) {
 	j := &job{
 		id:       id,
 		spec:     spec,
+		eff:      eff,
 		state:    StateQueued,
 		created:  now,
 		enqueued: now,

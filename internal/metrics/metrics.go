@@ -23,6 +23,7 @@ const (
 	PhaseSort              // BVH only
 	PhaseBuild
 	PhaseMultipoles // octree only (the BVH fuses this into Build)
+	PhaseRefit      // tree-reuse steps: in-place bounds/moments refresh
 	PhaseForce
 	PhaseUpdate
 	numPhases
@@ -39,6 +40,8 @@ func (p Phase) String() string {
 		return "build"
 	case PhaseMultipoles:
 		return "multipoles"
+	case PhaseRefit:
+		return "refit"
 	case PhaseForce:
 		return "force"
 	case PhaseUpdate:

@@ -13,6 +13,7 @@ func TestPhaseStrings(t *testing.T) {
 		PhaseSort:        "sort",
 		PhaseBuild:       "build",
 		PhaseMultipoles:  "multipoles",
+		PhaseRefit:       "refit",
 		PhaseForce:       "force",
 		PhaseUpdate:      "update",
 	}
@@ -24,7 +25,7 @@ func TestPhaseStrings(t *testing.T) {
 	if Phase(99).String() == "" {
 		t.Error("unknown phase prints empty")
 	}
-	if len(Phases()) != 6 {
+	if len(Phases()) != 7 {
 		t.Errorf("Phases() = %v", Phases())
 	}
 }

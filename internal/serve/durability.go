@@ -14,6 +14,7 @@ import (
 	"nbody/internal/body"
 	"nbody/internal/core"
 	"nbody/internal/grav"
+	"nbody/internal/simcfg"
 	"nbody/internal/store"
 	"nbody/internal/trace"
 )
@@ -170,20 +171,22 @@ func (m *Manager) persist(ctx context.Context, s *Session) {
 	cfg := s.sim.Config()
 	count := s.sim.StepCount()
 	meta := store.Meta{
-		ID:            s.ID,
-		Algorithm:     s.algorithm,
-		Workload:      s.workload,
-		Seed:          s.seed,
-		DT:            s.dt,
-		Theta:         cfg.Params.Theta,
-		Eps:           cfg.Params.Eps,
-		G:             cfg.Params.G,
-		Sequential:    cfg.Sequential,
-		RebuildEvery:  cfg.RebuildEvery,
-		ValidateEvery: cfg.ValidateEvery,
-		Step:          s.baseStep + count,
-		Time:          s.baseTime + float64(count)*s.dt,
-		State:         store.StateOK,
+		ID:             s.ID,
+		Algorithm:      s.algorithm,
+		Workload:       s.workload,
+		Seed:           s.seed,
+		DT:             s.dt,
+		Theta:          cfg.Params.Theta,
+		Eps:            cfg.Params.Eps,
+		G:              cfg.Params.G,
+		Sequential:     cfg.Sequential,
+		Layout:         cfg.Layout.String(),
+		RebuildEvery:   cfg.RebuildEvery,
+		RefitThreshold: cfg.RefitThreshold,
+		ValidateEvery:  cfg.ValidateEvery,
+		Step:           s.baseStep + count,
+		Time:           s.baseTime + float64(count)*s.dt,
+		State:          store.StateOK,
 	}
 	start := time.Now()
 	err := st.Save(meta, s.sim.System())
@@ -287,14 +290,24 @@ func (m *Manager) restore(meta store.Meta, sys *body.System) error {
 	if err != nil {
 		return err
 	}
+	// Checkpoints written before the layout field existed ran the walk
+	// kernels; absent means walk so a restore reproduces them exactly.
+	lay := core.LayoutWalk
+	if meta.Layout != "" {
+		if lay, err = core.ParseLayout(meta.Layout); err != nil {
+			return err
+		}
+	}
 	sim, err := core.New(core.Config{
-		Algorithm:     alg,
-		Params:        grav.Params{G: meta.G, Theta: meta.Theta, Eps: meta.Eps},
-		DT:            meta.DT,
-		Runtime:       m.cfg.Runtime,
-		Sequential:    meta.Sequential,
-		RebuildEvery:  meta.RebuildEvery,
-		ValidateEvery: meta.ValidateEvery,
+		Algorithm:      alg,
+		Params:         grav.Params{G: meta.G, Theta: meta.Theta, Eps: meta.Eps},
+		DT:             meta.DT,
+		Runtime:        m.cfg.Runtime,
+		Sequential:     meta.Sequential,
+		Layout:         lay,
+		RebuildEvery:   meta.RebuildEvery,
+		RefitThreshold: meta.RefitThreshold,
+		ValidateEvery:  meta.ValidateEvery,
 	}, sys)
 	if err != nil {
 		return err
@@ -318,6 +331,7 @@ func (m *Manager) restore(meta store.Meta, sys *body.System) error {
 		seed:      meta.Seed,
 		dt:        meta.DT,
 		n:         sys.N(),
+		eff:       simcfg.EffectiveOf(sim.Config()),
 		savedStep: meta.Step,
 	}
 	s.touch()

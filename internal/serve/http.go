@@ -14,6 +14,7 @@ import (
 
 	"nbody/internal/jobs"
 	"nbody/internal/obs"
+	"nbody/internal/simcfg"
 	"nbody/internal/snapshot"
 )
 
@@ -33,6 +34,7 @@ const (
 	CodeOverloaded       = "overloaded"
 	CodeShuttingDown     = "shutting_down"
 	CodeInvalidRequest   = "invalid_request"
+	CodeInvalidConfig    = "invalid_config"
 	CodeInvalidSnapshot  = "invalid_snapshot"
 	CodeClientClosed     = "client_closed_request"
 	CodeDeadlineExceeded = "deadline_exceeded"
@@ -304,6 +306,7 @@ func handleCreate(m *Manager, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		req.ID = r.Header.Get(IDHeader)
+		markDeprecatedConfig(w, req)
 		// Cap the upload at the exact encoded size of MaxBodies bodies;
 		// anything larger necessarily declares a body count the manager
 		// rejects anyway.
@@ -324,6 +327,7 @@ func handleCreate(m *Manager, w http.ResponseWriter, r *http.Request) {
 		if id := r.Header.Get(IDHeader); id != "" {
 			req.ID = id
 		}
+		markDeprecatedConfig(w, req)
 		info, err = m.Create(r.Context(), req)
 	}
 	if err != nil {
@@ -352,12 +356,32 @@ func handleList(m *Manager, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, listResponse{Sessions: infos, NextCursor: next})
 }
 
+// markDeprecatedConfig flags responses to requests that configured physics
+// through the deprecated flat fields (JSON or query aliases) instead of
+// the `config` object, per RFC 9745 plus a pointer at the successor.
+func markDeprecatedConfig(w http.ResponseWriter, req CreateRequest) {
+	if req.deprecatedFieldsUsed() {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Add("Link", `</v1/sessions#config>; rel="successor-version"`)
+	}
+}
+
 // createRequestFromQuery decodes snapshot-upload simulation parameters from
-// query parameters (dt, algorithm, theta, eps, g, sequential,
-// rebuild_every).
+// query parameters: the preferred `config` parameter (the simcfg.Config
+// object, JSON-encoded) plus the deprecated flat aliases (dt, algorithm,
+// theta, eps, g, sequential, rebuild_every).
 func createRequestFromQuery(r *http.Request) (CreateRequest, error) {
 	q := r.URL.Query()
 	req := CreateRequest{Algorithm: q.Get("algorithm")}
+	if v := q.Get("config"); v != "" {
+		dec := json.NewDecoder(strings.NewReader(v))
+		dec.DisallowUnknownFields()
+		var cfg simcfg.Config
+		if derr := dec.Decode(&cfg); derr != nil {
+			return req, fmt.Errorf("%w: query config: %v", ErrInvalidConfig, derr)
+		}
+		req.Config = &cfg
+	}
 	var err error
 	parse := func(key string, dst *float64) {
 		if err != nil || !q.Has(key) {
@@ -589,6 +613,10 @@ func errorDetailOf(err error) (int, ErrorDetail) {
 	case errors.Is(err, ErrInvalidSnapshot):
 		d.Code = CodeInvalidSnapshot
 		return http.StatusBadRequest, d
+	case errors.Is(err, ErrInvalidConfig):
+		// A physics-config field failed validation; the message names it.
+		d.Code = CodeInvalidConfig
+		return http.StatusBadRequest, d
 	case errors.Is(err, ErrBadRequest):
 		d.Code = CodeInvalidRequest
 		return http.StatusBadRequest, d
@@ -604,6 +632,9 @@ func errorDetailOf(err error) (int, ErrorDetail) {
 	case errors.Is(err, jobs.ErrNotQueued):
 		d.Code = CodeJobNotQueued
 		return http.StatusConflict, d
+	case errors.Is(err, jobs.ErrInvalidConfig):
+		d.Code = CodeInvalidConfig
+		return http.StatusBadRequest, d
 	case errors.Is(err, jobs.ErrBadRequest):
 		d.Code = CodeInvalidRequest
 		return http.StatusBadRequest, d

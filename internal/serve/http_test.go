@@ -51,21 +51,25 @@ func TestHandlerCreateValidation(t *testing.T) {
 		name   string
 		body   string
 		status int
+		code   string // expected error code; "" means CodeInvalidRequest
 	}{
-		{"valid", `{"workload":"plummer","n":64,"dt":0.001}`, http.StatusCreated},
-		{"valid explicit", `{"workload":"galaxy","n":128,"seed":7,"algorithm":"bvh","dt":1e-4,"theta":0.7}`, http.StatusCreated},
-		{"empty body", ``, http.StatusBadRequest},
-		{"malformed json", `{"workload":`, http.StatusBadRequest},
-		{"wrong type", `{"n":"many","dt":0.001}`, http.StatusBadRequest},
-		{"unknown field", `{"n":64,"dt":0.001,"bogus":1}`, http.StatusBadRequest},
-		{"trailing garbage", `{"n":64,"dt":0.001}{"again":true}`, http.StatusBadRequest},
-		{"zero bodies", `{"workload":"plummer","n":0,"dt":0.001}`, http.StatusBadRequest},
-		{"negative bodies", `{"workload":"plummer","n":-5,"dt":0.001}`, http.StatusBadRequest},
-		{"too many bodies", `{"workload":"plummer","n":1000000,"dt":0.001}`, http.StatusBadRequest},
-		{"zero dt", `{"workload":"plummer","n":64}`, http.StatusBadRequest},
-		{"negative dt", `{"workload":"plummer","n":64,"dt":-1}`, http.StatusBadRequest},
-		{"bad workload", `{"workload":"blackhole","n":64,"dt":0.001}`, http.StatusBadRequest},
-		{"bad algorithm", `{"workload":"plummer","n":64,"dt":0.001,"algorithm":"fmm"}`, http.StatusBadRequest},
+		{"valid", `{"workload":"plummer","n":64,"dt":0.001}`, http.StatusCreated, ""},
+		{"valid explicit", `{"workload":"galaxy","n":128,"seed":7,"algorithm":"bvh","dt":1e-4,"theta":0.7}`, http.StatusCreated, ""},
+		{"valid config object", `{"workload":"plummer","n":64,"config":{"algorithm":"bvh","dt":0.001,"eps":0}}`, http.StatusCreated, ""},
+		{"empty body", ``, http.StatusBadRequest, ""},
+		{"malformed json", `{"workload":`, http.StatusBadRequest, ""},
+		{"wrong type", `{"n":"many","dt":0.001}`, http.StatusBadRequest, ""},
+		{"unknown field", `{"n":64,"dt":0.001,"bogus":1}`, http.StatusBadRequest, ""},
+		{"trailing garbage", `{"n":64,"dt":0.001}{"again":true}`, http.StatusBadRequest, ""},
+		{"zero bodies", `{"workload":"plummer","n":0,"dt":0.001}`, http.StatusBadRequest, ""},
+		{"negative bodies", `{"workload":"plummer","n":-5,"dt":0.001}`, http.StatusBadRequest, ""},
+		{"too many bodies", `{"workload":"plummer","n":1000000,"dt":0.001}`, http.StatusBadRequest, ""},
+		{"zero dt", `{"workload":"plummer","n":64}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"negative dt", `{"workload":"plummer","n":64,"dt":-1}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"bad workload", `{"workload":"blackhole","n":64,"dt":0.001}`, http.StatusBadRequest, ""},
+		{"bad algorithm", `{"workload":"plummer","n":64,"dt":0.001,"algorithm":"fmm"}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"bad config layout", `{"workload":"plummer","n":64,"config":{"dt":0.001,"layout":"diagonal"}}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"negative config theta", `{"workload":"plummer","n":64,"config":{"dt":0.001,"theta":-0.5}}`, http.StatusBadRequest, CodeInvalidConfig},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -76,9 +80,13 @@ func TestHandlerCreateValidation(t *testing.T) {
 				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.status, b)
 			}
 			if tc.status != http.StatusCreated {
+				want := tc.code
+				if want == "" {
+					want = CodeInvalidRequest
+				}
 				var e errorResponse
-				if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error.Code != CodeInvalidRequest {
-					t.Fatalf("error responses must carry the JSON error envelope (err %v, %+v)", err, e)
+				if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error.Code != want {
+					t.Fatalf("error responses must carry the JSON error envelope with code %q (err %v, %+v)", want, err, e)
 				}
 			}
 		})

@@ -31,12 +31,15 @@ type sessionRunner struct{ m *Manager }
 // NewJobRunner returns the jobs.Runner backed by m.
 func NewJobRunner(m *Manager) jobs.Runner { return sessionRunner{m} }
 
-// createRequestOf maps a job's session spec onto the session-create body.
+// createRequestOf maps a job's session spec onto the session-create body;
+// the config object and the deprecated flat fields both pass through, so
+// the session layer resolves them with the same precedence rules.
 func createRequestOf(spec jobs.SessionSpec) CreateRequest {
 	return CreateRequest{
 		Workload:   spec.Workload,
 		N:          spec.N,
 		Seed:       spec.Seed,
+		Config:     spec.Config,
 		Algorithm:  spec.Algorithm,
 		DT:         spec.DT,
 		Theta:      spec.Theta,
@@ -146,6 +149,10 @@ func registerJobRoutes(mux *http.ServeMux, record func(http.HandlerFunc) http.Ha
 		}
 		if id := r.Header.Get(IDHeader); id != "" {
 			spec.ID = id
+		}
+		if spec.DeprecatedFieldsUsed() {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Add("Link", `</v1/jobs#config>; rel="successor-version"`)
 		}
 		info, err := jm.Submit(r.Context(), spec)
 		if err != nil {

@@ -19,6 +19,7 @@ import (
 	"nbody/internal/metrics"
 	"nbody/internal/obs"
 	"nbody/internal/par"
+	"nbody/internal/simcfg"
 	"nbody/internal/snapshot"
 	"nbody/internal/store"
 	"nbody/internal/trace"
@@ -233,7 +234,8 @@ func (m *Manager) CreateFromSnapshot(ctx context.Context, r io.Reader, req Creat
 	return s.Info(), nil
 }
 
-// validate checks the request against service limits.
+// validate checks the request against service limits and validates its
+// physics configuration.
 func (m *Manager) validate(req CreateRequest, n int) error {
 	if n <= 0 {
 		return fmt.Errorf("%w: body count %d must be > 0", ErrBadRequest, n)
@@ -241,8 +243,8 @@ func (m *Manager) validate(req CreateRequest, n int) error {
 	if n > m.cfg.MaxBodies {
 		return fmt.Errorf("%w: body count %d exceeds the service limit %d", ErrBadRequest, n, m.cfg.MaxBodies)
 	}
-	if !(req.DT > 0) {
-		return fmt.Errorf("%w: dt %v must be > 0", ErrBadRequest, req.DT)
+	if _, err := req.resolveConfig(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
 	return nil
 }
@@ -280,23 +282,17 @@ func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName strin
 			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
 	}
-	algName := req.Algorithm
-	if algName == "" {
-		algName = "octree"
-	}
-	alg, err := core.ParseAlgorithm(algName)
+	eff, err := req.resolveConfig()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
-	sim, err := core.New(core.Config{
-		Algorithm:     alg,
-		Params:        req.params(),
-		DT:            req.DT,
-		Runtime:       m.cfg.Runtime,
-		Sequential:    req.Sequential,
-		RebuildEvery:  req.RebuildEvery,
-		ValidateEvery: req.ValidateEvery,
-	}, sys)
+	ccfg, err := eff.CoreConfig()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	ccfg.Runtime = m.cfg.Runtime
+	ccfg.ValidateEvery = req.ValidateEvery
+	sim, err := core.New(ccfg, sys)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -304,17 +300,20 @@ func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName strin
 	ctx, cancel := context.WithCancelCause(m.ctx)
 	s := &Session{
 		sim:       sim,
-		rec:       trace.NewRecorderLimit(req.DT, traceRing),
+		rec:       trace.NewRecorderLimit(eff.DT, traceRing),
 		ctx:       ctx,
 		cancel:    cancel,
 		baseStep:  baseStep,
 		baseTime:  baseTime,
 		created:   time.Now(),
-		algorithm: alg.String(),
+		algorithm: eff.Algorithm,
 		workload:  workloadName,
 		seed:      req.Seed,
-		dt:        req.DT,
+		dt:        eff.DT,
 		n:         sys.N(),
+		// Echo what the engine actually runs with (core.New applies its
+		// own defaults, e.g. rebuild_every 0 → 1).
+		eff: simcfg.EffectiveOf(sim.Config()),
 	}
 	s.touch()
 	m.pinEnergyBaseline(s)

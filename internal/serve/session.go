@@ -9,7 +9,7 @@ import (
 	"time"
 
 	"nbody/internal/core"
-	"nbody/internal/grav"
+	"nbody/internal/simcfg"
 	"nbody/internal/trace"
 )
 
@@ -92,6 +92,10 @@ type Session struct {
 	dt        float64
 	n         int
 
+	// eff is the fully resolved physics configuration the simulation runs
+	// with (defaults applied), echoed verbatim in Info.
+	eff simcfg.Effective
+
 	// failReason (guarded by mu) says why the session entered
 	// StateFailed: set once by the manager's panic isolation or
 	// numerical-health watchdog, then surfaced in Info, watch streams and
@@ -163,6 +167,10 @@ type Info struct {
 	Created      time.Time `json:"created"`
 	LastUsed     time.Time `json:"last_used"`
 	TraceSamples int       `json:"trace_samples"`
+	// Config is the fully resolved physics configuration — every default
+	// applied — regardless of whether the session was created via the
+	// `config` object or the deprecated flat fields.
+	Config simcfg.Effective `json:"config"`
 	// FailReason says why a failed session was quarantined.
 	FailReason string `json:"fail_reason,omitempty"`
 }
@@ -186,48 +194,67 @@ func (s *Session) Info() Info {
 		Created:      s.created,
 		LastUsed:     s.LastUsed(),
 		TraceSamples: samples,
+		Config:       s.eff,
 		FailReason:   reason,
 	}
 }
 
-// CreateRequest is the JSON body of POST /sessions. Zero physics parameters
-// inherit grav.DefaultParams() field-wise; zero workload/algorithm inherit
-// "plummer"/"octree".
+// CreateRequest is the JSON body of POST /v1/sessions. Physics settings
+// belong in Config; the flat Algorithm/DT/Theta/Eps/G/Sequential/
+// RebuildEvery fields are deprecated aliases kept for compatibility (zero
+// values inherit defaults field-wise, so explicit zeros are not
+// expressible through them). When both are present, Config wins.
 type CreateRequest struct {
 	// ID, when non-empty, is the session ID to create under instead of a
 	// manager-minted one. It must satisfy store.ValidID and must not be
 	// taken. The router tier uses this (via the X-NBody-ID header) so the
 	// ID a session lives under is the key its shard was picked by.
-	ID           string  `json:"id"`
-	Workload     string  `json:"workload"`
-	N            int     `json:"n"`
-	Seed         uint64  `json:"seed"`
-	Algorithm    string  `json:"algorithm"`
-	DT           float64 `json:"dt"`
-	Theta        float64 `json:"theta"`
-	Eps          float64 `json:"eps"`
-	G            float64 `json:"g"`
-	Sequential   bool    `json:"sequential"`
-	RebuildEvery int     `json:"rebuild_every"`
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	Seed     uint64 `json:"seed"`
+
+	// Config is the physics configuration (snake_case object, explicit
+	// zeros honoured). See simcfg.Config.
+	Config *simcfg.Config `json:"config,omitempty"`
+
+	// Deprecated: flat physics fields, superseded by Config. Responses to
+	// requests that use them carry a Deprecation header.
+	Algorithm    string  `json:"algorithm,omitempty"`
+	DT           float64 `json:"dt,omitempty"`
+	Theta        float64 `json:"theta,omitempty"`
+	Eps          float64 `json:"eps,omitempty"`
+	G            float64 `json:"g,omitempty"`
+	Sequential   bool    `json:"sequential,omitempty"`
+	RebuildEvery int     `json:"rebuild_every,omitempty"`
+
 	// ValidateEvery forwards core.Config.ValidateEvery (abort on
 	// non-finite state every k steps).
 	ValidateEvery int `json:"validate_every"`
 }
 
-// params resolves the request's physics parameters against the defaults.
-func (r CreateRequest) params() grav.Params {
-	p := grav.DefaultParams()
-	if r.G != 0 {
-		p.G = r.G
+// legacy collects the request's deprecated flat physics fields.
+func (r CreateRequest) legacy() simcfg.Legacy {
+	return simcfg.Legacy{
+		Algorithm:    r.Algorithm,
+		DT:           r.DT,
+		Theta:        r.Theta,
+		Eps:          r.Eps,
+		G:            r.G,
+		Sequential:   r.Sequential,
+		RebuildEvery: r.RebuildEvery,
 	}
-	if r.Theta != 0 {
-		p.Theta = r.Theta
-	}
-	if r.Eps != 0 {
-		p.Eps = r.Eps
-	}
-	return p
 }
+
+// resolveConfig merges the request's config object and deprecated flat
+// fields over the defaults and validates the result.
+func (r CreateRequest) resolveConfig() (simcfg.Effective, error) {
+	return simcfg.Resolve(r.legacy(), r.Config)
+}
+
+// deprecatedFieldsUsed reports whether the request relies on the flat
+// physics aliases (drives the Deprecation response header).
+func (r CreateRequest) deprecatedFieldsUsed() bool { return r.legacy().Used() }
 
 // StepResult reports a completed (or interrupted) step request.
 type StepResult struct {

@@ -1,0 +1,82 @@
+package soa
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"nbody/internal/grav"
+)
+
+// refAccel is the reference: grav.Accumulate over every list entry.
+func refAccel(l *List, xi, yi, zi, eps2 float64) (ax, ay, az float64) {
+	for j := range l.X {
+		grav.Accumulate(l.X[j]-xi, l.Y[j]-yi, l.Z[j]-zi, l.M[j], eps2, &ax, &ay, &az)
+	}
+	return
+}
+
+func randomList(rng *rand.Rand, n int) *List {
+	l := new(List)
+	for i := 0; i < n; i++ {
+		l.Add(rng.Float64()*2-1, rng.Float64()*2-1, rng.Float64()*2-1, rng.Float64()+0.1)
+	}
+	return l
+}
+
+func TestAccelMatchesGravKernel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, eps2 := range []float64{0, 1e-6} {
+		l := randomList(rng, 257)
+		for trial := 0; trial < 10; trial++ {
+			xi, yi, zi := rng.Float64(), rng.Float64(), rng.Float64()
+			ax, ay, az := l.Accel(xi, yi, zi, eps2)
+			rx, ry, rz := refAccel(l, xi, yi, zi, eps2)
+			if math.Abs(ax-rx) > 1e-12 || math.Abs(ay-ry) > 1e-12 || math.Abs(az-rz) > 1e-12 {
+				t.Fatalf("eps2=%v: Accel = (%v,%v,%v), reference = (%v,%v,%v)", eps2, ax, ay, az, rx, ry, rz)
+			}
+		}
+	}
+}
+
+// The batched loop must not need a self-exclusion branch: a source at the
+// target's own position contributes exactly zero, softened or not.
+func TestAccelSelfTermIsZero(t *testing.T) {
+	for _, eps2 := range []float64{0, 1e-4} {
+		l := new(List)
+		l.Add(0.5, -0.25, 1.0, 3.0) // the "self" source
+		ax, ay, az := l.Accel(0.5, -0.25, 1.0, eps2)
+		if ax != 0 || ay != 0 || az != 0 {
+			t.Fatalf("eps2=%v: self term contributed (%v,%v,%v), want zero", eps2, ax, ay, az)
+		}
+	}
+}
+
+func TestAccelRange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	l := randomList(rng, 64)
+	// Summing two halves must equal the whole.
+	ax1, ay1, az1 := Accel(l.X, l.Y, l.Z, l.M, 0, 30, 0.1, 0.2, 0.3, 1e-6)
+	ax2, ay2, az2 := Accel(l.X, l.Y, l.Z, l.M, 30, 64, 0.1, 0.2, 0.3, 1e-6)
+	ax, ay, az := l.Accel(0.1, 0.2, 0.3, 1e-6)
+	if math.Abs(ax1+ax2-ax) > 1e-12 || math.Abs(ay1+ay2-ay) > 1e-12 || math.Abs(az1+az2-az) > 1e-12 {
+		t.Fatalf("range split (%v,%v,%v) != whole (%v,%v,%v)", ax1+ax2, ay1+ay2, az1+az2, ax, ay, az)
+	}
+}
+
+func TestListResetAndAddBodies(t *testing.T) {
+	l := GetList()
+	defer PutList(l)
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 6, 7, 8}
+	zs := []float64{9, 10, 11, 12}
+	ms := []float64{13, 14, 15, 16}
+	l.AddBodies(xs, ys, zs, ms, 1, 3)
+	if l.Len() != 2 || l.X[0] != 2 || l.M[1] != 15 {
+		t.Fatalf("AddBodies: got %+v", l)
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatalf("Reset left %d entries", l.Len())
+	}
+}

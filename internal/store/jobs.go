@@ -37,8 +37,14 @@ type JobRecord struct {
 	Eps        float64 `json:"eps,omitempty"`
 	G          float64 `json:"g,omitempty"`
 	Sequential bool    `json:"sequential,omitempty"`
-	Steps      int     `json:"steps"`
-	ChunkSteps int     `json:"chunk_steps,omitempty"`
+	// Layout, when non-empty, marks a resolved-style record: the physics
+	// fields above hold fully resolved values (explicit zeros are real),
+	// not the pre-config-object inherit-default spec values.
+	Layout         string  `json:"layout,omitempty"`
+	RebuildEvery   int     `json:"rebuild_every,omitempty"`
+	RefitThreshold float64 `json:"refit_threshold,omitempty"`
+	Steps          int     `json:"steps"`
+	ChunkSteps     int     `json:"chunk_steps,omitempty"`
 
 	SessionID string `json:"session_id,omitempty"`
 	StepsDone int    `json:"steps_done"`

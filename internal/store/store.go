@@ -40,20 +40,26 @@ const quarantineDir = "quarantine"
 // rebuild the session's core.Sim plus its resume position. The physics
 // parameters are stored resolved (no zero-means-default indirection).
 type Meta struct {
-	ID            string  `json:"id"`
-	Algorithm     string  `json:"algorithm"`
-	Workload      string  `json:"workload,omitempty"`
-	Seed          uint64  `json:"seed"`
-	DT            float64 `json:"dt"`
-	Theta         float64 `json:"theta"`
-	Eps           float64 `json:"eps"`
-	G             float64 `json:"g"`
-	Sequential    bool    `json:"sequential,omitempty"`
-	RebuildEvery  int     `json:"rebuild_every,omitempty"`
-	ValidateEvery int     `json:"validate_every,omitempty"`
-	N             int     `json:"n"`
-	Step          int     `json:"step"`
-	Time          float64 `json:"time"`
+	ID         string  `json:"id"`
+	Algorithm  string  `json:"algorithm"`
+	Workload   string  `json:"workload,omitempty"`
+	Seed       uint64  `json:"seed"`
+	DT         float64 `json:"dt"`
+	Theta      float64 `json:"theta"`
+	Eps        float64 `json:"eps"`
+	G          float64 `json:"g"`
+	Sequential bool    `json:"sequential,omitempty"`
+	// Layout is the force-evaluation layout ("flat" or "walk"); empty in
+	// checkpoints written before the field existed (those ran walk).
+	Layout       string `json:"layout,omitempty"`
+	RebuildEvery int    `json:"rebuild_every,omitempty"`
+	// RefitThreshold is the adaptive tree-reuse threshold (0 = rebuild on
+	// the RebuildEvery cadence).
+	RefitThreshold float64 `json:"refit_threshold,omitempty"`
+	ValidateEvery  int     `json:"validate_every,omitempty"`
+	N              int     `json:"n"`
+	Step           int     `json:"step"`
+	Time           float64 `json:"time"`
 	// State is the session lifecycle state at save time: "ok" for a live
 	// session, "failed" for one quarantined after a panic or numerical
 	// divergence (FailReason then says why).

@@ -2,16 +2,36 @@
 # bench_baseline.sh — committed performance baseline.
 #
 # Runs cmd/nbody-bench fig5 (sequential vs parallel throughput per
-# algorithm) on a pinned small configuration and rewrites BENCH_serve.json
-# at the repository root. The file is committed so a later PR can diff its
-# own numbers against the last recorded baseline on comparable hardware;
-# the config is deliberately tiny so the whole run stays under a minute on
-# a laptop.
+# algorithm) on a pinned small configuration plus a pinned large-N tree
+# configuration, and rewrites BENCH_serve.json at the repository root. The
+# file is committed so a later PR can diff its own numbers against the
+# last recorded baseline on comparable hardware; the small config is
+# deliberately tiny so the whole run stays under a minute on a laptop.
 #
-# Usage: ./scripts/bench_baseline.sh  (or: make bench-baseline)
+# The script also gates on parallel speedup: any `par` row whose speedup
+# over its `seq` sibling falls below 1.0x fails the run, so a parallelism
+# regression cannot be silently committed into the baseline. On machines
+# where the comparison is meaningless (single-core CI boxes, heavily
+# shared runners) pass --allow-par-regression or set
+# ALLOW_PAR_REGRESSION=1; the override is recorded in the output.
+#
+# Usage: ./scripts/bench_baseline.sh [--allow-par-regression]
+#        (or: make bench-baseline)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+ALLOW="${ALLOW_PAR_REGRESSION:-0}"
+for arg in "$@"; do
+    case "$arg" in
+    --allow-par-regression) ALLOW=1 ;;
+    *)
+        echo "bench-baseline: unknown argument $arg" >&2
+        echo "usage: $0 [--allow-par-regression]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 # Pinned configuration — change it only deliberately, in its own commit,
 # because every future comparison assumes these values.
@@ -20,51 +40,98 @@ STEPS=5
 REPEATS=2
 WORKERS=2
 SEED=42
+# Large-N tree section: the interaction-list layout's target regime. The
+# O(N²) baselines are excluded to keep the runtime bounded.
+N_LARGE=100000
+STEPS_LARGE=2
+REPEATS_LARGE=1
+ALGS_LARGE=octree,bvh
 OUT=BENCH_serve.json
 
 CSV="$(mktemp)"
-trap 'rm -f "$CSV"' EXIT INT TERM
+CSV_LARGE="$(mktemp)"
+trap 'rm -f "$CSV" "$CSV_LARGE"' EXIT INT TERM
 
 go run ./cmd/nbody-bench fig5 \
     -n "$N" -steps "$STEPS" -repeats "$REPEATS" -workers "$WORKERS" -seed "$SEED" \
     -csv >"$CSV"
 
-# Convert the benchmark CSV (header row + data rows) into a JSON document
-# carrying the pinned config and environment alongside the measurements.
-awk -v n="$N" -v steps="$STEPS" -v repeats="$REPEATS" -v workers="$WORKERS" \
-    -v seed="$SEED" -v goversion="$(go env GOVERSION)" \
-    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-BEGIN { FS = "," }
-# Skip anything before the CSV header (the experiment banner line).
-!header && $1 == "algorithm" {
-    header = 1
-    for (i = 1; i <= NF; i++) keys[i] = $i
-    next
-}
-header && NF > 1 {
-    row = ""
-    for (i = 1; i <= NF; i++) {
-        k = keys[i]
-        gsub(/[^a-zA-Z0-9]+/, "_", k)  # "bodies/s" -> "bodies_s"
-        v = $i
-        if (v ~ /^-?[0-9.eE+]+$/) row = row sprintf("\"%s\":%s,", k, v)
-        else row = row sprintf("\"%s\":\"%s\",", k, v)
+go run ./cmd/nbody-bench fig5 \
+    -n "$N_LARGE" -steps "$STEPS_LARGE" -repeats "$REPEATS_LARGE" \
+    -workers "$WORKERS" -seed "$SEED" -algs "$ALGS_LARGE" \
+    -csv >"$CSV_LARGE"
+
+# Seq-vs-par comparison and speedup gate over both sections. The fig5 CSV
+# carries the ratio in its `speedup` column; par rows must not fall below
+# 1.0x their seq sibling.
+gate_status=pass
+for f in "$CSV" "$CSV_LARGE"; do
+    awk 'BEGIN { FS = "," }
+    !header && $1 == "algorithm" { header = 1; next }
+    header && $2 == "seq" { seq[$1] = $3 }
+    header && $2 == "par" {
+        printf "bench-baseline: %-14s seq=%.0f par=%.0f bodies/s  speedup=%.3fx\n", $1, seq[$1], $3, $5
+        if ($5 + 0 < 1.0) { bad = 1 }
     }
-    sub(/,$/, "", row)
-    rows[++nrows] = "    {" row "}"
+    END { exit bad }' "$f" || gate_status=fail
+done
+if [ "$gate_status" = fail ]; then
+    if [ "$ALLOW" = 1 ]; then
+        gate_status=overridden
+        echo "bench-baseline: WARNING: par speedup < 1.0x, continuing (--allow-par-regression)" >&2
+    else
+        echo "bench-baseline: FAIL: par speedup < 1.0x for at least one algorithm" >&2
+        echo "bench-baseline: rerun with --allow-par-regression to record anyway" >&2
+        exit 1
+    fi
+fi
+
+# Convert a benchmark CSV (header row + data rows) into a JSON row array
+# on stdout.
+csv_rows() {
+    awk '
+    BEGIN { FS = "," }
+    # Skip anything before the CSV header (the experiment banner line).
+    !header && $1 == "algorithm" {
+        header = 1
+        for (i = 1; i <= NF; i++) keys[i] = $i
+        next
+    }
+    header && NF > 1 {
+        row = ""
+        for (i = 1; i <= NF; i++) {
+            k = keys[i]
+            gsub(/[^a-zA-Z0-9]+/, "_", k)  # "bodies/s" -> "bodies_s"
+            v = $i
+            if (v ~ /^-?[0-9.eE+]+$/) row = row sprintf("\"%s\":%s,", k, v)
+            else row = row sprintf("\"%s\":\"%s\",", k, v)
+        }
+        sub(/,$/, "", row)
+        rows[++nrows] = "    {" row "}"
+    }
+    END {
+        if (nrows == 0) { print "bench-baseline: no CSV rows parsed" > "/dev/stderr"; exit 1 }
+        for (i = 1; i <= nrows; i++) printf "%s%s\n", rows[i], (i < nrows ? "," : "")
+    }' "$1"
 }
-END {
-    if (nrows == 0) { print "bench-baseline: no CSV rows parsed" > "/dev/stderr"; exit 1 }
-    printf "{\n"
-    printf "  \"benchmark\": \"fig5\",\n"
-    printf "  \"generated\": \"%s\",\n", date
-    printf "  \"go\": \"%s\",\n", goversion
-    printf "  \"config\": {\"n\": %d, \"steps\": %d, \"repeats\": %d, \"workers\": %d, \"seed\": %d},\n", \
-        n, steps, repeats, workers, seed
-    printf "  \"rows\": [\n"
-    for (i = 1; i <= nrows; i++) printf "%s%s\n", rows[i], (i < nrows ? "," : "")
-    printf "  ]\n}\n"
-}' "$CSV" >"$OUT"
+
+{
+    printf '{\n'
+    printf '  "benchmark": "fig5",\n'
+    printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "speedup_gate": "%s",\n' "$gate_status"
+    printf '  "config": {"n": %d, "steps": %d, "repeats": %d, "workers": %d, "seed": %d},\n' \
+        "$N" "$STEPS" "$REPEATS" "$WORKERS" "$SEED"
+    printf '  "rows": [\n'
+    csv_rows "$CSV"
+    printf '  ],\n'
+    printf '  "config_large": {"n": %d, "steps": %d, "repeats": %d, "workers": %d, "seed": %d, "algs": "%s"},\n' \
+        "$N_LARGE" "$STEPS_LARGE" "$REPEATS_LARGE" "$WORKERS" "$SEED" "$ALGS_LARGE"
+    printf '  "rows_large": [\n'
+    csv_rows "$CSV_LARGE"
+    printf '  ]\n}\n'
+} >"$OUT"
 
 # Service-level rows: boot the real server and drive a short mixed load
 # through cmd/nbody-loadgen (via the client SDK), then splice the report
@@ -73,7 +140,7 @@ END {
 # class. The loadgen config is pinned for the same reason the fig5 one is.
 PORT="${NBODY_BENCH_PORT:-18083}"
 WORK="$(mktemp -d)"
-trap 'rm -f "$CSV"; [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null; rm -rf "$WORK"' EXIT INT TERM
+trap 'rm -f "$CSV" "$CSV_LARGE"; [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null; rm -rf "$WORK"' EXIT INT TERM
 
 go build -o "$WORK/nbody-serve" ./cmd/nbody-serve
 go build -o "$WORK/nbody-loadgen" ./cmd/nbody-loadgen
@@ -102,4 +169,4 @@ sed '$d' "$OUT" >"$WORK/bench.tmp"
     printf '}\n'
 } >"$OUT"
 
-echo "bench-baseline: wrote $OUT ($(grep -c '"algorithm"' "$OUT") fig5 rows + service section)"
+echo "bench-baseline: wrote $OUT ($(grep -c '"algorithm"' "$OUT") fig5 rows + service section, gate=$gate_status)"
