@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check serve obs-smoke jobs-smoke loadgen-smoke router-smoke chaos-smoke bench-baseline bench-smoke clean
+.PHONY: all build vet test race check serve obs-smoke jobs-smoke loadgen-smoke router-smoke chaos-smoke bench-baseline bench-smoke pipeline-smoke clean
 
 all: check
 
@@ -70,6 +70,12 @@ bench-baseline:
 # performance measurement (see scripts/bench_smoke.sh).
 bench-smoke:
 	./scripts/bench_smoke.sh
+
+# Race-detector gate for pipelined stepping: the internal/exec suite, the
+# core pipelined-vs-synchronous bit-exactness matrix and the serve-level
+# multi-session overlap + HTTP tests (see scripts/pipeline_smoke.sh).
+pipeline-smoke:
+	./scripts/pipeline_smoke.sh
 
 clean:
 	$(GO) clean ./...

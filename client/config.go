@@ -42,6 +42,11 @@ type SessionConfig struct {
 	Sequential *bool `json:"sequential,omitempty"`
 	// TreeReuse configures structure rebuild cadence and adaptive refit.
 	TreeReuse *TreeReuseConfig `json:"tree_reuse,omitempty"`
+	// Pipeline schedules the session's steps as phase tasks on the
+	// server's shared phase-graph executor instead of whole-step slots.
+	// Trajectories are bit-exact either way; pipelined sessions
+	// interleave with each other at phase granularity under load.
+	Pipeline *bool `json:"pipeline,omitempty"`
 }
 
 // EffectiveConfig mirrors the fully resolved configuration the server
@@ -56,6 +61,7 @@ type EffectiveConfig struct {
 	G          float64         `json:"g"`
 	Sequential bool            `json:"sequential"`
 	TreeReuse  TreeReuseConfig `json:"tree_reuse"`
+	Pipeline   bool            `json:"pipeline"`
 }
 
 // Request converts an echoed effective configuration back into a request
@@ -73,6 +79,7 @@ func (e EffectiveConfig) Request() *SessionConfig {
 		G:          Float64(e.G),
 		Sequential: Bool(e.Sequential),
 		TreeReuse:  &tr,
+		Pipeline:   Bool(e.Pipeline),
 	}
 }
 

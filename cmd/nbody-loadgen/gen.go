@@ -30,7 +30,8 @@ type genConfig struct {
 
 	N         int
 	DT        float64
-	StepBatch int // steps per step request
+	Pipeline  bool // pool sessions request pipelined (phase-task) stepping
+	StepBatch int  // steps per step request
 
 	WatchSteps int
 	WatchEvery int
@@ -229,12 +230,17 @@ func (g *generator) buildPool(ctx context.Context) ([]string, error) {
 	}
 	var created []string
 	for i := 0; i < g.cfg.Sessions; i++ {
-		s, err := g.c.CreateSession(ctx, client.CreateSessionRequest{
+		req := client.CreateSessionRequest{
 			Workload: "plummer",
 			N:        g.cfg.N,
 			DT:       g.cfg.DT,
 			Seed:     g.cfg.Seed + uint64(i),
-		})
+		}
+		if g.cfg.Pipeline {
+			req.DT = 0
+			req.Config = &client.SessionConfig{DT: g.cfg.DT, Pipeline: client.Bool(true)}
+		}
+		s, err := g.c.CreateSession(ctx, req)
 		if err != nil {
 			g.cleanup(created)
 			return nil, fmt.Errorf("creating pool session %d/%d: %w", i+1, g.cfg.Sessions, err)

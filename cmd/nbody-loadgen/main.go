@@ -39,6 +39,7 @@ func main() {
 		sessions  = flag.Int("sessions", 8, "session pool size for step/watch traffic")
 		n         = flag.Int("n", 256, "bodies per pooled session and job")
 		dt        = flag.Float64("dt", 1e-3, "time step")
+		pipeline  = flag.Bool("pipeline", false, "create pool sessions with config.pipeline=true (phase-task stepping)")
 		stepBatch = flag.Int("step-batch", 5, "steps per step request")
 		watchSt   = flag.Int("watch-steps", 10, "steps per watch stream")
 		watchEv   = flag.Int("watch-every", 5, "event interval within a watch stream")
@@ -58,6 +59,7 @@ func main() {
 		Sessions:   *sessions,
 		N:          *n,
 		DT:         *dt,
+		Pipeline:   *pipeline,
 		StepBatch:  *stepBatch,
 		WatchSteps: *watchSt,
 		WatchEvery: *watchEv,

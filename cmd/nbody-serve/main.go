@@ -48,6 +48,7 @@ func run() error {
 		stepSlots   = flag.Int("step-slots", 2, "sessions stepping concurrently")
 		maxQueue    = flag.Int("max-queue", 0, "step requests allowed to wait for a slot (0 = step-slots)")
 		maxSteps    = flag.Int("max-steps-per-request", 10_000, "per-request step budget")
+		execWorkers = flag.Int("exec-workers", 0, "phase-graph executor pool size for pipelined sessions (0 = step-slots)")
 		workers     = flag.Int("workers", 0, "total worker goroutines across all slots (0 = GOMAXPROCS)")
 		schedStr    = flag.String("sched", "dynamic", "scheduler: dynamic, static, guided")
 		drain       = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget")
@@ -144,6 +145,7 @@ func run() error {
 		StepSlots:          *stepSlots,
 		MaxQueue:           *maxQueue,
 		MaxStepsPerRequest: *maxSteps,
+		ExecWorkers:        *execWorkers,
 		Runtime:            par.NewRuntime(perSession, sched),
 		Store:              st,
 		CheckpointEvery:    *ckptEvery,

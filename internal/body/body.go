@@ -99,6 +99,28 @@ func (s *System) Clone() *System {
 	return c
 }
 
+// CopyFrom overwrites this system's state with src's. Both systems must
+// have the same size; scratch buffers are not shared. This is the publish
+// half of the double-buffering used by pipelined stepping: the engine
+// copies the live arrays into a committed snapshot at each step boundary
+// so concurrent readers never observe a torn mid-step state.
+func (s *System) CopyFrom(src *System) {
+	if s.N() != src.N() {
+		panic(fmt.Sprintf("body: CopyFrom size mismatch: %d != %d", s.N(), src.N()))
+	}
+	copy(s.Mass, src.Mass)
+	copy(s.PosX, src.PosX)
+	copy(s.PosY, src.PosY)
+	copy(s.PosZ, src.PosZ)
+	copy(s.VelX, src.VelX)
+	copy(s.VelY, src.VelY)
+	copy(s.VelZ, src.VelZ)
+	copy(s.AccX, src.AccX)
+	copy(s.AccY, src.AccY)
+	copy(s.AccZ, src.AccZ)
+	copy(s.ID, src.ID)
+}
+
 // TotalMass returns the sum of all body masses.
 func (s *System) TotalMass() float64 {
 	var m float64

@@ -173,6 +173,19 @@ type Config struct {
 	// unsoftened close encounter with too large a timestep) at the step
 	// they happen instead of producing NaN results silently.
 	ValidateEvery int
+	// Pipeline marks the simulation for phase-graph pipelined execution:
+	// the serving layer steps it through RunPipelined (phase tasks on a
+	// shared executor) instead of whole-step slots. The trajectory is
+	// bit-exact either way — the knob changes scheduling, not physics —
+	// so core itself only carries the preference.
+	Pipeline bool
+	// PublishCommits maintains a double-buffered copy of the body system,
+	// refreshed at every committed step boundary (see Committed). Readers
+	// that may observe the simulation mid-step — snapshot downloads and
+	// checkpoints racing a pipelined or cancelled run — read the
+	// committed copy instead of the live arrays. Costs one extra system
+	// copy per step; CLI and benchmark paths leave it off.
+	PublishCommits bool
 }
 
 // Sim is a running simulation. Create one with New.
@@ -189,6 +202,22 @@ type Sim struct {
 	step      int
 	haveAcc   bool
 	phiBuf    []float64
+
+	// Phase-cursor state: cursor marks the next phase of the in-flight
+	// step (curIdle between steps), pendingRebuild the structure decision
+	// update1 made for it. Together they make a step resumable at phase
+	// granularity: a cancelled StepContext, or a pipelined run whose
+	// remaining tasks were skipped, leaves the cursor mid-step and the
+	// next call picks up exactly where it stopped — bit-exact, because no
+	// phase ever runs twice (floating-point update phases are not
+	// invertible, so rollback is not an option).
+	cursor         stepPhase
+	pendingRebuild bool
+
+	// Committed double buffer (PublishCommits): the body system as of the
+	// last committed step boundary, and that step's count.
+	committed     *body.System
+	committedStep int
 
 	// Adaptive tree-reuse state (RefitThreshold > 0): driftAcc upper-bounds
 	// the distance any body has moved since the last full rebuild,
@@ -271,6 +300,9 @@ func New(cfg Config, sys *body.System) (*Sim, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", cfg.Algorithm)
 	}
+	if cfg.PublishCommits {
+		s.committed = sys.Clone()
+	}
 	return s, nil
 }
 
@@ -342,95 +374,234 @@ func (s *Sim) maxSpeed() float64 {
 	return math.Sqrt(m)
 }
 
+// stepPhase is the cursor over one step of the kick-drift-kick loop. The
+// values are ordered as the phases execute; curIdle sits between steps.
+type stepPhase int8
+
+const (
+	curIdle stepPhase = iota
+	// curInitStructure/curInitForce compute the accelerations at t₀ that
+	// the very first half-kick needs; they run once per simulation.
+	curInitStructure
+	curInitForce
+	// curUpdate1 is the first half-kick plus the drift; it also decides
+	// whether this step's structure pass rebuilds or reuses.
+	curUpdate1
+	// curStructure is bounds → sort → build → moments on rebuild steps,
+	// collapsed to a single refit pass on tree-reuse steps (DESIGN.md
+	// §13), and empty for the all-pairs baselines.
+	curStructure
+	// curForce refreshes the accelerations from the structure.
+	curForce
+	// curUpdate2 is the closing half-kick; committing the step (counter,
+	// validation, publish) rides on it.
+	curUpdate2
+)
+
+// String implements fmt.Stringer.
+func (p stepPhase) String() string {
+	switch p {
+	case curIdle:
+		return "idle"
+	case curInitStructure:
+		return "init-structure"
+	case curInitForce:
+		return "init-force"
+	case curUpdate1:
+		return "update1"
+	case curStructure:
+		return "structure"
+	case curForce:
+		return "force"
+	case curUpdate2:
+		return "update2"
+	}
+	return fmt.Sprintf("stepPhase(%d)", int8(p))
+}
+
+// MidStep reports whether a step is in flight: a previous StepContext (or
+// pipelined run) was cancelled between phases. The live arrays are then
+// mid-step (positions drifted, velocities half-kicked) and the next
+// Step/StepContext/RunPipelined call resumes the in-flight step instead of
+// starting a new one.
+func (s *Sim) MidStep() bool { return s.cursor != curIdle }
+
 // Step advances the simulation by one timestep using kick-drift-kick
-// Störmer-Verlet integration around a full force recalculation.
-func (s *Sim) Step() error {
-	b := &s.breakdown
+// Störmer-Verlet integration around a full force recalculation. If a
+// previous cancelled run left a step in flight, Step first finishes it
+// (that resumed step is the one advanced).
+func (s *Sim) Step() error { return s.StepContext(context.Background()) }
 
-	// The very first step needs accelerations at t₀ for the initial
-	// half-kick.
-	if !s.haveAcc {
-		if err := s.computeForces(true); err != nil {
-			return err
-		}
-		s.haveAcc = true
-	}
+// StepContext advances the simulation by one committed step, checking ctx
+// between phases. On cancellation the phase in flight always completes —
+// the integrator is never left mid-kick — but the step may stop between
+// phases: the cursor then marks the next phase and a later call resumes
+// the step bit-exactly from there (MidStep reports this state). The
+// returned error wraps ctx's cancellation cause, so errors.Is(err,
+// context.Canceled) (or DeadlineExceeded) identifies an interrupted rather
+// than failed step.
+func (s *Sim) StepContext(ctx context.Context) error {
+	return s.advance(ctx, curIdle)
+}
 
-	b.Time(metrics.PhaseUpdate, func() {
-		integrator.KickHalf(s.rt, s.pol.update, s.sys, s.cfg.DT)
-		integrator.Drift(s.rt, s.pol.update, s.sys, s.cfg.DT)
-	})
-
-	if s.adaptiveReuse() {
-		// Bodies just drifted by dt·v; fold the worst case into the
-		// displacement bound before deciding whether the structure is
-		// still fit to reuse.
-		s.driftAcc += s.cfg.DT * s.maxSpeed()
-	}
-	if err := s.computeForces(s.needRebuild()); err != nil {
-		return err
-	}
-
-	b.Time(metrics.PhaseUpdate, func() {
-		integrator.KickHalf(s.rt, s.pol.update, s.sys, s.cfg.DT)
-	})
-
-	s.step++
-	b.AddStep()
-
-	if k := s.cfg.ValidateEvery; k > 0 && s.step%k == 0 {
-		if err := s.sys.Validate(); err != nil {
-			return fmt.Errorf("core: state invalid after step %d (timestep too large or softening too small?): %w", s.step, err)
+// advance runs phases until the cursor reaches stop, or — when stop is
+// curIdle — until the in-flight step commits. ctx (nil to disable) is
+// checked before each phase. This one state machine backs both the
+// synchronous path (advance to commit) and the pipelined path, whose
+// phase tasks each advance to the next task's phase; sharing it is what
+// makes the two paths bit-exact and mutually resumable.
+func (s *Sim) advance(ctx context.Context, stop stepPhase) error {
+	if s.cursor == curIdle {
+		if s.haveAcc {
+			s.cursor = curUpdate1
+		} else {
+			// The very first step needs accelerations at t₀ for the
+			// initial half-kick.
+			s.cursor = curInitStructure
 		}
 	}
-	return nil
+	for {
+		if s.cursor == stop {
+			return nil
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				if cause := context.Cause(ctx); cause != nil {
+					err = cause
+				}
+				return fmt.Errorf("core: step %d interrupted before %s: %w", s.step, s.cursor, err)
+			}
+		}
+		switch s.cursor {
+		case curInitStructure:
+			if err := s.phaseStructure(true); err != nil {
+				return err
+			}
+			s.cursor = curInitForce
+		case curInitForce:
+			s.phaseForce()
+			s.haveAcc = true
+			s.cursor = curUpdate1
+		case curUpdate1:
+			s.phaseUpdate1()
+			s.cursor = curStructure
+		case curStructure:
+			if err := s.phaseStructure(s.pendingRebuild); err != nil {
+				return err
+			}
+			s.cursor = curForce
+		case curForce:
+			s.phaseForce()
+			s.cursor = curUpdate2
+		case curUpdate2:
+			s.phaseUpdate2()
+			s.cursor = curIdle
+			return s.commitStep()
+		}
+	}
 }
 
 // Run advances the simulation by n steps.
 func (s *Sim) Run(n int) error { return s.RunContext(context.Background(), n) }
 
-// RunContext advances the simulation by up to n steps, checking ctx between
-// steps. A step in flight always completes — cancellation never leaves the
-// integrator mid-kick — so a cancelled run stops within one step and the
-// system remains in a consistent state at a step boundary. The returned
-// error wraps ctx's cancellation cause, so errors.Is(err, context.Canceled)
-// (or DeadlineExceeded) identifies an interrupted rather than failed run.
+// RunContext advances the simulation by up to n steps, checking ctx
+// between steps and — via StepContext — between the phases of each step,
+// so cancellation lands within one phase even when a single step is long
+// (large N under a tight deadline). A cancelled run may therefore stop
+// mid-step; the system's live arrays are then between phases, and the next
+// Run/Step call resumes the in-flight step exactly (see MidStep). Callers
+// that need a step-boundary view regardless of cancellation timing should
+// enable Config.PublishCommits and read Committed. The returned error
+// wraps ctx's cancellation cause, so errors.Is(err, context.Canceled) (or
+// DeadlineExceeded) identifies an interrupted rather than failed run.
 func (s *Sim) RunContext(ctx context.Context, n int) error {
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("core: run interrupted at step %d: %w", s.step, err)
 		}
-		if err := s.Step(); err != nil {
+		if err := s.StepContext(ctx); err != nil {
 			return fmt.Errorf("core: step %d: %w", s.step, err)
 		}
 	}
 	return nil
 }
 
-// computeForces refreshes s.sys.Acc with the configured algorithm,
-// recording per-phase timings. rebuild selects a full structure rebuild
-// versus the tree-reuse fast path.
-func (s *Sim) computeForces(rebuild bool) error {
+// Committed returns the body system as of the last committed step boundary
+// together with that step count. With Config.PublishCommits it is the
+// double-buffered copy published by each commit — safe to read while a
+// step is in flight (the caller still synchronizes with the commit phase
+// itself, e.g. via the session lock in the serving layer). Without
+// PublishCommits it is the live system, which is only at a boundary when
+// MidStep is false.
+func (s *Sim) Committed() (*body.System, int) {
+	if s.committed == nil {
+		return s.sys, s.step
+	}
+	return s.committed, s.committedStep
+}
+
+// phaseUpdate1 is the opening half-kick plus the drift. It also folds the
+// drift into the adaptive-reuse displacement bound and records the
+// rebuild-or-reuse decision for this step's structure phase.
+func (s *Sim) phaseUpdate1() {
+	s.breakdown.Time(metrics.PhaseUpdate, func() {
+		integrator.KickHalf(s.rt, s.pol.update, s.sys, s.cfg.DT)
+		integrator.Drift(s.rt, s.pol.update, s.sys, s.cfg.DT)
+	})
+	if s.adaptiveReuse() {
+		// Bodies just drifted by dt·v; fold the worst case into the
+		// displacement bound before deciding whether the structure is
+		// still fit to reuse.
+		s.driftAcc += s.cfg.DT * s.maxSpeed()
+	}
+	s.pendingRebuild = s.needRebuild()
+}
+
+// phaseUpdate2 is the closing half-kick.
+func (s *Sim) phaseUpdate2() {
+	s.breakdown.Time(metrics.PhaseUpdate, func() {
+		integrator.KickHalf(s.rt, s.pol.update, s.sys, s.cfg.DT)
+	})
+}
+
+// commitStep closes the step: counters, periodic validation, and — with
+// PublishCommits — the publish copy into the committed double buffer.
+func (s *Sim) commitStep() error {
+	s.step++
+	s.breakdown.AddStep()
+
+	if k := s.cfg.ValidateEvery; k > 0 && s.step%k == 0 {
+		if err := s.sys.Validate(); err != nil {
+			return fmt.Errorf("core: state invalid after step %d (timestep too large or softening too small?): %w", s.step, err)
+		}
+	}
+	if s.committed != nil {
+		s.committed.CopyFrom(s.sys)
+		s.committedStep = s.step
+	}
+	return nil
+}
+
+// hasStructure reports whether the configured algorithm maintains a
+// spatial structure (and so whether the structure phase does any work).
+func (s *Sim) hasStructure() bool {
+	switch s.cfg.Algorithm {
+	case Octree, BVH, KDTree:
+		return true
+	}
+	return false
+}
+
+// phaseStructure refreshes the spatial structure for the coming force
+// pass, recording per-phase timings. rebuild selects a full rebuild
+// (bounds → sort → build → moments) versus the tree-reuse fast path —
+// which, under adaptive reuse, collapses to a single refit pass.
+func (s *Sim) phaseStructure(rebuild bool) error {
 	b := &s.breakdown
-	p := s.cfg.Params
 
 	switch s.cfg.Algorithm {
-	case AllPairs:
-		b.Time(metrics.PhaseForce, func() {
-			allpairs.AllPairs(s.rt, s.pol.force, s.sys, p)
-		})
-		return nil
-
-	case AllPairsCol:
-		b.Time(metrics.PhaseForce, func() {
-			// Pair-parallel accumulation synchronizes through atomics
-			// and therefore runs under par (the paper's requirement).
-			pol := par.Par
-			if s.cfg.Sequential {
-				pol = par.Seq
-			}
-			allpairs.AllPairsCol(s.rt, pol, s.sys, p)
-		})
+	case AllPairs, AllPairsCol:
+		// No structure.
 		return nil
 
 	case Octree:
@@ -465,15 +636,6 @@ func (s *Sim) computeForces(rebuild bool) error {
 				s.tree.ComputeMoments(s.rt, s.sys)
 			})
 		}
-		b.Time(metrics.PhaseForce, func() {
-			if s.cfg.Layout == LayoutFlat && !s.cfg.Octree.Quadrupole {
-				s.tree.AccelerationsList(s.rt, s.pol.force, s.sys, p, s.cfg.Octree.GroupSize)
-			} else if gs := s.cfg.Octree.GroupSize; gs > 0 {
-				s.tree.AccelerationsGrouped(s.rt, s.pol.force, s.sys, p, gs)
-			} else {
-				s.tree.Accelerations(s.rt, s.pol.force, s.sys, p)
-			}
-		})
 		return nil
 
 	case BVH:
@@ -503,13 +665,6 @@ func (s *Sim) computeForces(rebuild bool) error {
 				s.hbvh.BuildNoSort(s.rt, s.pol.build, s.sys)
 			})
 		}
-		b.Time(metrics.PhaseForce, func() {
-			if s.cfg.Layout == LayoutFlat {
-				s.hbvh.AccelerationsList(s.rt, s.pol.force, s.sys, p, s.cfg.BVH.GroupBodies)
-			} else {
-				s.hbvh.Accelerations(s.rt, s.pol.force, s.sys, p)
-			}
-		})
 		return nil
 
 	case KDTree:
@@ -520,6 +675,55 @@ func (s *Sim) computeForces(rebuild bool) error {
 		b.Time(metrics.PhaseBuild, func() {
 			s.kd.Build(s.rt, s.sys)
 		})
+		return nil
+	}
+	return fmt.Errorf("core: unknown algorithm %v", s.cfg.Algorithm)
+}
+
+// phaseForce refreshes s.sys.Acc from the current structure (or directly,
+// for the all-pairs baselines), recording the force-phase timing.
+func (s *Sim) phaseForce() {
+	b := &s.breakdown
+	p := s.cfg.Params
+
+	switch s.cfg.Algorithm {
+	case AllPairs:
+		b.Time(metrics.PhaseForce, func() {
+			allpairs.AllPairs(s.rt, s.pol.force, s.sys, p)
+		})
+
+	case AllPairsCol:
+		b.Time(metrics.PhaseForce, func() {
+			// Pair-parallel accumulation synchronizes through atomics
+			// and therefore runs under par (the paper's requirement).
+			pol := par.Par
+			if s.cfg.Sequential {
+				pol = par.Seq
+			}
+			allpairs.AllPairsCol(s.rt, pol, s.sys, p)
+		})
+
+	case Octree:
+		b.Time(metrics.PhaseForce, func() {
+			if s.cfg.Layout == LayoutFlat && !s.cfg.Octree.Quadrupole {
+				s.tree.AccelerationsList(s.rt, s.pol.force, s.sys, p, s.cfg.Octree.GroupSize)
+			} else if gs := s.cfg.Octree.GroupSize; gs > 0 {
+				s.tree.AccelerationsGrouped(s.rt, s.pol.force, s.sys, p, gs)
+			} else {
+				s.tree.Accelerations(s.rt, s.pol.force, s.sys, p)
+			}
+		})
+
+	case BVH:
+		b.Time(metrics.PhaseForce, func() {
+			if s.cfg.Layout == LayoutFlat {
+				s.hbvh.AccelerationsList(s.rt, s.pol.force, s.sys, p, s.cfg.BVH.GroupBodies)
+			} else {
+				s.hbvh.Accelerations(s.rt, s.pol.force, s.sys, p)
+			}
+		})
+
+	case KDTree:
 		b.Time(metrics.PhaseForce, func() {
 			if s.cfg.KD.Dual {
 				s.kd.DualAccelerations(s.rt, s.sys, p)
@@ -527,9 +731,7 @@ func (s *Sim) computeForces(rebuild bool) error {
 				s.kd.Accelerations(s.rt, s.pol.force, s.sys, p)
 			}
 		})
-		return nil
 	}
-	return fmt.Errorf("core: unknown algorithm %v", s.cfg.Algorithm)
 }
 
 // Diagnostics are conservation quantities for validating a run.

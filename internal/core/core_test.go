@@ -436,18 +436,30 @@ func TestRunContextCancelMidRun(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The context allows exactly two pre-step checks: the run must
-	// complete two steps and stop at the third boundary.
+	// The context allows exactly two checks. Cancellation is checked
+	// between phases, not just between steps, so the run stops inside the
+	// first step — before any step commits — leaving a resumable
+	// in-flight step behind.
 	ctx := &cancelAfterN{Context: context.Background(), n: 2}
 	if err := sim.RunContext(ctx, 10); !errors.Is(err, context.Canceled) {
 		t.Fatalf("mid-run cancel = %v, want context.Canceled", err)
 	}
-	if n := sim.StepCount(); n != 2 {
-		t.Fatalf("cancelled run completed %d steps, want 2", n)
+	if n := sim.StepCount(); n != 0 {
+		t.Fatalf("cancelled run committed %d steps, want 0", n)
 	}
-	// The system must be left in a valid state at a step boundary.
+	if !sim.MidStep() {
+		t.Fatal("phase-granular cancel should leave a step in flight")
+	}
+	// The next Step resumes and commits the in-flight step; the system is
+	// back at a valid step boundary.
+	if err := sim.Step(); err != nil {
+		t.Fatalf("resuming interrupted step: %v", err)
+	}
+	if n := sim.StepCount(); n != 1 || sim.MidStep() {
+		t.Fatalf("after resume: steps=%d midStep=%v, want 1/false", n, sim.MidStep())
+	}
 	if err := sim.System().Validate(); err != nil {
-		t.Fatalf("state invalid after cancel: %v", err)
+		t.Fatalf("state invalid after resume: %v", err)
 	}
 }
 

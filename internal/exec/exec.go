@@ -1,0 +1,473 @@
+// Package exec is a dependency-graph task executor: the phase-graph
+// scheduling substrate behind pipelined stepping (DESIGN.md §14).
+//
+// Callers submit Tasks that declare the resources they read and write as
+// typed Keys (position arrays, tree topology, moments, ...). The executor
+// infers ordering from those declarations — read-after-write,
+// write-after-write and write-after-read hazards each add an edge from the
+// conflicting in-flight task — and keeps a ready queue that a fixed worker
+// pool drains in submission order. Tasks with no unfinished conflicts run
+// concurrently, so phases of independent simulations interleave on the
+// pool instead of queueing behind whole steps, in the spirit of the
+// event-driven constraint-based execution model of Dekate et al.
+// (PAPERS.md).
+//
+// Failure is fail-fast along edges: when a task returns an error (or
+// panics — recovered into a PanicError), every transitively dependent task
+// completes immediately with that error without running. Cancellation is
+// checked between tasks: a task whose submission context is done when a
+// worker picks it up is skipped with the context's cause. A task already
+// running is never interrupted, so resources are handed to dependents only
+// at task boundaries.
+//
+// The executor is deliberately ignorant of simulations and of metrics
+// registries: it only counts and integrates its own scheduling state
+// (ready depth, occupancy, overlap, stalls), exposed via Stats for callers
+// to bridge into their observability layer.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// ErrClosed is reported by tasks submitted to — or still queued in — an
+// executor that has been closed.
+var ErrClosed = errors.New("exec: executor closed")
+
+// PanicError wraps a panic recovered from a task's Run function. The
+// worker pool survives; the panic fails the task and, fail-fast, its
+// dependents.
+type PanicError struct {
+	Label string
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e PanicError) Error() string {
+	return fmt.Sprintf("exec: panic in task %q: %v", e.Label, e.Value)
+}
+
+// Key names a resource a task reads or writes. Domain scopes the resource
+// to its owner (one simulation, one session) so equal resource names in
+// different simulations never conflict; Res names the resource itself
+// ("pos", "vel", "acc", "struct", ...).
+type Key struct {
+	Domain string
+	Res    string
+}
+
+// Task is one schedulable unit of work: a phase of a simulation step, with
+// its input/output contract made explicit.
+type Task struct {
+	// Label identifies the task in errors ("step 12 force").
+	Label string
+	// Phase groups tasks for accounting ("update", "structure", "force",
+	// "commit"); Stats reports per-phase busy time and completion counts
+	// under this name.
+	Phase string
+	// Reads and Writes declare the keys this task consumes and produces.
+	// They are the only ordering mechanism: a task runs once every
+	// in-flight task it conflicts with has finished.
+	Reads  []Key
+	Writes []Key
+	// Run does the work. It is called at most once, from a worker
+	// goroutine, with the context passed to Submit.
+	Run func(ctx context.Context) error
+}
+
+// Handle tracks one submitted task.
+type Handle struct {
+	done chan struct{}
+	err  error
+}
+
+// Done returns a channel closed when the task has finished (ran, failed,
+// was skipped by cancellation, or was abandoned at close).
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Err blocks until the task finishes and returns its error, if any.
+// Errors from failed dependencies propagate unwrapped, so errors.Is/As see
+// the original cause.
+func (h *Handle) Err() error {
+	<-h.done
+	return h.err
+}
+
+// node is the executor's per-task bookkeeping.
+type node struct {
+	task    *Task
+	ctx     context.Context
+	h       *Handle
+	waiting int     // unfinished predecessors
+	out     []*node // successors to notify on finish
+	failed  error   // first predecessor failure (fail-fast cause)
+	done    bool
+}
+
+// Executor schedules tasks over a fixed worker pool. Create one with New;
+// it must be Closed to release the workers.
+type Executor struct {
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	ready  []*node // tasks with no unfinished predecessors, FIFO
+
+	// Hazard state: the unfinished last writer of each key, and the
+	// unfinished readers since that writer. Finished tasks retire
+	// themselves, so both maps stay O(in-flight tasks).
+	lastWriter map[Key]*node
+	readers    map[Key][]*node
+
+	// Scheduling accounting (guarded by mu; time integrals are advanced
+	// at every state transition and on Stats).
+	running    int
+	pending    int // submitted and not yet finished
+	submitted  uint64
+	completed  uint64
+	failed     uint64
+	tasksDone  map[string]uint64  // successful completions per phase
+	busyByPh   map[string]float64 // run-time seconds per phase
+	overlapSec float64            // time with >= 2 tasks running
+	stallSec   float64            // idle workers + only blocked tasks left
+	lastAcct   time.Time
+	started    time.Time
+
+	wg sync.WaitGroup
+}
+
+// New starts an executor with the given number of workers (values < 1 are
+// clamped to 1).
+func New(workers int) *Executor {
+	if workers < 1 {
+		workers = 1
+	}
+	now := time.Now()
+	e := &Executor{
+		workers:    workers,
+		lastWriter: make(map[Key]*node),
+		readers:    make(map[Key][]*node),
+		tasksDone:  make(map[string]uint64),
+		busyByPh:   make(map[string]float64),
+		lastAcct:   now,
+		started:    now,
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// Submit enqueues t and returns its handle. Ordering against in-flight
+// tasks is inferred from t's Reads/Writes; tasks with no conflicts become
+// ready immediately. ctx is checked when a worker picks the task up: if it
+// is already done the task is skipped with the context's cause. Submitting
+// to a closed executor fails the task with ErrClosed.
+func (e *Executor) Submit(ctx context.Context, t *Task) *Handle {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := &node{task: t, ctx: ctx, h: &Handle{done: make(chan struct{})}}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		n.h.err = ErrClosed
+		close(n.h.done)
+		return n.h
+	}
+	e.account(time.Now())
+	e.submitted++
+	e.pending++
+
+	// Hazard inference: depend on the unfinished last writer of every key
+	// read or written (RAW, WAW), and on every unfinished reader since
+	// that writer for keys written (WAR).
+	preds := make(map[*node]struct{})
+	for _, k := range t.Reads {
+		if w := e.lastWriter[k]; w != nil {
+			preds[w] = struct{}{}
+		}
+	}
+	for _, k := range t.Writes {
+		if w := e.lastWriter[k]; w != nil {
+			preds[w] = struct{}{}
+		}
+		for _, r := range e.readers[k] {
+			preds[r] = struct{}{}
+		}
+	}
+	delete(preds, n)
+	for p := range preds {
+		p.out = append(p.out, n)
+	}
+	n.waiting = len(preds)
+
+	// Advance the hazard state. Writes first, so a task reading and
+	// writing the same key registers as its writer, not a reader.
+	for _, k := range t.Writes {
+		e.lastWriter[k] = n
+		delete(e.readers, k)
+	}
+	for _, k := range t.Reads {
+		if e.lastWriter[k] != n {
+			e.readers[k] = append(e.readers[k], n)
+		}
+	}
+
+	if n.waiting == 0 {
+		e.ready = append(e.ready, n)
+		e.cond.Signal()
+	}
+	e.mu.Unlock()
+	return n.h
+}
+
+// worker is the pool loop: pop a ready task, run it (or skip it if its
+// context is done), finish it, repeat.
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	e.mu.Lock()
+	for {
+		for len(e.ready) == 0 && !e.closed {
+			e.account(time.Now())
+			e.cond.Wait()
+		}
+		if len(e.ready) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		n := e.ready[0]
+		e.ready = e.ready[1:]
+		e.account(time.Now())
+		e.running++
+		e.mu.Unlock()
+
+		var err error
+		var dur time.Duration
+		if cerr := n.ctx.Err(); cerr != nil {
+			if cause := context.Cause(n.ctx); cause != nil {
+				cerr = cause
+			}
+			err = fmt.Errorf("exec: task %q skipped: %w", n.task.Label, cerr)
+		} else {
+			start := time.Now()
+			err = runTask(n)
+			dur = time.Since(start)
+		}
+
+		e.mu.Lock()
+		e.account(time.Now())
+		e.running--
+		if dur > 0 {
+			e.busyByPh[n.task.Phase] += dur.Seconds()
+		}
+		e.finish(n, err)
+	}
+}
+
+// runTask invokes n's Run with a panic barrier.
+func runTask(n *node) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = PanicError{Label: n.task.Label, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return n.task.Run(n.ctx)
+}
+
+// finishItem pairs a node with the error it finishes with, for the
+// fail-fast propagation worklist.
+type finishItem struct {
+	n   *node
+	err error
+}
+
+// finish retires n with err and propagates fail-fast completion to
+// dependents whose last predecessor this was. Called with e.mu held.
+func (e *Executor) finish(n *node, err error) {
+	queue := []finishItem{{n, err}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		nd := it.n
+		if nd.done {
+			continue
+		}
+		nd.done = true
+		e.pending--
+		if it.err != nil {
+			e.failed++
+		} else {
+			e.completed++
+			e.tasksDone[nd.task.Phase]++
+		}
+
+		// Retire from the hazard maps: a finished task constrains nothing.
+		for _, k := range nd.task.Writes {
+			if e.lastWriter[k] == nd {
+				delete(e.lastWriter, k)
+			}
+		}
+		for _, k := range nd.task.Reads {
+			rs := e.readers[k]
+			for i, r := range rs {
+				if r == nd {
+					e.readers[k] = append(rs[:i], rs[i+1:]...)
+					break
+				}
+			}
+			if len(e.readers[k]) == 0 {
+				delete(e.readers, k)
+			}
+		}
+
+		nd.h.err = it.err
+		close(nd.h.done)
+
+		for _, succ := range nd.out {
+			if succ.done {
+				continue
+			}
+			if it.err != nil && succ.failed == nil {
+				succ.failed = it.err
+			}
+			succ.waiting--
+			if succ.waiting > 0 {
+				continue
+			}
+			switch {
+			case succ.failed != nil:
+				queue = append(queue, finishItem{succ, succ.failed})
+			case e.closed:
+				queue = append(queue, finishItem{succ, ErrClosed})
+			default:
+				e.ready = append(e.ready, succ)
+				e.cond.Signal()
+			}
+		}
+		nd.out = nil
+	}
+}
+
+// Close stops the pool: queued tasks that have not started fail with
+// ErrClosed (running tasks finish, and their not-yet-ready dependents then
+// fail with ErrClosed too), and Close returns once every worker has
+// exited. Handles always complete, so no waiter is left hanging.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.account(time.Now())
+	e.closed = true
+	ready := e.ready
+	e.ready = nil
+	for _, n := range ready {
+		e.finish(n, ErrClosed)
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Stats is a snapshot of the executor's scheduling state. The JSON names
+// match the serving layer's snake_case metrics surface (the snapshot is
+// embedded in GET /metrics responses).
+type Stats struct {
+	// Workers is the pool size; Running the tasks executing right now;
+	// ReadyDepth the tasks runnable but waiting for a worker; Pending
+	// every submitted-but-unfinished task (running + ready + blocked).
+	Workers    int `json:"workers"`
+	Running    int `json:"running"`
+	ReadyDepth int `json:"ready_queue_depth"`
+	Pending    int `json:"tasks_inflight"`
+
+	// Submitted/Completed/Failed are lifetime task counts; Failed
+	// includes tasks completed fail-fast without running.
+	Submitted uint64 `json:"tasks_submitted_total"`
+	Completed uint64 `json:"tasks_completed_total"`
+	Failed    uint64 `json:"task_failures_total"`
+
+	// TasksByPhase counts successful completions per phase label, and
+	// BusySecondsByPhase the wall time workers spent running each phase.
+	TasksByPhase       map[string]uint64  `json:"tasks_by_phase,omitempty"`
+	BusySecondsByPhase map[string]float64 `json:"busy_seconds_by_phase,omitempty"`
+
+	// OverlapSeconds integrates time with at least two tasks running
+	// (phases genuinely overlapping); StallSeconds integrates time where
+	// workers sat idle while every in-flight task was blocked on
+	// dependencies — the pipeline-stall signal; WallSeconds is the
+	// executor's age.
+	OverlapSeconds float64 `json:"overlap_seconds_total"`
+	StallSeconds   float64 `json:"stall_seconds_total"`
+	WallSeconds    float64 `json:"wall_seconds"`
+}
+
+// Occupancy returns the fraction of the pool currently busy, in [0, 1].
+func (s Stats) Occupancy() float64 {
+	if s.Workers == 0 {
+		return 0
+	}
+	return float64(s.Running) / float64(s.Workers)
+}
+
+// Stats returns a snapshot of scheduling counters and time integrals.
+func (e *Executor) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := time.Now()
+	e.account(now)
+	st := Stats{
+		Workers:            e.workers,
+		Running:            e.running,
+		ReadyDepth:         len(e.ready),
+		Pending:            e.pending,
+		Submitted:          e.submitted,
+		Completed:          e.completed,
+		Failed:             e.failed,
+		TasksByPhase:       make(map[string]uint64, len(e.tasksDone)),
+		BusySecondsByPhase: make(map[string]float64, len(e.busyByPh)),
+		OverlapSeconds:     e.overlapSec,
+		StallSeconds:       e.stallSec,
+		WallSeconds:        now.Sub(e.started).Seconds(),
+	}
+	for k, v := range e.tasksDone {
+		st.TasksByPhase[k] = v
+	}
+	for k, v := range e.busyByPh {
+		st.BusySecondsByPhase[k] = v
+	}
+	return st
+}
+
+// account advances the scheduling time integrals to now. Called with e.mu
+// held at every state transition, so each interval is integrated against
+// the state that actually held during it.
+func (e *Executor) account(now time.Time) {
+	dt := now.Sub(e.lastAcct).Seconds()
+	if dt > 0 {
+		if e.running >= 2 {
+			e.overlapSec += dt
+		}
+		blocked := e.pending - e.running - len(e.ready)
+		if blocked > 0 && len(e.ready) == 0 && e.running < e.workers {
+			e.stallSec += dt
+		}
+	}
+	e.lastAcct = now
+}

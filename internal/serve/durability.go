@@ -169,7 +169,10 @@ func (m *Manager) persist(ctx context.Context, s *Session) {
 		return
 	}
 	cfg := s.sim.Config()
-	count := s.sim.StepCount()
+	// Checkpoint the committed step boundary: with a step in flight
+	// (phase-granular cancellation, pipelined stepping) the live arrays
+	// are mid-kick, and a checkpoint of them would resume wrongly.
+	sys, count := s.sim.Committed()
 	meta := store.Meta{
 		ID:             s.ID,
 		Algorithm:      s.algorithm,
@@ -183,13 +186,14 @@ func (m *Manager) persist(ctx context.Context, s *Session) {
 		Layout:         cfg.Layout.String(),
 		RebuildEvery:   cfg.RebuildEvery,
 		RefitThreshold: cfg.RefitThreshold,
+		Pipeline:       cfg.Pipeline,
 		ValidateEvery:  cfg.ValidateEvery,
 		Step:           s.baseStep + count,
 		Time:           s.baseTime + float64(count)*s.dt,
 		State:          store.StateOK,
 	}
 	start := time.Now()
-	err := st.Save(meta, s.sim.System())
+	err := st.Save(meta, sys)
 	if err == nil {
 		s.savedStep = meta.Step
 	}
@@ -212,7 +216,8 @@ func (m *Manager) persistIfDirty(ctx context.Context, s *Session) {
 		return
 	}
 	s.mu.Lock()
-	dirty := s.baseStep+s.sim.StepCount() != s.savedStep
+	_, count := s.sim.Committed()
+	dirty := s.baseStep+count != s.savedStep
 	s.mu.Unlock()
 	if dirty {
 		m.persist(ctx, s)
@@ -307,7 +312,9 @@ func (m *Manager) restore(meta store.Meta, sys *body.System) error {
 		Layout:         lay,
 		RebuildEvery:   meta.RebuildEvery,
 		RefitThreshold: meta.RefitThreshold,
+		Pipeline:       meta.Pipeline,
 		ValidateEvery:  meta.ValidateEvery,
+		PublishCommits: true,
 	}, sys)
 	if err != nil {
 		return err

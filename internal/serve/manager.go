@@ -16,6 +16,7 @@ import (
 	"nbody/internal/body"
 	"nbody/internal/bounds"
 	"nbody/internal/core"
+	"nbody/internal/exec"
 	"nbody/internal/metrics"
 	"nbody/internal/obs"
 	"nbody/internal/par"
@@ -56,6 +57,13 @@ type Manager struct {
 	waiting atomic.Int64
 	nextID  atomic.Uint64
 	wg      sync.WaitGroup
+
+	// ex is the shared phase-graph executor pipelined sessions step on;
+	// pipelineActive counts their in-flight step/watch runs (the
+	// admission bound of the pipelined path, which bypasses the slot
+	// semaphore). See pipeline.go.
+	ex             *exec.Executor
+	pipelineActive atomic.Int64
 
 	janitorDone chan struct{}
 
@@ -114,6 +122,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		sessions:       make(map[string]*Session),
 		lru:            list.New(),
 		slots:          make(chan struct{}, cfg.StepSlots),
+		ex:             exec.New(cfg.ExecWorkers),
 		janitorDone:    make(chan struct{}),
 		failuresByKind: make(map[string]int64),
 		ins:            newInstruments(cfg.Obs.Registry),
@@ -125,6 +134,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		if err := m.recoverSessions(); err != nil {
 			cancel(err)
 			close(m.janitorDone)
+			m.ex.Close()
 			return nil, err
 		}
 	}
@@ -292,6 +302,10 @@ func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName strin
 	}
 	ccfg.Runtime = m.cfg.Runtime
 	ccfg.ValidateEvery = req.ValidateEvery
+	// Every served session publishes a committed double buffer: snapshots
+	// and checkpoints read the last step-boundary state even while a step
+	// is in flight (phase-granular cancellation, pipelined stepping).
+	ccfg.PublishCommits = true
 	sim, err := core.New(ccfg, sys)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -578,7 +592,7 @@ func (m *Manager) Step(ctx context.Context, id string, n int) (StepResult, error
 	if err != nil {
 		return StepResult{}, err
 	}
-	release, err := m.admit(ctx, s)
+	release, err := m.admitSession(ctx, s)
 	if err != nil {
 		return StepResult{}, err
 	}
@@ -588,7 +602,7 @@ func (m *Manager) Step(ctx context.Context, id string, n int) (StepResult, error
 	span.SetAttr("session", s.ID)
 	span.SetAttr("algorithm", s.algorithm)
 	start := time.Now()
-	completed, runErr := m.runSteps(ctx, s, n, 0, nil)
+	completed, runErr := m.runSession(ctx, s, n, 0, nil)
 	span.SetAttr("steps", strconv.Itoa(completed))
 	span.End()
 	// One diagnostics sample per step request feeds the session trace and
@@ -629,7 +643,7 @@ func (m *Manager) Watch(ctx context.Context, id string, n, every int, emit func(
 	if err != nil {
 		return err
 	}
-	release, err := m.admit(ctx, s)
+	release, err := m.admitSession(ctx, s)
 	if err != nil {
 		return err
 	}
@@ -637,7 +651,7 @@ func (m *Manager) Watch(ctx context.Context, id string, n, every int, emit func(
 	span := m.cfg.Obs.Tracer.StartSpan(ctx, "session.watch")
 	span.SetAttr("session", s.ID)
 	span.SetAttr("algorithm", s.algorithm)
-	completed, err := m.runSteps(ctx, s, n, every, emit)
+	completed, err := m.runSession(ctx, s, n, every, emit)
 	span.SetAttr("steps", strconv.Itoa(completed))
 	span.End()
 	m.persistIfDirty(ctx, s)
@@ -782,9 +796,11 @@ func (m *Manager) buildEvent(s *Session, prev []time.Duration) WatchEvent {
 	}
 }
 
-// WriteSnapshot serializes session id's current state in the
-// internal/snapshot wire format. It waits for at most one step to finish,
-// never observing torn state mid-step.
+// WriteSnapshot serializes session id's last committed step-boundary
+// state in the internal/snapshot wire format. It reads the committed
+// double buffer, so it waits for at most one phase (not one whole step)
+// and never observes torn mid-step arrays — even while the session is
+// stepping pipelined.
 func (m *Manager) WriteSnapshot(id string, w io.Writer) error {
 	s, err := m.lookup(id)
 	if err != nil {
@@ -792,12 +808,12 @@ func (m *Manager) WriteSnapshot(id string, w io.Writer) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	count := s.sim.StepCount()
+	sys, count := s.sim.Committed()
 	meta := snapshot.Meta{
 		Step: s.baseStep + count,
 		Time: s.baseTime + float64(count)*s.dt,
 	}
-	return snapshot.Write(w, s.sim.System(), meta)
+	return snapshot.Write(w, sys, meta)
 }
 
 // WriteTrace writes session id's accumulated diagnostics trace as CSV.
@@ -861,6 +877,10 @@ type MetricsSnapshot struct {
 	// FailedSessions maps each live quarantined session to its reason.
 	FailedSessions map[string]string `json:"failed_sessions,omitempty"`
 	StepLatency    *LatencyStats     `json:"step_latency,omitempty"`
+	// Exec snapshots the phase-graph executor pipelined sessions run on:
+	// pool occupancy, ready-queue depth, per-phase task counts and busy
+	// time, and the overlap/stall time integrals.
+	Exec *exec.Stats `json:"exec,omitempty"`
 }
 
 // Metrics snapshots the service counters for the /metrics endpoint.
@@ -918,6 +938,9 @@ func (m *Manager) Metrics() MetricsSnapshot {
 		FailedSessions:   failedSessions,
 	}
 
+	exStats := m.ex.Stats()
+	snap.Exec = &exStats
+
 	m.latMu.Lock()
 	lats := append([]float64(nil), m.lat[:m.latN]...)
 	m.latMu.Unlock()
@@ -964,8 +987,11 @@ func (m *Manager) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		// Final checkpoint pass: whatever progress the drained runs made
-		// is durable before the process exits.
+		// All runs have returned, so no phase tasks are in flight: the
+		// executor drains instantly. Then a final checkpoint pass makes
+		// whatever progress the drained runs made durable before the
+		// process exits.
+		m.ex.Close()
 		m.checkpointDirty()
 		return nil
 	case <-ctx.Done():

@@ -8,7 +8,9 @@ package serve
 
 import (
 	"strconv"
+	"sync"
 
+	"nbody/internal/exec"
 	"nbody/internal/metrics"
 	"nbody/internal/obs"
 )
@@ -47,6 +49,19 @@ type instruments struct {
 	sessionsByState *obs.GaugeVec // state
 	slotsInUse      *obs.Gauge
 	queueDepth      *obs.Gauge
+
+	// Phase-graph executor (pipelined stepping). Gauges are refreshed and
+	// counters advanced by delta at scrape time from exec.Executor.Stats.
+	execWorkers   *obs.Gauge
+	execRunning   *obs.Gauge
+	execReady     *obs.Gauge
+	execInflight  *obs.Gauge
+	execOccupancy *obs.Gauge
+	execTasks     *obs.CounterVec // phase
+	execTaskFails *obs.Counter
+	execPhaseBusy *obs.CounterVec // phase
+	execOverlap   *obs.Counter
+	execStall     *obs.Counter
 }
 
 // newInstruments registers the serving layer's metric families in reg.
@@ -100,6 +115,27 @@ func newInstruments(reg *obs.Registry) *instruments {
 			"Step slots currently executing a run."),
 		queueDepth: reg.Gauge("nbody_step_queue_depth",
 			"Step requests waiting for a slot."),
+
+		execWorkers: reg.Gauge("nbody_exec_workers",
+			"Worker pool size of the phase-graph executor."),
+		execRunning: reg.Gauge("nbody_exec_tasks_running",
+			"Phase tasks executing right now."),
+		execReady: reg.Gauge("nbody_exec_ready_queue_depth",
+			"Phase tasks runnable but waiting for a worker."),
+		execInflight: reg.Gauge("nbody_exec_tasks_inflight",
+			"Phase tasks submitted but not finished (running + ready + blocked)."),
+		execOccupancy: reg.Gauge("nbody_exec_occupancy",
+			"Fraction of the executor pool currently busy, 0..1."),
+		execTasks: reg.CounterVec("nbody_exec_tasks_total",
+			"Phase tasks completed successfully, by phase.", "phase"),
+		execTaskFails: reg.Counter("nbody_exec_task_failures_total",
+			"Phase tasks that failed, including fail-fast skips after an upstream error."),
+		execPhaseBusy: reg.CounterVec("nbody_exec_phase_busy_seconds_total",
+			"Wall time executor workers spent running each phase.", "phase"),
+		execOverlap: reg.Counter("nbody_exec_overlap_seconds_total",
+			"Time with at least two phase tasks running concurrently."),
+		execStall: reg.Counter("nbody_exec_stall_seconds_total",
+			"Pipeline-stall time: workers idle while every in-flight task was blocked on dependencies."),
 	}
 }
 
@@ -121,9 +157,16 @@ func (ins *instruments) observePhases(algorithm string, b *metrics.Breakdown, pr
 }
 
 // installCollectors registers the scrape-time refresh of the live-state
-// gauges (sessions by state, slots, queue depth) against m.
+// gauges (sessions by state, slots, queue depth, executor occupancy)
+// against m. The executor exposes cumulative counters only through Stats
+// snapshots, so the collector advances the obs counters by the delta since
+// the previous scrape.
 func (m *Manager) installCollectors() {
 	ins := m.ins
+	var (
+		execMu   sync.Mutex
+		prevExec exec.Stats
+	)
 	m.cfg.Obs.Registry.OnCollect(func() {
 		counts := make(map[State]int, 8)
 		m.mu.Lock()
@@ -136,6 +179,25 @@ func (m *Manager) installCollectors() {
 		}
 		ins.slotsInUse.Set(float64(len(m.slots)))
 		ins.queueDepth.Set(float64(m.waiting.Load()))
+
+		st := m.ex.Stats()
+		ins.execWorkers.Set(float64(st.Workers))
+		ins.execRunning.Set(float64(st.Running))
+		ins.execReady.Set(float64(st.ReadyDepth))
+		ins.execInflight.Set(float64(st.Pending))
+		ins.execOccupancy.Set(st.Occupancy())
+		execMu.Lock()
+		for ph, nTasks := range st.TasksByPhase {
+			ins.execTasks.With(ph).Add(float64(nTasks - prevExec.TasksByPhase[ph]))
+		}
+		for ph, sec := range st.BusySecondsByPhase {
+			ins.execPhaseBusy.With(ph).Add(sec - prevExec.BusySecondsByPhase[ph])
+		}
+		ins.execTaskFails.Add(float64(st.Failed - prevExec.Failed))
+		ins.execOverlap.Add(st.OverlapSeconds - prevExec.OverlapSeconds)
+		ins.execStall.Add(st.StallSeconds - prevExec.StallSeconds)
+		prevExec = st
+		execMu.Unlock()
 	})
 }
 

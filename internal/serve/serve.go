@@ -97,6 +97,13 @@ type Config struct {
 	// MaxStepsPerRequest is the per-request step budget for step and
 	// watch calls. Default 10000.
 	MaxStepsPerRequest int
+	// ExecWorkers sizes the shared phase-graph executor that runs
+	// pipelined sessions (config.pipeline = true): their steps are
+	// decomposed into phase tasks scheduled across this pool, so phases
+	// of different sessions interleave instead of queueing whole steps
+	// behind each other. Sessions without the pipeline knob are
+	// unaffected — they use the StepSlots semaphore. Default StepSlots.
+	ExecWorkers int
 	// Runtime is the parallel runtime each session steps on. Note this is
 	// the per-session runtime: size it as total workers / StepSlots (the
 	// nbody-serve binary does this). Default par.Default().
@@ -156,6 +163,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MaxStepsPerRequest <= 0 {
 		c.MaxStepsPerRequest = 10_000
+	}
+	if c.ExecWorkers <= 0 {
+		c.ExecWorkers = c.StepSlots
 	}
 	if c.CheckpointEvery < 0 {
 		return c, errors.New("serve: CheckpointEvery must be >= 0")

@@ -79,6 +79,12 @@ type Config struct {
 	Sequential *bool `json:"sequential,omitempty"`
 	// TreeReuse configures structure rebuild cadence and adaptive refit.
 	TreeReuse *TreeReuse `json:"tree_reuse,omitempty"`
+	// Pipeline schedules this session's steps as phase tasks on the
+	// shared phase-graph executor (default off = whole-step slots). The
+	// trajectory is bit-exact either way; the knob trades strict
+	// whole-step slot scheduling for phase-granular interleaving across
+	// sessions. See DESIGN.md §14.
+	Pipeline *bool `json:"pipeline,omitempty"`
 }
 
 // Effective is a fully resolved configuration — every default applied,
@@ -93,6 +99,7 @@ type Effective struct {
 	G          float64   `json:"g"`
 	Sequential bool      `json:"sequential"`
 	TreeReuse  TreeReuse `json:"tree_reuse"`
+	Pipeline   bool      `json:"pipeline"`
 }
 
 // Legacy carries the deprecated flat physics fields of a create request or
@@ -191,6 +198,9 @@ func Resolve(legacy Legacy, cfg *Config) (Effective, error) {
 			}
 			e.TreeReuse.RefitThreshold = tr.RefitThreshold
 		}
+		if cfg.Pipeline != nil {
+			e.Pipeline = *cfg.Pipeline
+		}
 	}
 
 	return e, e.validate()
@@ -248,6 +258,7 @@ func (e Effective) CoreConfig() (core.Config, error) {
 		Sequential:     e.Sequential,
 		RebuildEvery:   e.TreeReuse.RebuildEvery,
 		RefitThreshold: e.TreeReuse.RefitThreshold,
+		Pipeline:       e.Pipeline,
 	}, nil
 }
 
@@ -267,5 +278,6 @@ func EffectiveOf(cfg core.Config) Effective {
 			RebuildEvery:   cfg.RebuildEvery,
 			RefitThreshold: cfg.RefitThreshold,
 		},
+		Pipeline: cfg.Pipeline,
 	}
 }

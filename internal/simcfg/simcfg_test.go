@@ -118,6 +118,46 @@ func TestResolveInvalidFields(t *testing.T) {
 	}
 }
 
+func TestResolvePipeline(t *testing.T) {
+	b := func(v bool) *bool { return &v }
+	eff, err := Resolve(Legacy{DT: 0.1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Pipeline {
+		t.Error("pipeline must default to off")
+	}
+	eff, err = Resolve(Legacy{DT: 0.1}, &Config{Pipeline: b(true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eff.Pipeline {
+		t.Error("explicit pipeline=true lost")
+	}
+	// Explicit false is distinguishable from absent, like every other
+	// pointer-typed field.
+	eff, err = Resolve(Legacy{DT: 0.1}, &Config{Pipeline: b(false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Pipeline {
+		t.Error("explicit pipeline=false must resolve to off")
+	}
+	// Pipeline survives the Effective → core.Config → Effective round
+	// trip that checkpoints and job records depend on.
+	eff, err = Resolve(Legacy{DT: 0.1}, &Config{Pipeline: b(true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg, err := eff.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back := EffectiveOf(ccfg); !back.Pipeline {
+		t.Errorf("pipeline lost in round trip: %+v", back)
+	}
+}
+
 func TestCoreConfigRoundTrip(t *testing.T) {
 	eff, err := Resolve(Legacy{}, &Config{
 		Algorithm: "bvh", Layout: "walk", DT: 0.25,

@@ -56,10 +56,13 @@ type Meta struct {
 	// RefitThreshold is the adaptive tree-reuse threshold (0 = rebuild on
 	// the RebuildEvery cadence).
 	RefitThreshold float64 `json:"refit_threshold,omitempty"`
-	ValidateEvery  int     `json:"validate_every,omitempty"`
-	N              int     `json:"n"`
-	Step           int     `json:"step"`
-	Time           float64 `json:"time"`
+	// Pipeline records the session's scheduling preference (phase-graph
+	// pipelined stepping) so a restart resumes it on the same path.
+	Pipeline      bool    `json:"pipeline,omitempty"`
+	ValidateEvery int     `json:"validate_every,omitempty"`
+	N             int     `json:"n"`
+	Step          int     `json:"step"`
+	Time          float64 `json:"time"`
 	// State is the session lifecycle state at save time: "ok" for a live
 	// session, "failed" for one quarantined after a panic or numerical
 	// divergence (FailReason then says why).
