@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check serve obs-smoke jobs-smoke loadgen-smoke router-smoke chaos-smoke bench-baseline bench-smoke pipeline-smoke clean
+.PHONY: all build vet test race check serve obs-smoke jobs-smoke loadgen-smoke router-smoke chaos-smoke tenants-smoke bench-baseline bench-smoke pipeline-smoke clean
 
 all: check
 
@@ -57,6 +57,14 @@ router-smoke:
 # "incomplete" (see scripts/chaos_smoke.sh).
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# Boots the real binary with a two-tenant keyfile and asserts the tenant
+# boundary end to end: 401 envelope + challenge, per-key X-NBody-Tenant
+# stamping, per-tenant session quota 429s with Retry-After, a scenario
+# job by pack name attributed to its tenant, and the per-tenant metric
+# series on /metrics (see scripts/tenants_smoke.sh).
+tenants-smoke:
+	./scripts/tenants_smoke.sh
 
 # Regenerates the committed BENCH_serve.json performance baseline on the
 # pinned small fig5 configuration plus a 100k-body tree section, gating

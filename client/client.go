@@ -51,6 +51,7 @@ const (
 type Client struct {
 	baseURL    string
 	httpc      *http.Client
+	apiKey     string
 	maxRetries int
 	retryBase  time.Duration
 	retryCap   time.Duration
@@ -67,6 +68,13 @@ type Option func(*Client)
 // doubles). The default is a dedicated http.Client with no timeout —
 // bound calls with the context instead.
 func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithAPIKey authenticates every request with the tenant API key: the SDK
+// sends it as "Authorization: Bearer <key>" on the typed methods and
+// streaming downloads. Required against a server started with -tenants;
+// ignored (the header is simply unused) by single-tenant servers.
+// RawRequest is exempt — it forwards headers verbatim for proxies.
+func WithAPIKey(key string) Option { return func(c *Client) { c.apiKey = key } }
 
 // WithRetries sets the retry policy for retryable responses (429/503,
 // plus 502/504 on idempotent GETs): maxRetries re-sends (0 disables
@@ -125,6 +133,13 @@ func (c *Client) Ready(ctx context.Context) error {
 // context carries a deadline so router and shard can abandon work the
 // caller has already given up on.
 const deadlineHeader = "X-NBody-Deadline"
+
+// authorize stamps the configured API key as a bearer credential.
+func (c *Client) authorize(req *http.Request) {
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
+}
 
 // stampDeadline advertises the context's remaining budget upstream.
 func stampDeadline(req *http.Request) {
@@ -222,6 +237,7 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, cont
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
 		}
+		c.authorize(req)
 		stampDeadline(req)
 		resp, err := c.httpc.Do(req)
 		if err != nil {
@@ -294,6 +310,7 @@ func (c *Client) getStream(ctx context.Context, path string, q url.Values) (*htt
 		if err != nil {
 			return nil, fmt.Errorf("client: GET %s: %w", path, err)
 		}
+		c.authorize(req)
 		stampDeadline(req)
 		resp, err := c.httpc.Do(req)
 		if err != nil {

@@ -49,6 +49,20 @@ type SessionConfig struct {
 	Pipeline *bool `json:"pipeline,omitempty"`
 }
 
+// ScenarioSpec mirrors the `scenario` object of POST /v1/sessions and
+// POST /v1/jobs: a named scenario pack (see GET /v1/scenarios) with
+// optional body-count and seed overrides. Mutually exclusive with the
+// top-level workload/n/seed fields — the pack owns those.
+type ScenarioSpec struct {
+	// Name is the pack name ("plummer", "solar-system", "galaxy-merger",
+	// "tsne-embedding", ...).
+	Name string `json:"name"`
+	// N overrides the pack's default body count (0 keeps the default).
+	N int `json:"n,omitempty"`
+	// Seed seeds the pack's workload generator.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
 // EffectiveConfig mirrors the fully resolved configuration the server
 // echoes in session and job descriptions: every default applied, every
 // field explicit.
@@ -62,6 +76,9 @@ type EffectiveConfig struct {
 	Sequential bool            `json:"sequential"`
 	TreeReuse  TreeReuseConfig `json:"tree_reuse"`
 	Pipeline   bool            `json:"pipeline"`
+	// Scenario echoes the scenario-pack name the session or job was
+	// created from ("" for raw workload/n/seed submissions).
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // Request converts an echoed effective configuration back into a request

@@ -28,6 +28,14 @@ const (
 	CodeJobNotFound      = "job_not_found"
 	CodeJobNotReady      = "job_not_ready"
 	CodeJobNotQueued     = "job_not_queued"
+	// CodeUnauthorized: the request carried no API key, or an unknown one,
+	// against a multi-tenant server (401). Configure the client with
+	// WithAPIKey.
+	CodeUnauthorized = "unauthorized"
+	// CodeQuotaExceeded: the authenticated tenant is at one of its quotas
+	// (request rate, live sessions, queued jobs); other tenants are
+	// unaffected. Carried on 429 with a per-tenant Retry-After.
+	CodeQuotaExceeded = "quota_exceeded"
 )
 
 // Router-tier error codes: set by nbody-router when it cannot complete a

@@ -39,7 +39,13 @@ type JobSpec struct {
 	N        int    `json:"n"`
 	Seed     uint64 `json:"seed,omitempty"`
 
-	// Config is the physics configuration (explicit zeros honoured).
+	// Scenario derives the backing session from a named scenario pack
+	// instead of raw workload/n/seed (mutually exclusive with those
+	// fields; put the overrides inside the scenario object).
+	Scenario *ScenarioSpec `json:"scenario,omitempty"`
+
+	// Config is the physics configuration (explicit zeros honoured). With
+	// a scenario it is merged over the pack's preset.
 	Config *SessionConfig `json:"config,omitempty"`
 
 	// Deprecated: flat physics fields, superseded by Config.
@@ -75,15 +81,19 @@ type Job struct {
 	ChunkSteps int     `json:"chunk_steps,omitempty"`
 	// Config is the fully resolved physics configuration the job runs
 	// with (servers predating the config surface leave it zero).
-	Config    EffectiveConfig `json:"config"`
-	Steps     int             `json:"steps"`
-	StepsDone int             `json:"steps_done"`
-	SessionID string          `json:"session_id,omitempty"`
-	Attempts  int             `json:"attempts,omitempty"`
-	Error     string          `json:"error,omitempty"`
-	Created   time.Time       `json:"created"`
-	Started   time.Time       `json:"started"`
-	Finished  time.Time       `json:"finished"`
+	Config EffectiveConfig `json:"config"`
+	// Scenario echoes the scenario-pack name for pack-submitted jobs.
+	Scenario string `json:"scenario,omitempty"`
+	// Tenant is the submitting tenant's name (multi-tenant servers only).
+	Tenant    string    `json:"tenant,omitempty"`
+	Steps     int       `json:"steps"`
+	StepsDone int       `json:"steps_done"`
+	SessionID string    `json:"session_id,omitempty"`
+	Attempts  int       `json:"attempts,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Created   time.Time `json:"created"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
 }
 
 // Spec reconstructs the submission spec from a job record, the input a
@@ -100,6 +110,18 @@ func (j Job) Spec() JobSpec {
 		Steps:      j.Steps,
 		Class:      j.Class,
 		ChunkSteps: j.ChunkSteps,
+	}
+	name := j.Scenario
+	if name == "" {
+		name = j.Config.Scenario
+	}
+	if name != "" {
+		// Scenario and top-level workload/n/seed are mutually exclusive on
+		// submission, so the handoff re-spells the generator parameters
+		// inside the scenario object; the pinned config below reproduces
+		// the physics regardless of the pack preset.
+		spec.Scenario = &ScenarioSpec{Name: name, N: j.N, Seed: j.Seed}
+		spec.Workload, spec.N, spec.Seed = "", 0, 0
 	}
 	if j.Config.Algorithm != "" {
 		spec.Config = j.Config.Request()
@@ -198,20 +220,40 @@ func (c *Client) JobTrace(ctx context.Context, id string) (io.ReadCloser, error)
 	return resp.Body, nil
 }
 
-// WaitJob polls a job until it reaches a terminal state, the context
-// ends, or the job record disappears. poll 0 uses 250ms.
+// WaitJob polls a job until it reaches a terminal state or the context
+// ends. poll 0 uses 250ms.
+//
+// A wait can race the job's deletion: DELETE on a terminal job removes
+// the record entirely, so a poll that lands after a concurrent
+// cancel-then-delete (or after the record was cancelled and pruned)
+// answers 404 job_not_found even though the job did reach a terminal
+// state. Erroring there would misreport a perfectly normal outcome, so
+// once the job has been observed at least once, a job_not_found ends the
+// wait successfully with the last observed record marked cancelled. A 404
+// on the very first poll still errors — that really is an unknown ID.
 func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (Job, error) {
 	if poll <= 0 {
 		poll = 250 * time.Millisecond
 	}
+	var last Job
+	seen := false
 	for {
 		j, err := c.Job(ctx, id)
 		if err != nil {
+			var ae *APIError
+			if seen && asAPIError(err, &ae) && ae.Code == CodeJobNotFound {
+				last.State = JobCancelled
+				if last.Finished.IsZero() {
+					last.Finished = time.Now()
+				}
+				return last, nil
+			}
 			return Job{}, err
 		}
 		if j.Terminal() {
 			return j, nil
 		}
+		last, seen = j, true
 		if err := c.sleep(ctx, poll); err != nil {
 			return j, err
 		}

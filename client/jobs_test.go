@@ -1,0 +1,69 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWaitJobDeletionRaceEndsAsCancelled is the regression for WaitJob
+// erroring when it races a cancel-then-delete: once the job has been
+// observed, a job_not_found poll means the record reached a terminal
+// state and was pruned, so the wait must end successfully with the last
+// observed record marked cancelled — not surface a spurious error for a
+// normal outcome.
+func TestWaitJobDeletionRaceEndsAsCancelled(t *testing.T) {
+	var polls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if polls.Add(1) == 1 {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"id":"j-1","state":"queued","class":"low","n":32,"steps":10,"steps_done":0}`)
+			return
+		}
+		// The record was cancelled and deleted between polls.
+		writeEnvelope(w, http.StatusNotFound, CodeJobNotFound, "no such job j-1")
+	}))
+	defer srv.Close()
+	c, _ := newTestClient(t, srv, WithRetries(0, 0, 0))
+
+	j, err := c.WaitJob(context.Background(), "j-1", time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob across the deletion race = %v, want a terminal record", err)
+	}
+	if j.State != JobCancelled {
+		t.Errorf("state = %q, want %q", j.State, JobCancelled)
+	}
+	if !j.Terminal() {
+		t.Error("returned record is not terminal")
+	}
+	if j.ID != "j-1" || j.Steps != 10 {
+		t.Errorf("record lost the last observed fields: %+v", j)
+	}
+	if j.Finished.IsZero() {
+		t.Error("finished timestamp not stamped on the synthesized record")
+	}
+	if got := polls.Load(); got != 2 {
+		t.Errorf("polled %d times, want 2", got)
+	}
+}
+
+// TestWaitJobUnknownIDStillErrors: a job_not_found on the very first poll
+// is a genuinely unknown ID, not a deletion race, and must stay an error.
+func TestWaitJobUnknownIDStillErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeEnvelope(w, http.StatusNotFound, CodeJobNotFound, "no such job j-404")
+	}))
+	defer srv.Close()
+	c, _ := newTestClient(t, srv, WithRetries(0, 0, 0))
+
+	_, err := c.WaitJob(context.Background(), "j-404", time.Millisecond)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != CodeJobNotFound {
+		t.Fatalf("WaitJob on an unknown ID = %v, want job_not_found APIError", err)
+	}
+}

@@ -26,9 +26,12 @@ type Session struct {
 	LastUsed     time.Time `json:"last_used"`
 	TraceSamples int       `json:"trace_samples"`
 	// Config is the fully resolved physics configuration the session
-	// runs with (every server default applied).
-	Config     EffectiveConfig `json:"config"`
-	FailReason string          `json:"fail_reason,omitempty"`
+	// runs with (every server default applied). Its Scenario field echoes
+	// the scenario-pack name for pack-created sessions.
+	Config EffectiveConfig `json:"config"`
+	// Tenant is the owning tenant's name (multi-tenant servers only).
+	Tenant     string `json:"tenant,omitempty"`
+	FailReason string `json:"fail_reason,omitempty"`
 }
 
 // CreateSessionRequest mirrors the JSON body of POST /v1/sessions. Put
@@ -42,7 +45,13 @@ type CreateSessionRequest struct {
 	N        int    `json:"n"`
 	Seed     uint64 `json:"seed,omitempty"`
 
-	// Config is the physics configuration (explicit zeros honoured).
+	// Scenario creates the session from a named scenario pack instead of
+	// raw workload/n/seed (mutually exclusive with those fields; put the
+	// overrides inside the scenario object).
+	Scenario *ScenarioSpec `json:"scenario,omitempty"`
+
+	// Config is the physics configuration (explicit zeros honoured). With
+	// a scenario it is merged over the pack's preset.
 	Config *SessionConfig `json:"config,omitempty"`
 
 	// Deprecated: flat physics fields, superseded by Config.
@@ -230,6 +239,7 @@ func (c *Client) CreateSessionFromSnapshot(ctx context.Context, r io.Reader, p S
 		return Session{}, fmt.Errorf("client: POST /v1/sessions: %w", err)
 	}
 	req.Header.Set("Content-Type", snapshotContentType)
+	c.authorize(req)
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return Session{}, fmt.Errorf("client: POST /v1/sessions: %w", err)

@@ -39,7 +39,71 @@ type genConfig struct {
 	JobSteps int
 	JobClass string
 
+	// Tenants are the API identities to drive traffic as (empty =
+	// single-tenant, no auth). Pool sessions spread round-robin across
+	// them; each job arrival picks one uniformly at random.
+	Tenants []tenantKey
+	// Scenarios is a weighted scenario-pack mix; when non-empty, pool
+	// sessions and jobs are created by pack name (with N/Seed overrides)
+	// instead of the flat plummer spec.
+	Scenarios map[string]int
+
 	Seed uint64
+}
+
+// tenantKey is one tenant identity: the name for report attribution and
+// the bearer key the SDK authenticates with.
+type tenantKey struct {
+	Name string
+	Key  string
+}
+
+// tenantClient pairs a tenant name with its authenticated SDK client. The
+// zero name is the anonymous single-tenant client.
+type tenantClient struct {
+	name string
+	c    *client.Client
+}
+
+// poolSession is one pooled session and the index of the tenant client
+// that owns it — step/watch requests go through the owner so per-tenant
+// quotas and rate limits land on the right identity.
+type poolSession struct {
+	id    string
+	owner int
+}
+
+// tenantCounters accumulates one tenant's completed-operation outcomes.
+// Unlike classStats it keeps no latencies: the per-tenant section exists
+// to show fairness (who got shed), not latency distributions.
+type tenantCounters struct {
+	mu                     sync.Mutex
+	sent, ok, shed, failed int
+}
+
+func (t *tenantCounters) record(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sent++
+	switch {
+	case err == nil:
+		t.ok++
+	case client.IsOverloaded(err):
+		t.shed++
+	default:
+		t.failed++
+	}
+}
+
+// TenantReport is the per-tenant section of the JSON report: completed
+// operations by outcome. The shed column is the fairness signal — under a
+// flooding neighbor a well-behaved tenant's sheds should stay near zero.
+type TenantReport struct {
+	Sent     int     `json:"sent"`
+	OK       int     `json:"ok"`
+	Shed     int     `json:"shed"`
+	Failed   int     `json:"failed"`
+	ShedRate float64 `json:"shed_rate"`
 }
 
 // classStats accumulates one traffic class's counters and client-side
@@ -98,7 +162,10 @@ type Report struct {
 	Workers         int                    `json:"workers"`
 	AchievedRPS     float64                `json:"achieved_rps"`
 	Classes         map[string]ClassReport `json:"classes"`
-	Totals          struct {
+	// Tenants breaks completed operations out per tenant identity
+	// (multi-tenant runs only).
+	Tenants map[string]TenantReport `json:"tenants,omitempty"`
+	Totals  struct {
 		Sent      int     `json:"sent"`
 		OK        int     `json:"ok"`
 		Shed      int     `json:"shed"`
@@ -126,12 +193,17 @@ func percentile(sorted []float64, q float64) float64 {
 
 // generator drives open-loop traffic against one service through the SDK.
 type generator struct {
-	c   *client.Client
-	cfg genConfig
+	clients []tenantClient // one per tenant identity; [0] in single-tenant mode
+	cfg     genConfig
 
-	pool      chan string // idle session IDs for step/watch traffic
+	scenNames   []string // weighted scenario mix, parallel slices
+	scenWeights []int
+	scenTotal   int
+
+	pool      chan poolSession // idle sessions for step/watch traffic
 	inflight  chan struct{}
 	stats     map[string]*classStats
+	tstats    map[string]*tenantCounters // per-tenant outcomes (nil single-tenant)
 	dropped   map[string]*int
 	server5xx int
 	mu        sync.Mutex // guards server5xx and dropped
@@ -140,11 +212,14 @@ type generator struct {
 
 // run executes the whole load test: build the session pool, generate
 // arrivals for cfg.Duration, wait for stragglers, report.
-func run(ctx context.Context, c *client.Client, cfg genConfig) (Report, error) {
+func run(ctx context.Context, clients []tenantClient, cfg genConfig) (Report, error) {
+	if len(clients) == 0 {
+		return Report{}, errors.New("no clients")
+	}
 	g := &generator{
-		c:        c,
+		clients:  clients,
 		cfg:      cfg,
-		pool:     make(chan string, cfg.Sessions),
+		pool:     make(chan poolSession, cfg.Sessions),
 		inflight: make(chan struct{}, cfg.Workers),
 		stats:    map[string]*classStats{},
 		dropped:  map[string]*int{},
@@ -157,14 +232,22 @@ func run(ctx context.Context, c *client.Client, cfg genConfig) (Report, error) {
 		g.stats[cl] = &classStats{}
 		g.dropped[cl] = new(int)
 	}
+	if len(cfg.Tenants) > 0 {
+		g.tstats = make(map[string]*tenantCounters, len(cfg.Tenants))
+		for _, t := range cfg.Tenants {
+			g.tstats[t.Name] = &tenantCounters{}
+		}
+	}
+	g.scenNames, g.scenWeights, g.scenTotal = scenarioSlices(cfg.Scenarios)
 
-	created, err := g.buildPool(ctx)
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
+
+	created, err := g.buildPool(ctx, rng)
 	if err != nil {
 		return Report{}, err
 	}
 	defer g.cleanup(created)
 
-	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
 	interval := time.Duration(float64(time.Second) / cfg.RPS)
 	if interval <= 0 {
 		interval = time.Millisecond
@@ -184,7 +267,7 @@ arrivals:
 				break arrivals
 			}
 			cl := pickClass(rng, classes, weights, total)
-			g.dispatch(ctx, cl)
+			g.dispatch(ctx, cl, rng)
 		}
 	}
 	g.wg.Wait()
@@ -221,47 +304,94 @@ func pickClass(rng *rand.Rand, classes []string, weights []int, total int) strin
 	return classes[len(classes)-1]
 }
 
+// scenarioSlices flattens the scenario mix into parallel name/weight
+// slices, sorted by name so the same seed reproduces the same run.
+func scenarioSlices(mix map[string]int) ([]string, []int, int) {
+	names := make([]string, 0, len(mix))
+	for name, w := range mix {
+		if w > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	weights := make([]int, len(names))
+	total := 0
+	for i, name := range names {
+		weights[i] = mix[name]
+		total += mix[name]
+	}
+	return names, weights, total
+}
+
+// pickScenario returns a weighted random pack name, or "" when no scenario
+// mix is configured (flat plummer spec).
+func (g *generator) pickScenario(rng *rand.Rand) string {
+	if g.scenTotal <= 0 {
+		return ""
+	}
+	return pickClass(rng, g.scenNames, g.scenWeights, g.scenTotal)
+}
+
 // buildPool creates the session pool for step/watch traffic and returns
-// the created IDs for cleanup.
-func (g *generator) buildPool(ctx context.Context) ([]string, error) {
+// the created sessions for cleanup. Sessions spread round-robin across the
+// tenant clients so per-tenant session quotas see an even load; with a
+// scenario mix each session draws a weighted pack instead of the flat
+// plummer spec.
+func (g *generator) buildPool(ctx context.Context, rng *rand.Rand) ([]poolSession, error) {
 	needsPool := g.cfg.Mix[classStep] > 0 || g.cfg.Mix[classWatch] > 0
 	if !needsPool {
 		return nil, nil
 	}
-	var created []string
+	var created []poolSession
 	for i := 0; i < g.cfg.Sessions; i++ {
-		req := client.CreateSessionRequest{
-			Workload: "plummer",
-			N:        g.cfg.N,
-			DT:       g.cfg.DT,
-			Seed:     g.cfg.Seed + uint64(i),
+		var req client.CreateSessionRequest
+		if scen := g.pickScenario(rng); scen != "" {
+			// The pack owns the physics; only the size and seed are
+			// overridden so runs stay small and reproducible.
+			req.Scenario = &client.ScenarioSpec{Name: scen, N: g.cfg.N, Seed: g.cfg.Seed + uint64(i)}
+			if g.cfg.Pipeline {
+				req.Config = &client.SessionConfig{Pipeline: client.Bool(true)}
+			}
+		} else {
+			req = client.CreateSessionRequest{
+				Workload: "plummer",
+				N:        g.cfg.N,
+				DT:       g.cfg.DT,
+				Seed:     g.cfg.Seed + uint64(i),
+			}
+			if g.cfg.Pipeline {
+				req.DT = 0
+				req.Config = &client.SessionConfig{DT: g.cfg.DT, Pipeline: client.Bool(true)}
+			}
 		}
-		if g.cfg.Pipeline {
-			req.DT = 0
-			req.Config = &client.SessionConfig{DT: g.cfg.DT, Pipeline: client.Bool(true)}
-		}
-		s, err := g.c.CreateSession(ctx, req)
+		owner := i % len(g.clients)
+		s, err := g.clients[owner].c.CreateSession(ctx, req)
 		if err != nil {
 			g.cleanup(created)
 			return nil, fmt.Errorf("creating pool session %d/%d: %w", i+1, g.cfg.Sessions, err)
 		}
-		created = append(created, s.ID)
-		g.pool <- s.ID
+		ps := poolSession{id: s.ID, owner: owner}
+		created = append(created, ps)
+		g.pool <- ps
 	}
 	return created, nil
 }
 
-func (g *generator) cleanup(ids []string) {
+func (g *generator) cleanup(sessions []poolSession) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	for _, id := range ids {
-		g.c.DeleteSession(ctx, id)
+	for _, ps := range sessions {
+		g.clients[ps.owner].c.DeleteSession(ctx, ps.id)
 	}
 }
 
 // dispatch hands one arrival to a worker, or drops it when the in-flight
-// cap is reached (open-loop: arrivals never queue client-side).
-func (g *generator) dispatch(ctx context.Context, cl string) {
+// cap is reached (open-loop: arrivals never queue client-side). The tenant
+// and scenario draws happen here, on the arrival goroutine, because rng is
+// not safe for concurrent use.
+func (g *generator) dispatch(ctx context.Context, cl string, rng *rand.Rand) {
+	tc := rng.IntN(len(g.clients))
+	scen := g.pickScenario(rng)
 	select {
 	case g.inflight <- struct{}{}:
 	default:
@@ -279,45 +409,57 @@ func (g *generator) dispatch(ctx context.Context, cl string) {
 		defer g.wg.Done()
 		defer func() { <-g.inflight }()
 		begin := time.Now()
-		err := g.execute(ctx, cl)
+		tenant, err := g.execute(ctx, cl, tc, scen)
 		if st.record(time.Since(begin), err) {
 			g.mu.Lock()
 			g.server5xx++
 			g.mu.Unlock()
 		}
+		if ts := g.tstats[tenant]; ts != nil {
+			ts.record(err)
+		}
 	}()
 }
 
-// execute performs one operation of the given class.
-func (g *generator) execute(ctx context.Context, cl string) error {
+// execute performs one operation of the given class and reports the tenant
+// it ran as: jobs go out as the drawn tenant tc, step/watch as the pooled
+// session's owner (the identity whose quotas the request lands on).
+func (g *generator) execute(ctx context.Context, cl string, tc int, scen string) (string, error) {
 	switch cl {
 	case classStep:
-		id, ok := g.takeSession()
+		ps, ok := g.takeSession()
 		if !ok {
-			return errPoolExhausted
+			return g.clients[tc].name, errPoolExhausted
 		}
-		defer func() { g.pool <- id }()
-		_, err := g.c.Step(ctx, id, g.cfg.StepBatch)
-		return err
+		defer func() { g.pool <- ps }()
+		owner := g.clients[ps.owner]
+		_, err := owner.c.Step(ctx, ps.id, g.cfg.StepBatch)
+		return owner.name, err
 	case classWatch:
-		id, ok := g.takeSession()
+		ps, ok := g.takeSession()
 		if !ok {
-			return errPoolExhausted
+			return g.clients[tc].name, errPoolExhausted
 		}
-		defer func() { g.pool <- id }()
-		return g.watchOnce(ctx, id)
+		defer func() { g.pool <- ps }()
+		owner := g.clients[ps.owner]
+		return owner.name, g.watchOnce(ctx, owner.c, ps.id)
 	case classJob:
-		_, err := g.c.SubmitJob(ctx, client.JobSpec{
-			Workload: "plummer",
-			N:        g.cfg.N,
-			DT:       g.cfg.DT,
-			Seed:     g.cfg.Seed,
-			Steps:    g.cfg.JobSteps,
-			Class:    g.cfg.JobClass,
-		})
-		return err
+		spec := client.JobSpec{
+			Steps: g.cfg.JobSteps,
+			Class: g.cfg.JobClass,
+		}
+		if scen != "" {
+			spec.Scenario = &client.ScenarioSpec{Name: scen, N: g.cfg.N, Seed: g.cfg.Seed}
+		} else {
+			spec.Workload = "plummer"
+			spec.N = g.cfg.N
+			spec.DT = g.cfg.DT
+			spec.Seed = g.cfg.Seed
+		}
+		_, err := g.clients[tc].c.SubmitJob(ctx, spec)
+		return g.clients[tc].name, err
 	}
-	return fmt.Errorf("unknown traffic class %q", cl)
+	return g.clients[tc].name, fmt.Errorf("unknown traffic class %q", cl)
 }
 
 // errPoolExhausted marks a step/watch arrival that found every pool
@@ -325,17 +467,17 @@ func (g *generator) execute(ctx context.Context, cl string) error {
 // reached the server, so it is neither ok nor shed).
 var errPoolExhausted = errors.New("session pool exhausted")
 
-func (g *generator) takeSession() (string, bool) {
+func (g *generator) takeSession() (poolSession, bool) {
 	select {
-	case id := <-g.pool:
-		return id, true
+	case ps := <-g.pool:
+		return ps, true
 	default:
-		return "", false
+		return poolSession{}, false
 	}
 }
 
-func (g *generator) watchOnce(ctx context.Context, id string) error {
-	w, err := g.c.Watch(ctx, id, client.WatchOptions{
+func (g *generator) watchOnce(ctx context.Context, c *client.Client, id string) error {
+	w, err := c.Watch(ctx, id, client.WatchOptions{
 		Steps: g.cfg.WatchSteps,
 		Every: g.cfg.WatchEvery,
 	})
@@ -399,5 +541,17 @@ func (g *generator) report(elapsed time.Duration) Report {
 		rep.AchievedRPS = float64(rep.Totals.Sent) / elapsed.Seconds()
 	}
 	rep.Totals.Server5xx = g.server5xx
+	if g.tstats != nil {
+		rep.Tenants = make(map[string]TenantReport, len(g.tstats))
+		for name, tc := range g.tstats {
+			tc.mu.Lock()
+			row := TenantReport{Sent: tc.sent, OK: tc.ok, Shed: tc.shed, Failed: tc.failed}
+			tc.mu.Unlock()
+			if row.Sent > 0 {
+				row.ShedRate = float64(row.Shed) / float64(row.Sent)
+			}
+			rep.Tenants[name] = row
+		}
+	}
 	return rep
 }

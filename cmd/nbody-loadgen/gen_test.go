@@ -77,7 +77,7 @@ func TestRunInvariants(t *testing.T) {
 		JobClass:   "low",
 		Seed:       1,
 	}
-	rep, err := run(context.Background(), c, cfg)
+	rep, err := run(context.Background(), []tenantClient{{c: c}}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

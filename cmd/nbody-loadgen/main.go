@@ -45,6 +45,8 @@ func main() {
 		watchEv   = flag.Int("watch-every", 5, "event interval within a watch stream")
 		jobSteps  = flag.Int("job-steps", 50, "steps per submitted job")
 		jobClass  = flag.String("job-class", "low", "priority class of submitted jobs")
+		tenants   = flag.String("tenants", "", "tenant API keys, name=key comma-separated; traffic spreads across them and the report breaks sheds out per tenant (empty = single-tenant, no auth)")
+		scenarios = flag.String("scenarios", "", "scenario-pack mix weights, name=weight comma-separated (e.g. plummer=3,galaxy-merger=1); replaces the flat plummer spec for pool sessions and jobs (empty = flat spec)")
 		seed      = flag.Uint64("seed", 1, "deterministic seed for mix selection and workloads")
 		waitReady = flag.Duration("wait-ready", 0, "poll /readyz up to this long before starting (0 = don't wait)")
 		strict5xx = flag.Bool("strict-5xx", false, "exit nonzero if any server 5xx was observed")
@@ -72,16 +74,26 @@ func main() {
 	if err != nil {
 		fatalf("parsing -mix: %v", err)
 	}
+	cfg.Tenants, err = parseTenants(*tenants)
+	if err != nil {
+		fatalf("parsing -tenants: %v", err)
+	}
+	cfg.Scenarios, err = parseScenarios(*scenarios)
+	if err != nil {
+		fatalf("parsing -scenarios: %v", err)
+	}
 	if cfg.RPS <= 0 || cfg.Duration <= 0 || cfg.Workers <= 0 || cfg.Sessions <= 0 {
 		fatalf("-rps, -duration, -workers and -sessions must be positive")
 	}
 
 	// Retries off: shed responses must show up in the report, not be
-	// silently absorbed.
-	c, err := client.New(*addr, client.WithRetries(0, 0, 0))
+	// silently absorbed. One SDK client per tenant identity; index 0 is the
+	// anonymous client in single-tenant mode.
+	clients, err := buildClients(*addr, cfg.Tenants)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	c := clients[0].c
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -92,7 +104,7 @@ func main() {
 		}
 	}
 
-	rep, err := run(ctx, c, cfg)
+	rep, err := run(ctx, clients, cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -145,6 +157,84 @@ func parseMix(s string) (map[string]int, error) {
 		return nil, fmt.Errorf("mix %q has no entries", s)
 	}
 	return mix, nil
+}
+
+// parseTenants turns "alice=key-a,bob=key-b" into tenant identities the
+// generator authenticates as.
+func parseTenants(s string) ([]tenantKey, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var ts []tenantKey
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, key, ok := strings.Cut(part, "=")
+		name, key = strings.TrimSpace(name), strings.TrimSpace(key)
+		if !ok || name == "" || key == "" {
+			return nil, fmt.Errorf("entry %q is not name=key", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate tenant %q", name)
+		}
+		seen[name] = true
+		ts = append(ts, tenantKey{Name: name, Key: key})
+	}
+	return ts, nil
+}
+
+// parseScenarios turns "plummer=3,galaxy-merger=1" into scenario-pack mix
+// weights. Pack names are validated server-side (GET /v1/scenarios lists
+// them), so any name is accepted here.
+func parseScenarios(s string) (map[string]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	mix := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("entry %q is not name=weight", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("weight %q must be a non-negative integer", val)
+		}
+		mix[name] = w
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("scenario mix %q has no entries", s)
+	}
+	return mix, nil
+}
+
+// buildClients constructs one SDK client per tenant identity, or a single
+// anonymous client when no tenants were given.
+func buildClients(addr string, tenants []tenantKey) ([]tenantClient, error) {
+	if len(tenants) == 0 {
+		c, err := client.New(addr, client.WithRetries(0, 0, 0))
+		if err != nil {
+			return nil, err
+		}
+		return []tenantClient{{c: c}}, nil
+	}
+	out := make([]tenantClient, 0, len(tenants))
+	for _, t := range tenants {
+		c, err := client.New(addr, client.WithRetries(0, 0, 0), client.WithAPIKey(t.Key))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tenantClient{name: t.Name, c: c})
+	}
+	return out, nil
 }
 
 // waitUntilReady polls /readyz until it answers OK or the budget ends.

@@ -63,6 +63,7 @@ func run() error {
 		jobChunk    = flag.Int("job-chunk", 500, "batch job checkpoint chunk size in steps")
 		jobChunkTO  = flag.Duration("job-chunk-timeout", 0, "watchdog: a single batch-job chunk exceeding this is aborted and retried as a transient fault (0 = disabled)")
 		shardID     = flag.String("shard-id", "", "replica name in a sharded deployment (echoed as X-NBody-Shard, prefixes minted IDs)")
+		tenantsFile = flag.String("tenants", "", "tenant keyfile (JSON array of {name, key, quotas}); non-empty turns on multi-tenant mode: bearer-token auth on /v1, per-tenant quotas and fair queueing")
 	)
 	flag.Parse()
 
@@ -117,6 +118,13 @@ func run() error {
 		return err
 	}
 
+	var tenants []serve.Tenant
+	if *tenantsFile != "" {
+		if tenants, err = serve.LoadTenants(*tenantsFile); err != nil {
+			return err
+		}
+	}
+
 	ob, err := obs.NewObserver(os.Stderr, *logFormat, obs.DefaultTraceCapacity)
 	if err != nil {
 		return err
@@ -152,6 +160,7 @@ func run() error {
 		MaxEnergyDrift:     *maxDrift,
 		Obs:                ob,
 		ShardID:            *shardID,
+		Tenants:            tenants,
 	})
 	if err != nil {
 		return err
@@ -177,10 +186,21 @@ func run() error {
 		if retries == 0 {
 			retries = -1 // the Config sentinel: 0 means default, negative disables
 		}
+		// The keyfile's queued-job quotas carry into the job queue; tenants
+		// without one are still declared (quota 0 = unlimited) so their
+		// metric series exist from boot.
+		var tenantQueues map[string]int
+		if len(tenants) > 0 {
+			tenantQueues = make(map[string]int, len(tenants))
+			for _, t := range tenants {
+				tenantQueues[t.Name] = t.MaxQueuedJobs
+			}
+		}
 		jm, err = jobs.NewManager(jobs.Config{
 			Runner:       serve.NewJobRunner(m),
 			Workers:      *jobWorkers,
 			MaxQueue:     *jobQueue,
+			TenantQueues: tenantQueues,
 			MaxRetries:   retries,
 			ChunkSteps:   *jobChunk,
 			ChunkTimeout: *jobChunkTO,
@@ -221,6 +241,9 @@ func run() error {
 			}
 		}()
 		log.Printf("debug mux (pprof, /debug/trace) on %s", *debugAddr)
+	}
+	if len(tenants) > 0 {
+		log.Printf("multi-tenant mode: %d tenant(s) from %s", len(tenants), *tenantsFile)
 	}
 	log.Printf("listening on %s (max-sessions %d, max-bodies %d, idle-ttl %v, %d slots × %d workers)",
 		*addr, *maxSessions, *maxBodies, *idleTTL, *stepSlots, perSession)

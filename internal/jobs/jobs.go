@@ -44,6 +44,10 @@ var (
 	// ErrQueueFull reports that the job queue is at capacity; the
 	// submission was shed instead of queued (429 + Retry-After).
 	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrQuotaExceeded reports a submission by a tenant already at its
+	// per-tenant queued-job quota (429, error code quota_exceeded). Unlike
+	// ErrQueueFull it signals the tenant's own backlog, not the service's.
+	ErrQuotaExceeded = errors.New("jobs: tenant quota exceeded")
 	// ErrBadRequest reports an invalid job spec (400).
 	ErrBadRequest = errors.New("jobs: invalid request")
 	// ErrInvalidConfig reports a job spec whose physics configuration
@@ -152,6 +156,19 @@ type SessionSpec struct {
 	N        int    `json:"n"`
 	Seed     uint64 `json:"seed"`
 
+	// Scenario, when set, derives the backing session from a named scenario
+	// pack instead of raw workload/n/seed: the pack supplies the generator,
+	// a default body count and a preset physics config merged beneath
+	// Config. Mutually exclusive with Workload/N/Seed (the pack owns those);
+	// Submit expands it in place via ApplyScenario.
+	Scenario *simcfg.Scenario `json:"scenario,omitempty"`
+
+	// Tenant is the submitting tenant's name, stamped server-side from the
+	// authenticated request context — never decoded from the wire (the HTTP
+	// layer's DisallowUnknownFields rejects a client-sent "tenant" key). It
+	// drives the per-tenant queue quota and tenant-fair dequeueing.
+	Tenant string `json:"-"`
+
 	// Config is the physics configuration (snake_case object, explicit
 	// zeros honoured). See simcfg.Config.
 	Config *simcfg.Config `json:"config,omitempty"`
@@ -186,6 +203,38 @@ func (s SessionSpec) ResolveConfig() (simcfg.Effective, error) {
 // DeprecatedFieldsUsed reports whether the spec relies on the flat physics
 // aliases (drives the Deprecation response header).
 func (s SessionSpec) DeprecatedFieldsUsed() bool { return s.legacy().Used() }
+
+// ApplyScenario expands a scenario-pack spec in place, mirroring the
+// session-create surface: the pack supplies Workload/N (with scenario.n and
+// scenario.seed as overrides) and its preset config is merged beneath the
+// spec's own. The spec must not also spell workload/n/seed at the top level.
+// No-op without a scenario; the Scenario pointer is kept so the record and
+// Info echo which pack the job came from.
+func (s *SessionSpec) ApplyScenario() error {
+	if s.Scenario == nil {
+		return nil
+	}
+	if s.Workload != "" || s.N != 0 || s.Seed != 0 {
+		return fmt.Errorf("%w: scenario and top-level workload/n/seed are mutually exclusive (use scenario.n and scenario.seed)", ErrBadRequest)
+	}
+	pack, n, cfg, err := s.Scenario.Apply(s.Config)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	s.Workload = pack.Workload
+	s.N = n
+	s.Seed = s.Scenario.Seed
+	s.Config = cfg
+	return nil
+}
+
+// ScenarioName is the pack name of a scenario spec ("" otherwise).
+func (s SessionSpec) ScenarioName() string {
+	if s.Scenario == nil {
+		return ""
+	}
+	return s.Scenario.Name
+}
 
 // Spec is the JSON body of POST /v1/jobs: a session spec plus the batch
 // parameters.
@@ -228,16 +277,23 @@ type Info struct {
 	Sequential bool    `json:"sequential,omitempty"`
 	ChunkSteps int     `json:"chunk_steps,omitempty"`
 	// Config is the fully resolved physics configuration the job's
-	// sessions run with (every default applied).
-	Config    simcfg.Effective `json:"config"`
-	Steps     int              `json:"steps"`
-	StepsDone int              `json:"steps_done"`
-	SessionID string           `json:"session_id,omitempty"`
-	Attempts  int              `json:"attempts,omitempty"`
-	Error     string           `json:"error,omitempty"`
-	Created   time.Time        `json:"created"`
-	Started   time.Time        `json:"started,omitzero"`
-	Finished  time.Time        `json:"finished,omitzero"`
+	// sessions run with (every default applied). Its Scenario field echoes
+	// the pack name when the job was submitted from a scenario.
+	Config simcfg.Effective `json:"config"`
+	// Scenario is the scenario-pack name the job was submitted from ("" for
+	// raw workload/n/seed submissions).
+	Scenario string `json:"scenario,omitempty"`
+	// Tenant is the submitting tenant's name (multi-tenant deployments
+	// only).
+	Tenant    string    `json:"tenant,omitempty"`
+	Steps     int       `json:"steps"`
+	StepsDone int       `json:"steps_done"`
+	SessionID string    `json:"session_id,omitempty"`
+	Attempts  int       `json:"attempts,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Created   time.Time `json:"created"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
 }
 
 // Config parameterizes a Manager.
@@ -249,6 +305,13 @@ type Config struct {
 	// MaxQueue bounds jobs waiting across all classes; submissions beyond
 	// it are shed with ErrQueueFull. Default 64.
 	MaxQueue int
+	// TenantQueues declares the deployment's tenant names and their
+	// queued-job quotas: a submission by a tenant already at its quota is
+	// shed with ErrQuotaExceeded (429 + per-tenant Retry-After) even when
+	// the global queue has room. A zero quota declares the tenant — its
+	// metric series render from the first scrape — without bounding it.
+	// Untenanted submissions are governed only by MaxQueue.
+	TenantQueues map[string]int
 	// MaxRetries is the per-job budget of transient-fault retries between
 	// successful chunks. Default 3; negative disables retries entirely.
 	MaxRetries int
@@ -298,6 +361,11 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 64
+	}
+	for name, q := range c.TenantQueues {
+		if q < 0 {
+			return c, fmt.Errorf("jobs: TenantQueues[%q] = %d must be >= 0", name, q)
+		}
 	}
 	switch {
 	case c.MaxRetries == 0:

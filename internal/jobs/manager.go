@@ -88,6 +88,8 @@ func (j *job) infoLocked() Info {
 		Sequential: j.spec.Sequential,
 		ChunkSteps: j.spec.ChunkSteps,
 		Config:     j.eff,
+		Scenario:   j.eff.Scenario,
+		Tenant:     j.spec.Tenant,
 		Steps:      j.spec.Steps,
 		StepsDone:  j.stepsDone,
 		SessionID:  j.sessionID,
@@ -110,6 +112,8 @@ func (j *job) recordLocked() store.JobRecord {
 		Workload:       j.spec.Workload,
 		N:              j.spec.N,
 		Seed:           j.spec.Seed,
+		Tenant:         j.spec.Tenant,
+		Scenario:       j.eff.Scenario,
 		Algorithm:      j.eff.Algorithm,
 		DT:             j.eff.DT,
 		Theta:          j.eff.Theta,
@@ -145,9 +149,9 @@ type Manager struct {
 	mu       sync.Mutex
 	cond     *sync.Cond // signals workers when the queue grows or drain begins
 	jobs     map[string]*job
-	queues   map[string][]*job // per-class FIFO
+	queues   map[string]*classQueue // per-class, tenant-bucketed (see queue.go)
 	queuedN  int
-	wrr      map[string]int // smooth weighted-round-robin credits
+	wrr      map[string]int // per-class smooth weighted-round-robin credits
 	draining bool
 	nextID   uint64
 
@@ -181,13 +185,16 @@ func NewManager(cfg Config) (*Manager, error) {
 		ctx:       ctx,
 		cancel:    cancel,
 		jobs:      make(map[string]*job),
-		queues:    make(map[string][]*job),
+		queues:    make(map[string]*classQueue, len(classWeights)),
 		wrr:       make(map[string]int),
 		randFloat: rand.Float64,
 		ins:       newInstruments(cfg.Obs.Registry),
 		log:       cfg.Obs.Logger,
 	}
 	m.cond = sync.NewCond(&m.mu)
+	for _, c := range classWeights {
+		m.queues[c.name] = newClassQueue()
+	}
 	m.installCollectors()
 	if cfg.Store != nil {
 		if err := m.recover(); err != nil {
@@ -219,6 +226,7 @@ func (m *Manager) recover() error {
 			Workload:   rec.Workload,
 			N:          rec.N,
 			Seed:       rec.Seed,
+			Tenant:     rec.Tenant,
 			Algorithm:  rec.Algorithm,
 			DT:         rec.DT,
 			Theta:      rec.Theta,
@@ -247,6 +255,9 @@ func (m *Manager) recover() error {
 			}
 		}
 		eff, _ := ss.ResolveConfig()
+		// The record holds resolved parameters, not the original scenario
+		// object; the pack name survives as an echo only.
+		eff.Scenario = rec.Scenario
 		j := &job{
 			id: rec.ID,
 			spec: Spec{
@@ -273,7 +284,7 @@ func (m *Manager) recover() error {
 			interrupted := j.state == StateRunning
 			j.state = StateQueued
 			j.enqueued = time.Now()
-			m.queues[j.spec.Class] = append(m.queues[j.spec.Class], j)
+			m.queues[j.spec.Class].push(j)
 			m.queuedN++
 			if interrupted {
 				m.ins.requeued.Inc()
@@ -320,6 +331,9 @@ func (m *Manager) mintedSeq(id string) (uint64, bool) {
 // ErrQueueFull rather than queued, the backpressure signal the HTTP layer
 // turns into 429 + Retry-After.
 func (m *Manager) Submit(ctx context.Context, spec Spec) (Info, error) {
+	if err := spec.ApplyScenario(); err != nil {
+		return Info{}, err
+	}
 	if spec.Class == "" {
 		spec.Class = ClassNormal
 	}
@@ -348,6 +362,7 @@ func (m *Manager) Submit(ctx context.Context, spec Spec) (Info, error) {
 	if err != nil {
 		return Info{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
+	eff.Scenario = spec.ScenarioName()
 	if err := m.cfg.Runner.ValidateSession(spec.SessionSpec); err != nil {
 		return Info{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
@@ -362,6 +377,16 @@ func (m *Manager) Submit(ctx context.Context, spec Spec) (Info, error) {
 		m.mu.Unlock()
 		m.ins.rejected.Inc()
 		return Info{}, retryHint{fmt.Errorf("%w (%d queued, limit %d)", ErrQueueFull, m.cfg.MaxQueue, m.cfg.MaxQueue), hint}
+	}
+	if max := m.cfg.TenantQueues[spec.Tenant]; max > 0 && spec.Tenant != "" {
+		if n := m.tenantQueuedLocked(spec.Tenant); n >= max {
+			hint := m.tenantRetryAfterLocked(n)
+			m.mu.Unlock()
+			m.ins.rejected.Inc()
+			m.ins.tenantRejected.With(spec.Tenant).Inc()
+			return Info{}, retryHint{fmt.Errorf("%w: tenant %s has %d jobs queued (quota %d)",
+				ErrQuotaExceeded, spec.Tenant, n, max), hint}
+		}
 	}
 	m.pruneLocked()
 	id := spec.ID
@@ -389,15 +414,22 @@ func (m *Manager) Submit(ctx context.Context, spec Spec) (Info, error) {
 	}
 	j.ctx, j.cancel = context.WithCancelCause(context.Background())
 	m.jobs[j.id] = j
-	m.queues[spec.Class] = append(m.queues[spec.Class], j)
+	m.queues[spec.Class].push(j)
 	m.queuedN++
 	info := j.infoLocked()
 	m.mu.Unlock()
 
 	m.ins.submitted.With(spec.Class).Inc()
 	m.persist(j)
-	m.log.Log(ctx, "job submitted", "job", j.id, "class", spec.Class,
-		"workload", spec.Workload, "n", spec.N, "steps", spec.Steps)
+	kv := []any{"job", j.id, "class", spec.Class,
+		"workload", spec.Workload, "n", spec.N, "steps", spec.Steps}
+	if s := spec.ScenarioName(); s != "" {
+		kv = append(kv, "scenario", s)
+	}
+	if spec.Tenant != "" {
+		kv = append(kv, "tenant", spec.Tenant)
+	}
+	m.log.Log(ctx, "job submitted", kv...)
 	m.cond.Signal()
 	return info, nil
 }
@@ -497,13 +529,8 @@ func (m *Manager) Cancel(ctx context.Context, id string) (info Info, deleted boo
 	}
 	switch {
 	case j.state == StateQueued:
-		q := m.queues[j.spec.Class]
-		for i, qj := range q {
-			if qj == j {
-				m.queues[j.spec.Class] = append(q[:i], q[i+1:]...)
-				m.queuedN--
-				break
-			}
+		if m.queues[j.spec.Class].remove(j) {
+			m.queuedN--
 		}
 		j.state = StateCancelled
 		j.finished = time.Now()
@@ -554,15 +581,9 @@ func (m *Manager) Reprioritize(ctx context.Context, id, class string) (Info, err
 	}
 	old := j.spec.Class
 	if old != class {
-		q := m.queues[old]
-		for i, qj := range q {
-			if qj == j {
-				m.queues[old] = append(q[:i], q[i+1:]...)
-				break
-			}
-		}
+		m.queues[old].remove(j)
 		j.spec.Class = class
-		m.queues[class] = append(m.queues[class], j)
+		m.queues[class].push(j)
 	}
 	info := j.infoLocked()
 	m.mu.Unlock()
@@ -633,10 +654,7 @@ func (m *Manager) dequeue() *job {
 			return nil
 		}
 		if m.queuedN > 0 {
-			class := m.pickClassLocked()
-			q := m.queues[class]
-			j := q[0]
-			m.queues[class] = q[1:]
+			j := m.queues[m.pickClassLocked()].pop()
 			m.queuedN--
 			j.state = StateRunning
 			j.started = time.Now()
@@ -651,11 +669,21 @@ func (m *Manager) dequeue() *job {
 // credit, the highest-credit class is served and pays back the round's
 // total. With every class backlogged the steady-state service pattern for
 // weights 4:2:1 is H N H L H N H per 7 dequeues.
+//
+// A class with an empty queue sits the round out AND forfeits any banked
+// credit. Credit must measure service foregone while competing — without
+// the reset, a class skipped (never paying back) while holding a positive
+// balance from an earlier contended phase keeps that claim across an idle
+// gap, and a later burst is served ahead of classes that were queuing the
+// whole time, well past the 4:2:1 contract. Inside the chosen class the
+// same scheme (equal weights, same clamp) picks the tenant — see
+// classQueue.pickTenant.
 func (m *Manager) pickClassLocked() string {
 	total := 0
 	best := ""
 	for _, c := range classWeights {
-		if len(m.queues[c.name]) == 0 {
+		if m.queues[c.name].len() == 0 {
+			delete(m.wrr, c.name)
 			continue
 		}
 		m.wrr[c.name] += c.weight
@@ -666,6 +694,27 @@ func (m *Manager) pickClassLocked() string {
 	}
 	m.wrr[best] -= total
 	return best
+}
+
+// tenantQueuedLocked counts tenant's queued jobs across every class, the
+// quantity the per-tenant queue quota bounds.
+func (m *Manager) tenantQueuedLocked(tenant string) int {
+	n := 0
+	for _, q := range m.queues {
+		n += q.tenantLen(tenant)
+	}
+	return n
+}
+
+// tenantRetryAfterLocked estimates a quota-shed submission's backoff from
+// the tenant's own backlog (its queued jobs times the recent mean chunk
+// wall time) rather than the global queue depth: the tenant's quota frees
+// up when its own jobs drain, however idle the rest of the queue is.
+func (m *Manager) tenantRetryAfterLocked(queued int) int {
+	if m.chunkMeanSec <= 0 {
+		return retryAfterMin
+	}
+	return clampRetrySeconds(float64(queued) * m.chunkMeanSec)
 }
 
 // run executes one job to a terminal state, a drain requeue, or a
@@ -976,9 +1025,12 @@ func (m *Manager) persist(j *job) {
 // Metrics is the JSON summary of the queue for dashboards that do not
 // scrape Prometheus.
 type Metrics struct {
-	Queued    int            `json:"queued"`
-	ByState   map[string]int `json:"jobs_by_state"`
-	ByClass   map[string]int `json:"queued_by_class"`
+	Queued  int            `json:"queued"`
+	ByState map[string]int `json:"jobs_by_state"`
+	ByClass map[string]int `json:"queued_by_class"`
+	// ByTenant breaks the queue depth down by submitting tenant
+	// (multi-tenant deployments only; untenanted jobs are omitted).
+	ByTenant  map[string]int `json:"queued_by_tenant,omitempty"`
 	MaxQueue  int            `json:"max_queue"`
 	Workers   int            `json:"workers"`
 	Records   int            `json:"records"`
@@ -995,13 +1047,25 @@ func (m *Manager) Snapshot() Metrics {
 		byState[string(j.state)]++
 	}
 	byClass := make(map[string]int, len(classWeights))
+	var byTenant map[string]int
 	for _, c := range classWeights {
-		byClass[c.name] = len(m.queues[c.name])
+		q := m.queues[c.name]
+		byClass[c.name] = q.len()
+		for t, l := range q.tenants {
+			if t == "" {
+				continue
+			}
+			if byTenant == nil {
+				byTenant = make(map[string]int)
+			}
+			byTenant[t] += len(l)
+		}
 	}
 	return Metrics{
 		Queued:    m.queuedN,
 		ByState:   byState,
 		ByClass:   byClass,
+		ByTenant:  byTenant,
 		MaxQueue:  m.cfg.MaxQueue,
 		Workers:   m.cfg.Workers,
 		Records:   len(m.jobs),

@@ -21,6 +21,11 @@ type instruments struct {
 
 	recordErrors *obs.Counter
 
+	// Multi-tenant accounting (series exist only when Config.TenantQueues
+	// declares tenants; label cardinality is bounded by that map).
+	tenantRejected *obs.CounterVec // tenant
+	tenantQueued   *obs.GaugeVec   // tenant
+
 	waitSeconds *obs.HistogramVec // class
 	runSeconds  *obs.HistogramVec // class
 
@@ -57,6 +62,11 @@ func newInstruments(reg *obs.Registry) *instruments {
 		recordErrors: reg.Counter("nbody_job_record_errors_total",
 			"Durable job-record commits that failed (the job continues from memory)."),
 
+		tenantRejected: reg.CounterVec("nbody_jobs_tenant_rejected_total",
+			"Job submissions shed by a per-tenant queue quota.", "tenant"),
+		tenantQueued: reg.GaugeVec("nbody_jobs_tenant_queued",
+			"Jobs waiting in the queue, by submitting tenant.", "tenant"),
+
 		waitSeconds: reg.HistogramVec("nbody_job_wait_seconds",
 			"Time from enqueue to dequeue, by priority class.", b, "class"),
 		runSeconds: reg.HistogramVec("nbody_job_run_seconds",
@@ -84,15 +94,31 @@ func newInstruments(reg *obs.Registry) *instruments {
 // gauges against m.
 func (m *Manager) installCollectors() {
 	ins := m.ins
+	// Pre-touch the per-tenant series so every declared tenant renders from
+	// the first scrape, not from its first submission or rejection.
+	tenants := make([]string, 0, len(m.cfg.TenantQueues))
+	for name := range m.cfg.TenantQueues {
+		tenants = append(tenants, name)
+		ins.tenantRejected.With(name)
+		ins.tenantQueued.With(name)
+	}
 	m.cfg.Obs.Registry.OnCollect(func() {
 		m.mu.Lock()
 		depths := make(map[string]int, len(classWeights))
+		byTenant := make(map[string]int, len(tenants))
 		for _, c := range classWeights {
-			depths[c.name] = len(m.queues[c.name])
+			q := m.queues[c.name]
+			depths[c.name] = q.len()
+			for t, l := range q.tenants {
+				byTenant[t] += len(l)
+			}
 		}
 		m.mu.Unlock()
 		for _, c := range classWeights {
 			ins.queueDepth.With(c.name).Set(float64(depths[c.name]))
+		}
+		for _, t := range tenants {
+			ins.tenantQueued.With(t).Set(float64(byTenant[t]))
 		}
 	})
 }

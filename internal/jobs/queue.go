@@ -1,0 +1,109 @@
+package jobs
+
+// classQueue is one priority class's backlog, bucketed per tenant so that
+// dequeueing inside the class is tenant-fair: the worker pool picks a class
+// by weighted round-robin (pickClassLocked), then the class picks a tenant
+// by equal-weight smooth round-robin. A tenant flooding one class with
+// submissions therefore delays only its own jobs — every other tenant keeps
+// its 1/k share of the class's dequeues. Untenanted jobs (single-tenant
+// deployments) all land in the "" bucket, which degrades to a plain FIFO.
+//
+// All methods are called with the owning Manager's mutex held.
+
+import "sort"
+
+type classQueue struct {
+	// tenants maps tenant name → FIFO of queued jobs. Buckets are deleted
+	// when drained, so iterating tenants visits only tenants with work.
+	tenants map[string][]*job
+	// wrr holds the per-tenant smooth weighted-round-robin credits (all
+	// weights 1). Entries for drained tenants are forfeited at the next
+	// pick — see pickTenant.
+	wrr map[string]int
+	// n is the class's total queued count across tenants.
+	n int
+}
+
+func newClassQueue() *classQueue {
+	return &classQueue{tenants: make(map[string][]*job), wrr: make(map[string]int)}
+}
+
+func (q *classQueue) len() int { return q.n }
+
+// tenantLen is the number of jobs tenant has queued in this class.
+func (q *classQueue) tenantLen(tenant string) int { return len(q.tenants[tenant]) }
+
+// push appends j to its tenant's FIFO.
+func (q *classQueue) push(j *job) {
+	t := j.spec.Tenant
+	q.tenants[t] = append(q.tenants[t], j)
+	q.n++
+}
+
+// pop removes and returns the next job: the head of the FIFO of the tenant
+// chosen by pickTenant. Must not be called on an empty queue.
+func (q *classQueue) pop() *job {
+	t := q.pickTenant()
+	l := q.tenants[t]
+	j := l[0]
+	if len(l) == 1 {
+		delete(q.tenants, t)
+	} else {
+		q.tenants[t] = l[1:]
+	}
+	q.n--
+	return j
+}
+
+// remove unlinks j (cancelled or reprioritized away) from its tenant's
+// FIFO, reporting whether it was found.
+func (q *classQueue) remove(j *job) bool {
+	t := j.spec.Tenant
+	l := q.tenants[t]
+	for i, qj := range l {
+		if qj != j {
+			continue
+		}
+		if len(l) == 1 {
+			delete(q.tenants, t)
+		} else {
+			q.tenants[t] = append(l[:i], l[i+1:]...)
+		}
+		q.n--
+		return true
+	}
+	return false
+}
+
+// pickTenant runs one round of equal-weight smooth round-robin over the
+// tenants with queued jobs: each gains one credit, the highest-credit
+// tenant (ties broken by name order, so the schedule is deterministic) is
+// served and pays back the round's total. With k tenants backlogged each
+// gets every k-th dequeue of the class.
+//
+// Tenants that drained their bucket forfeit any banked credit first — the
+// same empty-queue clamp as the class-level scheduler (pickClassLocked):
+// credit must measure waiting foregone while others were served, not idle
+// time, or a tenant could sit out quiet hours and then burst ahead of
+// everyone on arrival.
+func (q *classQueue) pickTenant() string {
+	for t := range q.wrr {
+		if len(q.tenants[t]) == 0 {
+			delete(q.wrr, t)
+		}
+	}
+	names := make([]string, 0, len(q.tenants))
+	for t := range q.tenants {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	best, found := "", false
+	for _, t := range names {
+		q.wrr[t]++
+		if !found || q.wrr[t] > q.wrr[best] {
+			best, found = t, true
+		}
+	}
+	q.wrr[best] -= len(names)
+	return best
+}

@@ -8,8 +8,8 @@ import (
 // fakeClock drives a breaker's time seam.
 type fakeClock struct{ t time.Time }
 
-func (c *fakeClock) now() time.Time             { return c.t }
-func (c *fakeClock) advance(d time.Duration)    { c.t = c.t.Add(d) }
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 func newTestBreaker(cfg breakerConfig) (*breaker, *fakeClock) {
 	b := newBreaker(cfg)
 	clk := &fakeClock{t: time.Unix(1000, 0)}

@@ -16,6 +16,7 @@ type instruments struct {
 	hedgeWins       *obs.Counter    // hedged reads answered by the hedge attempt
 	deadlineExpired *obs.Counter    // requests failed 504 by the propagated deadline
 	breakerOpens    *obs.CounterVec // shard: circuit breaker open transitions
+	tenantRequests  *obs.CounterVec // tenant: proxied requests by authenticated tenant
 
 	// Refreshed at scrape time by the collect hook.
 	shardUp       *obs.GaugeVec // shard
@@ -48,6 +49,8 @@ func newInstruments(reg *obs.Registry) *instruments {
 			"Requests failed 504 because their propagated deadline expired."),
 		breakerOpens: reg.CounterVec("nbody_router_breaker_opens_total",
 			"Circuit breaker open transitions, by shard.", "shard"),
+		tenantRequests: reg.CounterVec("nbody_router_tenant_requests_total",
+			"Proxied requests by authenticated tenant, attributed from the shard's X-NBody-Tenant response header (multi-tenant shards only; the router itself holds no keys).", "tenant"),
 
 		shardUp: reg.GaugeVec("nbody_router_shard_up",
 			"1 when the shard is passing health probes, 0 when it is down.", "shard"),

@@ -198,8 +198,19 @@ func (rt *Router) forward(ctx context.Context, name, method, uri string, header 
 	}
 	s.br.record(elapsed, breakerFailureStatus(resp.StatusCode))
 	rt.ins.requests.With(name, statusClass(resp.StatusCode)).Inc()
+	// Per-tenant attribution rides the shard's response header: the router
+	// forwards Authorization opaquely and holds no keyfile, so the shard's
+	// authentication verdict is the only tenant identity it ever learns.
+	// Label cardinality is bounded by the shards' keyfiles.
+	if tenant := resp.Header.Get(tenantHeader); tenant != "" {
+		rt.ins.tenantRequests.With(tenant).Inc()
+	}
 	return resp, nil
 }
+
+// tenantHeader mirrors serve.TenantHeader: the authenticated tenant's
+// name, stamped by a multi-tenant shard on every authenticated response.
+const tenantHeader = "X-NBody-Tenant"
 
 // writeForwardError maps a failed forward to the client-facing error: a
 // breaker refusal sheds with the same retryable 503 a probe-down shard
@@ -659,7 +670,11 @@ func (rt *Router) listSessions(w http.ResponseWriter, r *http.Request) {
 	var merged []entry
 	sawMore := false
 	uri := r.URL.RequestURI()
-	pages, skipped := gatherJSON[page](rt, ctx, r, uri, "sessions")
+	pages, skipped, unauth := gatherJSON[page](rt, ctx, r, uri, "sessions")
+	if unauth != nil {
+		unauth.replay(w)
+		return
+	}
 	for _, p := range pages {
 		if p.NextCursor != "" {
 			sawMore = true
@@ -707,7 +722,11 @@ func (rt *Router) listJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	byID := make(map[string]entry)
 	uri := r.URL.RequestURI()
-	pages, skipped := gatherJSON[page](rt, ctx, r, uri, "jobs")
+	pages, skipped, unauth := gatherJSON[page](rt, ctx, r, uri, "jobs")
+	if unauth != nil {
+		unauth.replay(w)
+		return
+	}
 	for _, p := range pages {
 		for _, raw := range p.Jobs {
 			var meta struct {
@@ -757,13 +776,37 @@ func jobState(body []byte) string {
 	return j.State
 }
 
+// shardUnauthorized carries a shard's 401 verbatim. Auth is enforced
+// shard-side from a shared keyfile, so one shard's verdict on the
+// caller's credentials holds for the whole listing: the 401 must
+// propagate, not degrade into an empty "incomplete" 200 that hides the
+// missing-credentials problem from the client.
+type shardUnauthorized struct {
+	body      []byte
+	challenge string
+}
+
+func (e *shardUnauthorized) Error() string { return "HTTP 401" }
+
+// replay writes the shard's 401 envelope and challenge to the client.
+func (e *shardUnauthorized) replay(w http.ResponseWriter) {
+	if e.challenge != "" {
+		w.Header().Set("WWW-Authenticate", e.challenge)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusUnauthorized)
+	w.Write(e.body)
+}
+
 // gatherJSON scatter-gathers one GET across every routable shard in
 // parallel and decodes each 2xx JSON page. A shard that is down,
 // breaker-blocked or fails the fetch is SKIPPED, not fatal: the caller
 // degrades the listing to "incomplete": true instead of answering 502 —
 // one partitioned shard must not blind the client to every other
-// shard's resources. The returned skipped list is sorted.
-func gatherJSON[T any](rt *Router, ctx context.Context, r *http.Request, uri, what string) ([]T, []string) {
+// shard's resources. The returned skipped list is sorted. The one
+// non-skippable failure is a 401: it is returned for the caller to
+// replay instead of pages.
+func gatherJSON[T any](rt *Router, ctx context.Context, r *http.Request, uri, what string) ([]T, []string, *shardUnauthorized) {
 	var live, skipped []string
 	for _, name := range rt.ring.Shards() {
 		if rt.routable(name) {
@@ -786,9 +829,15 @@ func gatherJSON[T any](rt *Router, ctx context.Context, r *http.Request, uri, wh
 		}(name)
 	}
 	pages := make([]T, 0, len(live))
+	var unauth *shardUnauthorized
 	for range live {
 		f := <-ch
 		if f.err != nil {
+			var ue *shardUnauthorized
+			if errors.As(f.err, &ue) {
+				unauth = ue
+				continue
+			}
 			rt.log.Log(ctx, "listing degraded to incomplete",
 				"what", what, "shard", f.name, "error", f.err.Error())
 			skipped = append(skipped, f.name)
@@ -797,7 +846,7 @@ func gatherJSON[T any](rt *Router, ctx context.Context, r *http.Request, uri, wh
 		pages = append(pages, f.page)
 	}
 	sort.Strings(skipped)
-	return pages, skipped
+	return pages, skipped, unauth
 }
 
 // fetchJSON forwards a GET to one shard and decodes the 2xx JSON body.
@@ -810,6 +859,9 @@ func (rt *Router) fetchJSON(ctx context.Context, r *http.Request, name, uri stri
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return err
+	}
+	if resp.StatusCode == http.StatusUnauthorized {
+		return &shardUnauthorized{body: body, challenge: resp.Header.Get("WWW-Authenticate")}
 	}
 	if resp.StatusCode/100 != 2 {
 		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body[:min(len(body), 256)])))

@@ -1,0 +1,107 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nbody/internal/jobs"
+	"nbody/internal/obs"
+	"nbody/internal/serve"
+)
+
+// newTenantShard is newTestShard with a tenant keyfile on the serve
+// layer, so the shard enforces bearer auth like a real multi-tenant
+// replica.
+func newTenantShard(t *testing.T, name string, tenants []serve.Tenant) *testShard {
+	t.Helper()
+	ob := obs.Nop()
+	m, err := serve.NewManager(serve.Config{
+		MaxSessions: 64, MaxBodies: 100_000, IdleTTL: time.Minute,
+		ShardID: name, Obs: ob, Tenants: tenants,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	})
+	jm, err := jobs.NewManager(jobs.Config{
+		Runner: serve.NewJobRunner(m), Workers: 2,
+		RetryBase: time.Millisecond, ShardID: name, Obs: ob,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		jm.Close(ctx)
+	})
+	srv := httptest.NewServer(serve.NewHandlerWithJobs(m, jm))
+	t.Cleanup(srv.Close)
+	return &testShard{name: name, m: m, jm: jm, srv: srv}
+}
+
+// TestRouterListingPropagatesShard401 is the regression for the
+// scatter-gather listing swallowing a shard's 401: an unauthenticated
+// listing against multi-tenant shards must answer 401 with the shard's
+// envelope and challenge, not a 200 empty "incomplete" page that reads
+// as "no sessions exist".
+func TestRouterListingPropagatesShard401(t *testing.T) {
+	tenants := []serve.Tenant{{Name: "alice", Key: "k-alice"}}
+	a := newTenantShard(t, "a", tenants)
+	b := newTenantShard(t, "b", tenants)
+	_, front := newTestRouter(t, Config{}, a, b)
+
+	for _, path := range []string{"/v1/sessions", "/v1/jobs"} {
+		resp, body := doReq(t, http.MethodGet, front.URL+path, nil)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("keyless GET %s = %d (%s), want 401", path, resp.StatusCode, body)
+		}
+		if code := envelopeCode(t, body); code != "unauthorized" {
+			t.Errorf("GET %s envelope code = %q, want unauthorized", path, code)
+		}
+		if resp.Header.Get("WWW-Authenticate") == "" {
+			t.Errorf("GET %s: 401 without the shard's WWW-Authenticate challenge", path)
+		}
+		if resp.Header.Get(skippedShardsHeader) != "" {
+			t.Errorf("GET %s: 401 flagged shards as skipped", path)
+		}
+	}
+
+	// With the key, the same listings answer complete pages and the
+	// proxied response still carries the shard's tenant stamp.
+	for _, path := range []string{"/v1/sessions", "/v1/jobs"} {
+		req, err := http.NewRequest(http.MethodGet, front.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer k-alice")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("authed GET %s = %d (%s), want 200", path, resp.StatusCode, body)
+		}
+		var page map[string]json.RawMessage
+		if err := json.Unmarshal(body, &page); err != nil {
+			t.Fatal(err)
+		}
+		if _, degraded := page["incomplete"]; degraded {
+			t.Errorf("authed GET %s degraded to incomplete with healthy shards", path)
+		}
+	}
+}

@@ -66,6 +66,12 @@ func (m *Manager) observeSlotHold(sec float64) {
 // before retrying: every request already queued (plus the shed one) must
 // drain through StepSlots slots, each held for roughly the recent mean
 // hold time. With no samples yet the estimate degrades to the minimum.
+//
+// Both admission paths contribute backlog: slot-path waiters (m.waiting)
+// and pipelined runs beyond the executor's slot share (m.pipelineActive
+// over StepSlots). Counting only m.waiting would make a pipelined shed
+// report the 1-second floor no matter how deep the pipelined backlog is —
+// the two paths must hand out comparable, load-proportional hints.
 func (m *Manager) stepRetryAfter() int {
 	m.latMu.Lock()
 	hold := m.slotHoldMean
@@ -74,6 +80,9 @@ func (m *Manager) stepRetryAfter() int {
 		return retryAfterMin
 	}
 	queued := float64(m.waiting.Load()) + 1
+	if over := m.pipelineActive.Load() - int64(m.cfg.StepSlots); over > 0 {
+		queued += float64(over)
+	}
 	return clampRetrySeconds(hold * queued / float64(m.cfg.StepSlots))
 }
 
@@ -81,11 +90,20 @@ func (m *Manager) stepRetryAfter() int {
 // the remaining idle TTL of the least-recently-used evictable session —
 // the earliest moment admission can make room. With every session busy
 // there is no eviction horizon, so the estimate saturates at the maximum.
-func (m *Manager) sessionRetryAfter() int {
+func (m *Manager) sessionRetryAfter() int { return m.sessionRetryAfterFor("") }
+
+// sessionRetryAfterFor is sessionRetryAfter restricted to one tenant's
+// sessions ("" = any): a per-tenant quota rejection must point at the
+// eviction horizon that actually frees that tenant's quota, not at some
+// other tenant's soon-to-expire session.
+func (m *Manager) sessionRetryAfterFor(tenant string) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for e := m.lru.Front(); e != nil; e = e.Next() {
 		s := e.Value.(*Session)
+		if tenant != "" && s.tenant != tenant {
+			continue
+		}
 		if s.busy.Load() || s.State() == StateRunning {
 			continue
 		}

@@ -3,12 +3,15 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"nbody/internal/simcfg"
 )
 
 // TestStepRetryAfterEstimate unit-tests the step-shed estimate: minimum
@@ -115,6 +118,53 @@ func TestStepShed429RetryAfterHeader(t *testing.T) {
 	// anything ≤ 1 means the header regressed to the old constant.
 	if secs != retryAfterMax {
 		t.Errorf("Retry-After = %d, want %d (load-derived, clamped)", secs, retryAfterMax)
+	}
+}
+
+// TestPipelinedShedRetryAfterParity is the regression for pipelined sheds
+// hinting the 1-second floor regardless of backlog: a shed on the
+// pipelined admission path must carry an errors.As-discoverable retry
+// hint whose estimate counts the pipelined backlog beyond the executor's
+// slot share — the same load-proportional figure the slot path computes.
+func TestPipelinedShedRetryAfterParity(t *testing.T) {
+	cfg := testConfig()
+	cfg.StepSlots = 1
+	cfg.MaxQueue = 2 // pipelined admission bound = slots + queue = 3
+	m := newTestManager(t, cfg)
+
+	info, err := m.Create(context.Background(), CreateRequest{
+		Workload: "plummer", N: 32,
+		Config: &simcfg.Config{DT: 1e-3, Pipeline: boolPtr(true)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pretend recent runs each held the service for 4s and the pipelined
+	// path is saturated at its bound.
+	m.latMu.Lock()
+	m.slotHoldMean = 4
+	m.latMu.Unlock()
+	m.pipelineActive.Store(3)
+	defer m.pipelineActive.Store(0)
+
+	_, err = m.Step(context.Background(), info.ID, 1)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("step at the pipelined bound = %v, want ErrBusy", err)
+	}
+	var rh interface{ RetryAfterSeconds() int }
+	if !errors.As(err, &rh) {
+		t.Fatalf("pipelined shed error %v carries no errors.As-discoverable retry hint", err)
+	}
+	// 4s hold × (1 for the shed request + 2 pipelined runs beyond the one
+	// slot) / 1 slot = 12 — not the old constant floor.
+	if got := rh.RetryAfterSeconds(); got != 12 {
+		t.Errorf("pipelined shed Retry-After = %d, want 12 (load-derived)", got)
+	}
+	// Parity: the slot path's estimator under the same load state hands
+	// out the identical figure.
+	if got, want := rh.RetryAfterSeconds(), m.stepRetryAfter(); got != want {
+		t.Errorf("pipelined hint %d != slot-path estimate %d", got, want)
 	}
 }
 

@@ -178,6 +178,8 @@ func (m *Manager) persist(ctx context.Context, s *Session) {
 		Algorithm:      s.algorithm,
 		Workload:       s.workload,
 		Seed:           s.seed,
+		Tenant:         s.tenant,
+		Scenario:       s.scenario,
 		DT:             s.dt,
 		Theta:          cfg.Params.Theta,
 		Eps:            cfg.Params.Eps,
@@ -338,9 +340,12 @@ func (m *Manager) restore(meta store.Meta, sys *body.System) error {
 		seed:      meta.Seed,
 		dt:        meta.DT,
 		n:         sys.N(),
+		tenant:    meta.Tenant,
+		scenario:  meta.Scenario,
 		eff:       simcfg.EffectiveOf(sim.Config()),
 		savedStep: meta.Step,
 	}
+	s.eff.Scenario = s.scenario
 	s.touch()
 	// Drift is measured from the recovered state: the checkpoint already
 	// passed validation, and the pre-crash baseline was not persisted.

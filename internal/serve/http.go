@@ -42,6 +42,8 @@ const (
 	CodeJobNotFound      = "job_not_found"
 	CodeJobNotReady      = "job_not_ready"
 	CodeJobNotQueued     = "job_not_queued"
+	CodeUnauthorized     = "unauthorized"
+	CodeQuotaExceeded    = "quota_exceeded"
 )
 
 // ErrorDetail is the body of every 4xx/5xx response:
@@ -200,6 +202,7 @@ func NewHandlerWithJobs(m *Manager, jm *jobs.Manager) http.Handler {
 	if jm != nil {
 		registerJobRoutes(mux, record, jm)
 	}
+	handle("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) { handleScenarios(w) })
 
 	// Versioned JSON metrics (the pre-v1 ad-hoc /metrics payload, kept as
 	// a stable JSON surface for dashboards that do not scrape Prometheus).
@@ -225,12 +228,48 @@ func NewHandlerWithJobs(m *Manager, jm *jobs.Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}))
 
-	return instrument(mux, m)
+	var h http.Handler = mux
+	if m.tenants != nil {
+		// Auth sits between instrument (request ID, final log line) and the
+		// mux: every API route requires a key, the probe endpoints stay
+		// open (see authExempt).
+		h = withTenantAuth(h, m)
+	}
+	return instrument(h, m)
 }
 
-// routeHolder carries the matched route pattern out of the mux for the
+// scenarioInfo is one entry of GET /v1/scenarios.
+type scenarioInfo struct {
+	Name        string         `json:"name"`
+	Description string         `json:"description"`
+	Workload    string         `json:"workload"`
+	DefaultN    int            `json:"default_n"`
+	Config      *simcfg.Config `json:"config,omitempty"`
+}
+
+// handleScenarios lists the scenario packs submittable by name.
+func handleScenarios(w http.ResponseWriter) {
+	packs := simcfg.Packs()
+	out := make([]scenarioInfo, len(packs))
+	for i, p := range packs {
+		out[i] = scenarioInfo{
+			Name:        p.Name,
+			Description: p.Description,
+			Workload:    p.Workload,
+			DefaultN:    p.DefaultN,
+			Config:      p.Config,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string][]scenarioInfo{"scenarios": out})
+}
+
+// routeHolder carries the matched route pattern — and, in multi-tenant
+// mode, the authenticated tenant — out of the inner handlers for the
 // instrumentation middleware.
-type routeHolder struct{ pattern string }
+type routeHolder struct {
+	pattern string
+	tenant  string
+}
 
 type routeCtxKey int
 
@@ -276,14 +315,26 @@ func instrument(next http.Handler, m *Manager) http.Handler {
 			route = "unmatched"
 		}
 		m.ins.observeRequest(route, sw.status, elapsed.Seconds())
-		o.Logger.Log(ctx, "http request",
+		if holder.tenant != "" {
+			m.ins.tenantRequests.With(holder.tenant).Inc()
+		}
+		kv := []any{
 			"method", r.Method, "path", r.URL.Path, "route", route,
-			"status", sw.status, "duration_ms", elapsed.Seconds()*1e3)
-		o.Tracer.Record(ctx, "http "+route, start, elapsed, map[string]string{
+			"status", sw.status, "duration_ms", elapsed.Seconds() * 1e3,
+		}
+		if holder.tenant != "" {
+			kv = append(kv, "tenant", holder.tenant)
+		}
+		o.Logger.Log(ctx, "http request", kv...)
+		span := map[string]string{
 			"method": r.Method,
 			"path":   r.URL.Path,
 			"status": strconv.Itoa(sw.status),
-		})
+		}
+		if holder.tenant != "" {
+			span["tenant"] = holder.tenant
+		}
+		o.Tracer.Record(ctx, "http "+route, start, elapsed, span)
 	})
 }
 
@@ -306,6 +357,7 @@ func handleCreate(m *Manager, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		req.ID = r.Header.Get(IDHeader)
+		req.tenant = TenantFrom(r.Context())
 		markDeprecatedConfig(w, req)
 		// Cap the upload at the exact encoded size of MaxBodies bodies;
 		// anything larger necessarily declares a body count the manager
@@ -327,6 +379,7 @@ func handleCreate(m *Manager, w http.ResponseWriter, r *http.Request) {
 		if id := r.Header.Get(IDHeader); id != "" {
 			req.ID = id
 		}
+		req.tenant = TenantFrom(r.Context())
 		markDeprecatedConfig(w, req)
 		info, err = m.Create(r.Context(), req)
 	}
@@ -595,6 +648,15 @@ func errorDetailOf(err error) (int, ErrorDetail) {
 		return http.StatusNotFound, d
 	case errors.Is(err, ErrTooManySessions), errors.Is(err, ErrBusy):
 		d.Code = CodeOverloaded
+		return http.StatusTooManyRequests, d
+	case errors.Is(err, ErrUnauthorized):
+		d.Code = CodeUnauthorized
+		return http.StatusUnauthorized, d
+	case errors.Is(err, ErrQuotaExceeded), errors.Is(err, jobs.ErrQuotaExceeded):
+		// Distinct from overloaded: the service has capacity, the tenant's
+		// own quota is the limit. Retry-After is the tenant's refill/expiry
+		// horizon (via the retryHint wrapper), not global load.
+		d.Code = CodeQuotaExceeded
 		return http.StatusTooManyRequests, d
 	case errors.Is(err, ErrConflict):
 		d.Code = CodeSessionBusy

@@ -33,8 +33,23 @@ func NewJobRunner(m *Manager) jobs.Runner { return sessionRunner{m} }
 
 // createRequestOf maps a job's session spec onto the session-create body;
 // the config object and the deprecated flat fields both pass through, so
-// the session layer resolves them with the same precedence rules.
+// the session layer resolves them with the same precedence rules. The
+// tenant is carried along so the backing session counts against the
+// submitting tenant's session quota and attribution.
 func createRequestOf(spec jobs.SessionSpec) CreateRequest {
+	if spec.Scenario != nil {
+		// jobs.Submit already expanded the scenario into the flat fields;
+		// hand the pack itself to the session layer instead of the expansion
+		// so the session keeps its scenario attribution and the session
+		// layer's own mutual-exclusion check stays satisfied. Re-expanding
+		// is deterministic: spec.Config is the already-merged config, and
+		// merging the pack preset beneath it again is a fixed point.
+		return CreateRequest{
+			Scenario: spec.Scenario,
+			Config:   spec.Config,
+			tenant:   spec.Tenant,
+		}
+	}
 	return CreateRequest{
 		Workload:   spec.Workload,
 		N:          spec.N,
@@ -46,6 +61,7 @@ func createRequestOf(spec jobs.SessionSpec) CreateRequest {
 		Eps:        spec.Eps,
 		G:          spec.G,
 		Sequential: spec.Sequential,
+		tenant:     spec.Tenant,
 	}
 }
 
@@ -54,6 +70,9 @@ func createRequestOf(spec jobs.SessionSpec) CreateRequest {
 // and algorithm name.
 func (r sessionRunner) ValidateSession(spec jobs.SessionSpec) error {
 	req := createRequestOf(spec)
+	if err := req.applyScenario(); err != nil {
+		return err
+	}
 	if err := r.m.validate(req, req.N); err != nil {
 		return err
 	}
@@ -150,6 +169,10 @@ func registerJobRoutes(mux *http.ServeMux, record func(http.HandlerFunc) http.Ha
 		if id := r.Header.Get(IDHeader); id != "" {
 			spec.ID = id
 		}
+		// The submitting tenant comes from the authenticated context, never
+		// from the body (Tenant is json:"-", and DisallowUnknownFields
+		// above rejects a wire attempt).
+		spec.Tenant = TenantFrom(r.Context())
 		if spec.DeprecatedFieldsUsed() {
 			w.Header().Set("Deprecation", "true")
 			w.Header().Add("Link", `</v1/jobs#config>; rel="successor-version"`)

@@ -67,6 +67,10 @@ type Manager struct {
 
 	janitorDone chan struct{}
 
+	// tenants indexes the configured tenants (nil = open single-tenant
+	// mode — no auth, no per-tenant quotas). See tenant.go.
+	tenants *tenantSet
+
 	// stepHook, when non-nil, runs under the session lock immediately
 	// before each step — the fault-injection point containment tests use
 	// to provoke step-path panics. Never set in production.
@@ -124,6 +128,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		slots:          make(chan struct{}, cfg.StepSlots),
 		ex:             exec.New(cfg.ExecWorkers),
 		janitorDone:    make(chan struct{}),
+		tenants:        newTenantSet(cfg.Tenants),
 		failuresByKind: make(map[string]int64),
 		ins:            newInstruments(cfg.Obs.Registry),
 		log:            cfg.Obs.Logger,
@@ -198,9 +203,14 @@ func (m *Manager) evictExpired(limit int) int {
 	return len(victims)
 }
 
-// Create builds a session from a workload generator request. ctx carries
-// the request ID for log correlation only; it does not bound the work.
+// Create builds a session from a workload generator request (raw
+// workload/n/seed, or a scenario pack expanded by applyScenario). ctx
+// carries the request ID for log correlation only; it does not bound the
+// work.
 func (m *Manager) Create(ctx context.Context, req CreateRequest) (Info, error) {
+	if err := req.applyScenario(); err != nil {
+		return Info{}, err
+	}
 	if req.Workload == "" {
 		req.Workload = "plummer"
 	}
@@ -216,7 +226,8 @@ func (m *Manager) Create(ctx context.Context, req CreateRequest) (Info, error) {
 		return Info{}, err
 	}
 	m.log.Log(ctx, "session created", "session", s.ID,
-		"workload", s.workload, "algorithm", s.algorithm, "n", s.n, "dt", s.dt)
+		"workload", s.workload, "algorithm", s.algorithm, "n", s.n, "dt", s.dt,
+		"scenario", s.scenario, "tenant", s.tenant)
 	m.persist(ctx, s)
 	return s.Info(), nil
 }
@@ -325,10 +336,15 @@ func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName strin
 		seed:      req.Seed,
 		dt:        eff.DT,
 		n:         sys.N(),
+		tenant:    req.tenant,
+		scenario:  req.scenarioName(),
 		// Echo what the engine actually runs with (core.New applies its
 		// own defaults, e.g. rebuild_every 0 → 1).
 		eff: simcfg.EffectiveOf(sim.Config()),
 	}
+	// EffectiveOf cannot recover the scenario from the engine config; stamp
+	// the echo here.
+	s.eff.Scenario = s.scenario
 	s.touch()
 	m.pinEnergyBaseline(s)
 
@@ -352,6 +368,21 @@ func (m *Manager) insert(sys *body.System, req CreateRequest, workloadName strin
 		m.rejectedSessions.Add(1)
 		m.ins.admissionRejected.With("session").Inc()
 		return nil, retryHint{fmt.Errorf("%w (max %d)", ErrTooManySessions, m.cfg.MaxSessions), m.sessionRetryAfter()}
+	}
+	if t := m.tenants.lookup(req.tenant); t != nil && t.MaxSessions > 0 {
+		// Per-tenant session quota, checked under the same lock as the
+		// insertion so concurrent creates cannot overshoot it.
+		if live := m.tenantSessionsLocked(req.tenant); live >= t.MaxSessions {
+			m.mu.Unlock()
+			cancel(ErrQuotaExceeded)
+			m.rejectedSessions.Add(1)
+			m.ins.admissionRejected.With("session").Inc()
+			m.ins.tenantRejected.With(req.tenant, "session").Inc()
+			return nil, retryHint{
+				fmt.Errorf("%w: tenant %s at its session quota (%d live, max %d)", ErrQuotaExceeded, req.tenant, live, t.MaxSessions),
+				m.sessionRetryAfterFor(req.tenant),
+			}
+		}
 	}
 	if req.ID != "" {
 		if _, taken := m.sessions[req.ID]; taken {
@@ -881,6 +912,9 @@ type MetricsSnapshot struct {
 	// pool occupancy, ready-queue depth, per-phase task counts and busy
 	// time, and the overlap/stall time integrals.
 	Exec *exec.Stats `json:"exec,omitempty"`
+	// Tenants reports per-tenant quota accounting (multi-tenant mode
+	// only): live sessions against the cap, rate and session rejections.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
 
 // Metrics snapshots the service counters for the /metrics endpoint.
@@ -940,6 +974,7 @@ func (m *Manager) Metrics() MetricsSnapshot {
 
 	exStats := m.ex.Stats()
 	snap.Exec = &exStats
+	snap.Tenants = m.tenantMetrics()
 
 	m.latMu.Lock()
 	lats := append([]float64(nil), m.lat[:m.latN]...)

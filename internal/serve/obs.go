@@ -50,6 +50,13 @@ type instruments struct {
 	slotsInUse      *obs.Gauge
 	queueDepth      *obs.Gauge
 
+	// Multi-tenant accounting (series exist only when tenants are
+	// configured; label values are the configured tenant names, so
+	// cardinality is bounded by the keyfile).
+	tenantRequests *obs.CounterVec // tenant
+	tenantRejected *obs.CounterVec // tenant, kind: auth | rate | session
+	tenantSessions *obs.GaugeVec   // tenant
+
 	// Phase-graph executor (pipelined stepping). Gauges are refreshed and
 	// counters advanced by delta at scrape time from exec.Executor.Stats.
 	execWorkers   *obs.Gauge
@@ -109,6 +116,13 @@ func newInstruments(reg *obs.Registry) *instruments {
 		storeCommitErrors: reg.Counter("nbody_store_commit_errors_total",
 			"Store file commits that failed at any stage."),
 
+		tenantRequests: reg.CounterVec("nbody_tenant_requests_total",
+			"Authenticated HTTP requests by tenant.", "tenant"),
+		tenantRejected: reg.CounterVec("nbody_tenant_rejected_total",
+			"Requests rejected per tenant by auth or quota (kind: auth, rate, session).", "tenant", "kind"),
+		tenantSessions: reg.GaugeVec("nbody_tenant_sessions",
+			"Live sessions by owning tenant.", "tenant"),
+
 		sessionsByState: reg.GaugeVec("nbody_sessions",
 			"Live sessions by lifecycle state.", "state"),
 		slotsInUse: reg.Gauge("nbody_step_slots_in_use",
@@ -163,19 +177,40 @@ func (ins *instruments) observePhases(algorithm string, b *metrics.Breakdown, pr
 // the previous scrape.
 func (m *Manager) installCollectors() {
 	ins := m.ins
+	// Pre-touch the per-tenant series so every configured tenant renders
+	// from the first scrape, not from its first request or rejection.
+	if m.tenants != nil {
+		for _, name := range m.tenants.names() {
+			ins.tenantRequests.With(name)
+			ins.tenantSessions.With(name)
+			for _, kind := range []string{"rate", "session"} {
+				ins.tenantRejected.With(name, kind)
+			}
+		}
+		ins.tenantRejected.With("unknown", "auth")
+	}
 	var (
 		execMu   sync.Mutex
 		prevExec exec.Stats
 	)
 	m.cfg.Obs.Registry.OnCollect(func() {
 		counts := make(map[State]int, 8)
+		tenantCounts := make(map[string]int)
 		m.mu.Lock()
 		for _, s := range m.sessions {
 			counts[s.State()]++
+			if s.tenant != "" {
+				tenantCounts[s.tenant]++
+			}
 		}
 		m.mu.Unlock()
 		for _, st := range []State{StateCreated, StateRunning, StateIdle, StateFailed} {
 			ins.sessionsByState.With(st.String()).Set(float64(counts[st]))
+		}
+		if m.tenants != nil {
+			for _, name := range m.tenants.names() {
+				ins.tenantSessions.With(name).Set(float64(tenantCounts[name]))
+			}
 		}
 		ins.slotsInUse.Set(float64(len(m.slots)))
 		ins.queueDepth.Set(float64(m.waiting.Load()))

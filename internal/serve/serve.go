@@ -73,6 +73,14 @@ var (
 	// remains readable (info, snapshot, trace) but it will not step again
 	// (422).
 	ErrSessionFailed = errors.New("serve: session failed")
+	// ErrUnauthorized reports a missing or unknown API key on a deployment
+	// running with tenants configured (401, error code unauthorized).
+	ErrUnauthorized = errors.New("serve: unauthorized")
+	// ErrQuotaExceeded reports a request rejected by a per-tenant quota —
+	// live-session cap, queued-job cap or request-rate limit (429, error
+	// code quota_exceeded, Retry-After attributed to the tenant's own
+	// refill/expiry horizon rather than global load).
+	ErrQuotaExceeded = errors.New("serve: tenant quota exceeded")
 )
 
 // Config parameterizes a Manager.
@@ -142,6 +150,12 @@ type Config struct {
 	// fatal to a session, watchdog limit or not. 0 disables the drift
 	// check.
 	MaxEnergyDrift float64
+	// Tenants, when non-empty, turns on multi-tenant mode: every request
+	// (except the health and metrics probes) must carry a configured API
+	// key as `Authorization: Bearer <key>`, and per-tenant quotas — live
+	// sessions, queued jobs, token-bucket request rate — are enforced at
+	// admission. Empty keeps the open single-tenant behavior.
+	Tenants []Tenant
 }
 
 // withDefaults validates cfg and fills defaults.
@@ -186,6 +200,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Obs.Registry == nil {
 		return c, errors.New("serve: Obs.Registry must not be nil")
+	}
+	if err := validateTenants(c.Tenants); err != nil {
+		return c, err
 	}
 	return c, nil
 }

@@ -92,6 +92,13 @@ type Session struct {
 	dt        float64
 	n         int
 
+	// tenant is the owning tenant's name ("" in single-tenant mode); it
+	// attributes quota accounting, logs and metrics.
+	tenant string
+	// scenario is the scenario-pack name the session was created from
+	// ("" when created from raw workload/n/seed or a snapshot).
+	scenario string
+
 	// eff is the fully resolved physics configuration the simulation runs
 	// with (defaults applied), echoed verbatim in Info.
 	eff simcfg.Effective
@@ -171,6 +178,8 @@ type Info struct {
 	// applied — regardless of whether the session was created via the
 	// `config` object or the deprecated flat fields.
 	Config simcfg.Effective `json:"config"`
+	// Tenant is the owning tenant's name (multi-tenant deployments only).
+	Tenant string `json:"tenant,omitempty"`
 	// FailReason says why a failed session was quarantined.
 	FailReason string `json:"fail_reason,omitempty"`
 }
@@ -195,6 +204,7 @@ func (s *Session) Info() Info {
 		LastUsed:     s.LastUsed(),
 		TraceSamples: samples,
 		Config:       s.eff,
+		Tenant:       s.tenant,
 		FailReason:   reason,
 	}
 }
@@ -214,9 +224,20 @@ type CreateRequest struct {
 	N        int    `json:"n"`
 	Seed     uint64 `json:"seed"`
 
+	// Scenario, when set, creates the session from a named scenario pack
+	// instead of raw workload/n/seed: the pack supplies the generator, a
+	// default body count and a preset physics config merged beneath
+	// Config. Mutually exclusive with Workload/N (the pack owns those).
+	Scenario *simcfg.Scenario `json:"scenario,omitempty"`
+
 	// Config is the physics configuration (snake_case object, explicit
 	// zeros honoured). See simcfg.Config.
 	Config *simcfg.Config `json:"config,omitempty"`
+
+	// tenant is stamped server-side from the authenticated request
+	// context — never decoded from the wire (DisallowUnknownFields
+	// rejects a client-sent "tenant" key).
+	tenant string
 
 	// Deprecated: flat physics fields, superseded by Config. Responses to
 	// requests that use them carry a Deprecation header.
@@ -255,6 +276,38 @@ func (r CreateRequest) resolveConfig() (simcfg.Effective, error) {
 // deprecatedFieldsUsed reports whether the request relies on the flat
 // physics aliases (drives the Deprecation response header).
 func (r CreateRequest) deprecatedFieldsUsed() bool { return r.legacy().Used() }
+
+// applyScenario expands a scenario-pack request in place: the pack supplies
+// Workload/N (with scenario.n and scenario.seed as overrides) and its
+// preset Config is merged beneath the request's own. The request must not
+// also spell workload/n/seed at the top level — a pack and explicit
+// generator parameters disagreeing silently is exactly the ambiguity packs
+// exist to remove. No-op without a scenario.
+func (r *CreateRequest) applyScenario() error {
+	if r.Scenario == nil {
+		return nil
+	}
+	if r.Workload != "" || r.N != 0 || r.Seed != 0 {
+		return fmt.Errorf("%w: scenario and top-level workload/n/seed are mutually exclusive (use scenario.n and scenario.seed)", ErrBadRequest)
+	}
+	pack, n, cfg, err := r.Scenario.Apply(r.Config)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	r.Workload = pack.Workload
+	r.N = n
+	r.Seed = r.Scenario.Seed
+	r.Config = cfg
+	return nil
+}
+
+// scenarioName is the pack name of a scenario request ("" otherwise).
+func (r CreateRequest) scenarioName() string {
+	if r.Scenario == nil {
+		return ""
+	}
+	return r.Scenario.Name
+}
 
 // StepResult reports a completed (or interrupted) step request.
 type StepResult struct {

@@ -100,6 +100,11 @@ type Effective struct {
 	Sequential bool      `json:"sequential"`
 	TreeReuse  TreeReuse `json:"tree_reuse"`
 	Pipeline   bool      `json:"pipeline"`
+	// Scenario is the scenario-pack name the session or job was created
+	// from, empty when created from raw workload/n/seed or a snapshot.
+	// It is an echo, not an input: EffectiveOf cannot recover it from a
+	// core config, so the serving layer stamps it after resolution.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // Legacy carries the deprecated flat physics fields of a create request or

@@ -25,12 +25,17 @@ import (
 // completed at the last committed chunk). State strings are owned by
 // internal/jobs; the store treats them opaquely.
 type JobRecord struct {
-	ID         string  `json:"id"`
-	Class      string  `json:"class"`
-	State      string  `json:"state"`
-	Workload   string  `json:"workload"`
-	N          int     `json:"n"`
-	Seed       uint64  `json:"seed"`
+	ID       string `json:"id"`
+	Class    string `json:"class"`
+	State    string `json:"state"`
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	Seed     uint64 `json:"seed"`
+	// Tenant is the submitting tenant's name; Scenario the scenario-pack
+	// name the spec was expanded from. Both are echoes for attribution —
+	// the physics fields below already hold the expanded, resolved values.
+	Tenant     string  `json:"tenant,omitempty"`
+	Scenario   string  `json:"scenario,omitempty"`
 	Algorithm  string  `json:"algorithm,omitempty"`
 	DT         float64 `json:"dt"`
 	Theta      float64 `json:"theta,omitempty"`

@@ -49,6 +49,11 @@ type Meta struct {
 	Eps        float64 `json:"eps"`
 	G          float64 `json:"g"`
 	Sequential bool    `json:"sequential,omitempty"`
+	// Tenant is the owning tenant's name and Scenario the scenario-pack
+	// name the session was created from; both are attribution echoes so a
+	// restart restores quota accounting and the config echo.
+	Tenant   string `json:"tenant,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
 	// Layout is the force-evaluation layout ("flat" or "walk"); empty in
 	// checkpoints written before the field existed (those ran walk).
 	Layout       string `json:"layout,omitempty"`

@@ -13,7 +13,10 @@
 //     Keplerian orbital elements drawn from main-belt-like distributions
 //     and are converted to Cartesian state vectors with a Kepler-equation
 //     solver, yielding the same highly clustered, central-mass-dominated
-//     distribution that the paper's 1,039,551-body validation exercises.
+//     distribution that the paper's 1,039,551-body validation exercises;
+//   - Embedding: a planar Gaussian-mixture point cloud shaped like a
+//     t-SNE/graph-layout embedding — the non-astronomy workload family
+//     (force-directed layout solvers share the tree code's N-body core).
 //
 // All generators are deterministic functions of (n, seed): the same inputs
 // produce bitwise-identical systems on any platform (see internal/rng).
@@ -215,6 +218,43 @@ func ClusteredPlummers(n, k int, seed uint64) *body.System {
 	return s
 }
 
+// Embedding generates a flat (z = 0) Gaussian-mixture point cloud shaped
+// like a t-SNE or force-directed graph-layout embedding: √n-ish clusters of
+// unit-mass points at rest, with cluster sizes drawn log-uniformly so a few
+// clusters dominate the way real label distributions do. Layout solvers of
+// this shape are the classic non-astronomy client of Barnes-Hut trees; the
+// planar, highly anisotropic distribution stresses the octree's aspect-ratio
+// handling the way a disk galaxy does without a dominant central mass.
+func Embedding(n int, seed uint64) *body.System {
+	s := body.NewSystem(n)
+	src := rng.New(seed)
+	k := int(math.Sqrt(float64(n))/2) + 1
+
+	// Cluster weights log-uniform over ~2 decades, then normalized into
+	// body counts that sum to n.
+	weights := make([]float64, k)
+	total := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(10, src.Range(0, 2))
+		total += weights[i]
+	}
+	idx := 0
+	for c := 0; c < k && idx < n; c++ {
+		count := int(weights[c] / total * float64(n))
+		if c == k-1 || count > n-idx {
+			count = n - idx // remainder into the last cluster
+		}
+		center := vec.New(src.Range(-100, 100), src.Range(-100, 100), 0)
+		sigma := src.Range(1, 6)
+		for i := 0; i < count; i++ {
+			pos := vec.New(center.X+src.Norm()*sigma, center.Y+src.Norm()*sigma, 0)
+			s.Set(idx, 1, pos, vec.Zero)
+			idx++
+		}
+	}
+	return s
+}
+
 // isotropic returns a uniformly random unit vector.
 func isotropic(src *rng.Source) vec.V3 {
 	z := src.Range(-1, 1)
@@ -225,7 +265,7 @@ func isotropic(src *rng.Source) vec.V3 {
 
 // ByName dispatches a generator by its CLI name. Supported names:
 // "galaxy" (collision, the paper's workload), "galaxy-single", "plummer",
-// "uniform", "solarsystem".
+// "uniform", "clusters", "solarsystem", "embedding".
 func ByName(name string, n int, seed uint64) (*body.System, error) {
 	switch name {
 	case "galaxy":
@@ -240,6 +280,8 @@ func ByName(name string, n int, seed uint64) (*body.System, error) {
 		return ClusteredPlummers(n, 8, seed), nil
 	case "solarsystem":
 		return SolarSystemBelt(n, seed), nil
+	case "embedding":
+		return Embedding(n, seed), nil
 	}
 	return nil, fmt.Errorf("workload: unknown generator %q", name)
 }
